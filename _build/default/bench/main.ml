@@ -1,0 +1,139 @@
+(* Benchmark harness.
+
+   Two parts:
+
+   1. Bechamel micro-benchmarks — one [Test.make] per paper table and
+      figure, each timing the simulation kernel that backs it (the
+      application running on the simulated machine at test scale, 8
+      processors). These measure the *host* cost of the reproduction
+      itself.
+
+   2. Regeneration of every table, figure and analysis at bench scale,
+      printed next to the paper's reported numbers — the actual
+      reproduction output (same as `repro all`).
+
+   Run with:  dune exec bench/main.exe
+   (pass --quick to skip the Bechamel pass) *)
+
+open Bechamel
+open Toolkit
+module Rn = Jade_experiments.Runner
+
+(* One simulation at test scale: the kernel behind a table/figure. *)
+let sim ?(level = Rn.Loc) ?(broadcast = true) app machine () =
+  let r = Rn.create Rn.Test in
+  let config =
+    { (Rn.config_of_level level) with Jade.Config.adaptive_broadcast = broadcast }
+  in
+  ignore (Rn.run r ~app ~machine ~nprocs:8 ~config ~placed:(level = Rn.Tp))
+
+let serial_kernel machine () =
+  let r = Rn.create Rn.Test in
+  List.iter (fun app -> ignore (Rn.serial_time r ~app ~machine)) Rn.all_apps
+
+let mgmt_kernel app machine () =
+  let r = Rn.create Rn.Test in
+  ignore (Rn.task_management_pct r ~app ~machine ~nprocs:8 ~level:Rn.Tp)
+
+let table_tests =
+  let t n f = Test.make ~name:(Printf.sprintf "table%02d" n) (Staged.stage f) in
+  [
+    t 1 (serial_kernel Rn.Dash);
+    t 2 (sim Rn.Water Rn.Dash);
+    t 3 (sim Rn.String_ Rn.Dash);
+    t 4 (sim ~level:Rn.Tp Rn.Ocean Rn.Dash);
+    t 5 (sim ~level:Rn.Tp Rn.Cholesky Rn.Dash);
+    t 6 (serial_kernel Rn.Ipsc);
+    t 7 (sim Rn.Water Rn.Ipsc);
+    t 8 (sim Rn.String_ Rn.Ipsc);
+    t 9 (sim ~level:Rn.Tp Rn.Ocean Rn.Ipsc);
+    t 10 (sim ~level:Rn.Tp Rn.Cholesky Rn.Ipsc);
+    t 11 (sim ~broadcast:false Rn.Water Rn.Ipsc);
+    t 12 (sim ~broadcast:false Rn.String_ Rn.Ipsc);
+    t 13 (sim ~level:Rn.Tp ~broadcast:false Rn.Ocean Rn.Ipsc);
+    t 14 (sim ~level:Rn.Tp ~broadcast:false Rn.Cholesky Rn.Ipsc);
+  ]
+
+let figure_tests =
+  let f n k = Test.make ~name:(Printf.sprintf "figure%02d" n) (Staged.stage k) in
+  [
+    (* 2-5: task locality percentage on DASH *)
+    f 2 (sim Rn.Water Rn.Dash);
+    f 3 (sim Rn.String_ Rn.Dash);
+    f 4 (sim ~level:Rn.Tp Rn.Ocean Rn.Dash);
+    f 5 (sim ~level:Rn.Tp Rn.Cholesky Rn.Dash);
+    (* 6-9: total task execution time on DASH *)
+    f 6 (sim ~level:Rn.Noloc Rn.Water Rn.Dash);
+    f 7 (sim ~level:Rn.Noloc Rn.String_ Rn.Dash);
+    f 8 (sim ~level:Rn.Noloc Rn.Ocean Rn.Dash);
+    f 9 (sim ~level:Rn.Noloc Rn.Cholesky Rn.Dash);
+    (* 10-11: task-management percentage on DASH *)
+    f 10 (mgmt_kernel Rn.Ocean Rn.Dash);
+    f 11 (mgmt_kernel Rn.Cholesky Rn.Dash);
+    (* 12-15: task locality percentage on the iPSC/860 *)
+    f 12 (sim Rn.Water Rn.Ipsc);
+    f 13 (sim Rn.String_ Rn.Ipsc);
+    f 14 (sim ~level:Rn.Tp Rn.Ocean Rn.Ipsc);
+    f 15 (sim ~level:Rn.Tp Rn.Cholesky Rn.Ipsc);
+    (* 16-19: communication/computation ratio on the iPSC/860 *)
+    f 16 (sim ~level:Rn.Noloc Rn.Water Rn.Ipsc);
+    f 17 (sim ~level:Rn.Noloc Rn.String_ Rn.Ipsc);
+    f 18 (sim ~level:Rn.Noloc Rn.Ocean Rn.Ipsc);
+    f 19 (sim ~level:Rn.Noloc Rn.Cholesky Rn.Ipsc);
+    (* 20-21: task-management percentage on the iPSC/860 *)
+    f 20 (mgmt_kernel Rn.Ocean Rn.Ipsc);
+    f 21 (mgmt_kernel Rn.Cholesky Rn.Ipsc);
+  ]
+
+let run_bechamel () =
+  let tests =
+    Test.make_grouped ~name:"repro" ~fmt:"%s.%s" (table_tests @ figure_tests)
+  in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.25) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with Some (v :: _) -> v | _ -> nan
+        in
+        (name, ns) :: acc)
+      results []
+    |> List.sort compare
+  in
+  print_endline
+    "Bechamel: host cost of each table/figure kernel (test scale, 8 procs)";
+  List.iter
+    (fun (name, ns) -> Printf.printf "  %-18s %10.3f ms/run\n" name (ns /. 1e6))
+    rows;
+  print_newline ()
+
+let regenerate () =
+  let r = Rn.create Rn.Bench in
+  List.iter
+    (fun n ->
+      print_string
+        (Jade_experiments.Report.render_comparison
+           ~ours:(Jade_experiments.Tables.table r n)
+           ~paper:(Jade_experiments.Paper_data.table n));
+      print_newline ())
+    (List.init 14 (fun i -> i + 1));
+  List.iter
+    (fun t ->
+      print_string (Jade_experiments.Report.render t);
+      print_newline ())
+    (Jade_experiments.Figures.all r);
+  List.iter
+    (fun t ->
+      print_string (Jade_experiments.Report.render t);
+      print_newline ())
+    (Jade_experiments.Analyses.all r)
+
+let () =
+  let quick = Array.exists (( = ) "--quick") Sys.argv in
+  if not quick then run_bechamel ();
+  regenerate ()

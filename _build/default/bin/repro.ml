@@ -1,0 +1,225 @@
+(* jade-repro: command-line driver for the SC'95 Jade communication-
+   optimization reproduction. Regenerates any table or figure from the
+   paper, runs individual app/machine/config combinations, and prints the
+   §5.1-§5.5 analyses. *)
+
+open Cmdliner
+open Jade_experiments
+
+let size_conv =
+  Arg.enum [ ("test", Runner.Test); ("bench", Runner.Bench); ("paper", Runner.Paper) ]
+
+let size_arg =
+  Arg.(
+    value
+    & opt size_conv Runner.Bench
+    & info [ "size" ] ~docv:"SIZE"
+        ~doc:"Problem scale: test, bench (default) or paper (full data sets).")
+
+let print_table ?paper t =
+  print_string (Report.render_comparison ~ours:t ~paper);
+  print_newline ()
+
+let csv_arg =
+  Arg.(value & flag & info [ "csv" ] ~doc:"Emit comma-separated values instead of a rendered table.")
+
+let table_cmd =
+  let n_arg =
+    Arg.(required & pos 0 (some int) None & info [] ~docv:"N" ~doc:"Table number (1-14).")
+  in
+  let run n size csv =
+    let r = Runner.create size in
+    let t = Tables.table r n in
+    if csv then print_string (Report.to_csv t)
+    else print_table ?paper:(Paper_data.table n) t
+  in
+  Cmd.v
+    (Cmd.info "table" ~doc:"Regenerate one of the paper's tables (1-14).")
+    Term.(const run $ n_arg $ size_arg $ csv_arg)
+
+let figure_cmd =
+  let n_arg =
+    Arg.(required & pos 0 (some int) None & info [] ~docv:"N" ~doc:"Figure number (2-21).")
+  in
+  let run n size csv =
+    let r = Runner.create size in
+    let t = Figures.figure r n in
+    if csv then print_string (Report.to_csv t) else print_table t
+  in
+  Cmd.v
+    (Cmd.info "figure" ~doc:"Regenerate one of the paper's figures (2-21).")
+    Term.(const run $ n_arg $ size_arg $ csv_arg)
+
+let analyses_cmd =
+  let run size =
+    let r = Runner.create size in
+    List.iter print_table (Analyses.all r)
+  in
+  Cmd.v
+    (Cmd.info "analyses" ~doc:"Run the §5.1-§5.5 analyses.")
+    Term.(const run $ size_arg)
+
+let all_cmd =
+  let run size =
+    let r = Runner.create size in
+    List.iter
+      (fun n -> print_table ?paper:(Paper_data.table n) (Tables.table r n))
+      (List.init 14 (fun i -> i + 1));
+    List.iter print_table (Figures.all r);
+    List.iter print_table (Analyses.all r)
+  in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Regenerate every table, figure and analysis.")
+    Term.(const run $ size_arg)
+
+let app_conv =
+  Arg.enum
+    [
+      ("water", Runner.Water);
+      ("string", Runner.String_);
+      ("ocean", Runner.Ocean);
+      ("cholesky", Runner.Cholesky);
+    ]
+
+let machine_conv = Arg.enum [ ("dash", Runner.Dash); ("ipsc", Runner.Ipsc) ]
+
+let level_conv =
+  Arg.enum [ ("placement", Runner.Tp); ("locality", Runner.Loc); ("none", Runner.Noloc) ]
+
+let run_cmd =
+  let app_arg =
+    Arg.(
+      required
+      & opt (some app_conv) None
+      & info [ "app" ] ~docv:"APP" ~doc:"water, string, ocean or cholesky.")
+  in
+  let machine_arg =
+    Arg.(
+      value
+      & opt machine_conv Runner.Ipsc
+      & info [ "machine" ] ~docv:"M" ~doc:"dash or ipsc (default).")
+  in
+  let procs_arg =
+    Arg.(value & opt int 8 & info [ "procs"; "p" ] ~docv:"P" ~doc:"Processors.")
+  in
+  let level_arg =
+    Arg.(
+      value
+      & opt level_conv Runner.Loc
+      & info [ "level" ] ~docv:"L"
+          ~doc:"Locality level: placement, locality (default) or none.")
+  in
+  let broadcast_arg =
+    Arg.(value & flag & info [ "no-broadcast" ] ~doc:"Disable adaptive broadcast.")
+  in
+  let fetch_arg =
+    Arg.(value & flag & info [ "no-concurrent-fetch" ] ~doc:"Disable concurrent fetches.")
+  in
+  let replication_arg =
+    Arg.(value & flag & info [ "no-replication" ] ~doc:"Serialize readers.")
+  in
+  let target_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "target-tasks" ] ~docv:"T"
+          ~doc:"Tasks the scheduler keeps per processor (2 = latency hiding).")
+  in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Write a Chrome trace-event JSON of the task schedule to FILE.")
+  in
+  let run app machine nprocs level no_bcast no_fetch no_repl target size trace =
+    let r = Runner.create size in
+    let config =
+      {
+        (Runner.config_of_level level) with
+        Jade.Config.adaptive_broadcast = not no_bcast;
+        Jade.Config.concurrent_fetch = not no_fetch;
+        Jade.Config.replication = not no_repl;
+        Jade.Config.target_tasks = target;
+      }
+    in
+    let s =
+      match trace with
+      | None ->
+          Runner.run r ~app ~machine ~nprocs ~config ~placed:(level = Runner.Tp)
+      | Some path ->
+          let tr = Jade.Tracing.create () in
+          let s =
+            Runner.run_traced r ~trace:tr ~app ~machine ~nprocs ~config
+              ~placed:(level = Runner.Tp)
+          in
+          Jade.Tracing.write_chrome_json tr path;
+          Format.printf "wrote %d task events to %s@." (Jade.Tracing.count tr)
+            path;
+          s
+    in
+    Format.printf "%s on %s, %d processors, %s@."
+      (Runner.app_name app)
+      (Runner.machine_name machine)
+      nprocs
+      (Runner.level_name level);
+    Format.printf "  %a@." Jade.Metrics.pp_summary s
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one application/machine/configuration and print metrics.")
+    Term.(
+      const run $ app_arg $ machine_arg $ procs_arg $ level_arg $ broadcast_arg
+      $ fetch_arg $ replication_arg $ target_arg $ size_arg $ trace_arg)
+
+let factor_cmd =
+  let matrix_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "matrix" ] ~docv:"FILE"
+          ~doc:"Symmetric positive-definite matrix in MatrixMarket format.")
+  in
+  let procs_arg =
+    Arg.(value & opt int 8 & info [ "procs"; "p" ] ~docv:"P" ~doc:"Processors.")
+  in
+  let width_arg =
+    Arg.(value & opt int 8 & info [ "panel-width" ] ~docv:"W" ~doc:"Panel width.")
+  in
+  let machine_arg =
+    Arg.(
+      value
+      & opt (enum [ ("ipsc", Jade.Runtime.ipsc860); ("lan", Jade.Runtime.lan) ])
+          Jade.Runtime.ipsc860
+      & info [ "machine" ] ~docv:"M" ~doc:"ipsc (default) or lan.")
+  in
+  let run path nprocs width machine =
+    let a = Jade_sparse.Matrix_market.read_file path in
+    Format.printf "read %s: n=%d, nnz=%d@." path a.Jade_sparse.Csc.n
+      (Jade_sparse.Csc.nnz a);
+    let program, result =
+      Jade_apps.Cholesky.factor_matrix a ~panel_width:width
+        ~kind:Jade_apps.App_common.Mp ~placed:false ~nprocs
+    in
+    let s = Jade.Runtime.run ~machine ~nprocs program in
+    let r = result () in
+    Format.printf "factored with %d tasks in %.4f virtual seconds@."
+      r.Jade_apps.Cholesky.tasks s.Jade.Metrics.elapsed_s;
+    let err =
+      Jade_sparse.Dense.max_diff
+        (Jade_sparse.Dense.mul_lt r.Jade_apps.Cholesky.l)
+        (Jade_sparse.Csc.to_dense a)
+    in
+    Format.printf "max |L L^T - A| = %.3e@." err
+  in
+  Cmd.v
+    (Cmd.info "factor"
+       ~doc:"Factor a MatrixMarket SPD matrix with the Panel Cholesky task graph.")
+    Term.(const run $ matrix_arg $ procs_arg $ width_arg $ machine_arg)
+
+let () =
+  let doc =
+    "Reproduction of 'Communication Optimizations for Parallel Computing \
+     Using Data Access Information' (Rinard, SC '95)"
+  in
+  let info = Cmd.info "jade-repro" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info
+         [ table_cmd; figure_cmd; analyses_cmd; all_cmd; run_cmd; factor_cmd ]))

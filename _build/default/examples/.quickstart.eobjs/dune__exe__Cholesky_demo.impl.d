@@ -1,0 +1,1 @@
+examples/cholesky_demo.ml: Array Csc Dense Float Format Jade Jade_apps Jade_sparse List Symbolic

@@ -1,0 +1,1 @@
+examples/custom_app.ml: Array Format Jade List Printf

@@ -1,0 +1,1 @@
+examples/ocean_demo.ml: Format Jade Jade_apps List

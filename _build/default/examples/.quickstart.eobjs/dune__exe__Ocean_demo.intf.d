@@ -1,0 +1,1 @@
+examples/ocean_demo.mli:

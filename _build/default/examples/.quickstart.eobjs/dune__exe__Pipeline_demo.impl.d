@@ -1,0 +1,1 @@
+examples/pipeline_demo.ml: Array Format Jade Printf

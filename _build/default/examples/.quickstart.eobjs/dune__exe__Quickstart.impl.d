@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Float Format Jade List Printf

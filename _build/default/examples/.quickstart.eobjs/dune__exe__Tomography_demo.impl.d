@@ -1,0 +1,1 @@
+examples/tomography_demo.ml: Array Format Jade Jade_apps List

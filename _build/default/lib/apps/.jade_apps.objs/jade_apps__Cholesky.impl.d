@@ -1,0 +1,1 @@
+lib/apps/cholesky.ml: App_common Array Csc Jade Jade_sparse List Option Panel Printf Spd_gen Symbolic

@@ -1,0 +1,1 @@
+lib/apps/cholesky.mli: App_common Jade Jade_sparse

@@ -1,0 +1,1 @@
+lib/apps/ocean.ml: App_common Array Jade Option Printf

@@ -1,0 +1,1 @@
+lib/apps/string_app.ml: App_common Array Float Hashtbl Jade Jade_sim List Option Printf

@@ -1,0 +1,1 @@
+lib/apps/string_app.mli: App_common Jade

@@ -1,0 +1,1 @@
+lib/apps/water.ml: App_common Array Float Jade Jade_sim Option Printf

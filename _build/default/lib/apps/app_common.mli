@@ -1,0 +1,45 @@
+(** Shared plumbing for the four Jade applications: machine-dependent
+    object homes, round-robin placements, replicated accumulator arrays
+    with parallel tree reduction. *)
+
+(** Which machine the program will run on. Affects where objects live
+    initially: on the shared-memory machine the programmer distributes
+    allocations across memory modules; on the message-passing machine the
+    main processor initializes everything, so it is the initial owner. *)
+type kind = Shm | Mp
+
+(** [rr ~nprocs i] maps index [i] round-robin over all processors. *)
+val rr : nprocs:int -> int -> int
+
+(** [rr_skip_main ~nprocs i] maps [i] round-robin over processors 1..P-1,
+    the paper's explicit placement for Ocean and Panel Cholesky (the main
+    processor is devoted to creating tasks). Falls back to 0 when P = 1. *)
+val rr_skip_main : nprocs:int -> int -> int
+
+(** [home ~kind mapped] is [mapped] on the shared-memory machine and 0
+    (the main processor) on the message-passing machine. *)
+val home : kind:kind -> int -> int
+
+(** A replicated accumulator: per-slot copies of a float array, so
+    concurrent tasks update private copies instead of contending. *)
+type replicated = {
+  copies : float array Jade.Shared.t array;
+  len : int;  (** elements per copy *)
+}
+
+(** [replicate rt ~name ~copies ~len] allocates [copies] arrays of [len]
+    floats. Copy [i] is homed round-robin on both machines: on the
+    shared-memory machine the programmer distributes the allocations; on
+    the message-passing machine each copy's first writer is its owning
+    task, so the round-robin home models a created-but-uninitialized
+    object. *)
+val replicate :
+  Jade.Runtime.t -> name:string -> copies:int -> len:int -> replicated
+
+(** [tree_reduce rt r ~name] creates the parallel reduction tasks that sum
+    all copies into copy 0 (binary tree, log2 rounds; each combine task's
+    locality object is the destination copy). *)
+val tree_reduce : Jade.Runtime.t -> replicated -> name:string -> unit
+
+(** The comprehensive (reduced) array object: copy 0. *)
+val comprehensive : replicated -> float array Jade.Shared.t

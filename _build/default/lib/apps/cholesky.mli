@@ -1,0 +1,53 @@
+(** Panel Cholesky: sparse positive-definite factorization (§4). The
+    matrix is decomposed into panels of adjacent columns; the computation
+    generates one internal-update task per panel (completes the panel's
+    factorization) and one external-update task per pair of panels with
+    overlapping nonzero patterns (applies a factored source panel's outer
+    product to a destination panel). The updated panel is each task's
+    locality object; with explicit placement, panels map round-robin onto
+    processors omitting the main processor.
+
+    The paper factors BCSSTK15 from the Harwell–Boeing set; we substitute
+    a synthetic SPD matrix (9-point grid Laplacian) with a comparable
+    fill/elimination-tree profile — see DESIGN.md. *)
+
+type params = {
+  gridk : int;  (** matrix is the 9-point Laplacian on a gridk x gridk grid *)
+  panel_width : int;
+}
+
+val paper_params : params
+
+val bench_params : params
+
+val test_params : params
+
+type result = {
+  l : float array array;  (** dense lower-triangular factor, for checks *)
+  tasks : int;  (** internal + external update tasks *)
+}
+
+(** The matrix an instance factors. *)
+val matrix : params -> Jade_sparse.Csc.t
+
+val serial : params -> result * float
+
+val total_work : params -> nprocs:int -> float
+
+val make :
+  params ->
+  kind:App_common.kind ->
+  placed:bool ->
+  nprocs:int ->
+  (Jade.Runtime.t -> unit) * (unit -> result)
+
+(** Factor an arbitrary symmetric positive-definite matrix (e.g. one read
+    with {!Jade_sparse.Matrix_market}) instead of the built-in generator.
+    Raises [Invalid_argument] if the matrix is not symmetric. *)
+val factor_matrix :
+  Jade_sparse.Csc.t ->
+  panel_width:int ->
+  kind:App_common.kind ->
+  placed:bool ->
+  nprocs:int ->
+  (Jade.Runtime.t -> unit) * (unit -> result)

@@ -1,0 +1,42 @@
+(** Ocean: the computationally intensive section solves discretized
+    spatial partial differential equations with an iterative five-point
+    stencil method (§4). The grid is decomposed into interior column
+    blocks separated by two-column boundary blocks; per iteration, one
+    task per interior block updates all of the block's elements plus one
+    column of each adjacent boundary block (reading the other column).
+    Neighbouring tasks conflict on the shared boundary block, so the
+    synchronizer orders them and Jade pipelines across iterations.
+
+    The interior block is each task's locality object. With explicit task
+    placement, blocks map round-robin onto processors omitting the main
+    processor (§5.2). *)
+
+type params = {
+  n : int;  (** grid rows and total columns (square grid) *)
+  iters : int;
+  blocks : int option;  (** interior blocks; default max(1, nprocs - 1) *)
+}
+
+val paper_params : params
+
+val bench_params : params
+
+val test_params : params
+
+type result = {
+  grid : float array array;  (** [n][n] final field, row index first *)
+  residual : float;  (** final five-point residual norm *)
+}
+
+(** Serial reference with the identical update order (results match the
+    parallel version exactly, not just approximately). *)
+val serial : params -> nprocs:int -> result * float
+
+val total_work : params -> nprocs:int -> float
+
+val make :
+  params ->
+  kind:App_common.kind ->
+  placed:bool ->
+  nprocs:int ->
+  (Jade.Runtime.t -> unit) * (unit -> result)

@@ -1,0 +1,376 @@
+module R = Jade.Runtime
+
+type ray_model = Straight | Bent
+
+type params = {
+  nx : int;
+  nz : int;
+  nrays : int;
+  iters : int;
+  seed : int;
+  rays : ray_model;
+}
+
+let paper_params =
+  { nx = 185; nz = 450; nrays = 4096; iters = 6; seed = 7; rays = Straight }
+
+let bench_params =
+  { nx = 92; nz = 220; nrays = 16384; iters = 3; seed = 7; rays = Straight }
+
+let test_params = { nx = 16; nz = 24; nrays = 64; iters = 3; seed = 7; rays = Straight }
+
+type result = {
+  model : float array;
+  misfit : float;
+  initial_misfit : float;
+}
+
+let cells p = p.nx * p.nz
+
+(* Declared cost per traversed cell: the production ray tracer pays for
+   traversal bookkeeping, slowness interpolation and backprojection per
+   cell; tasks declare that cost even though the simplified host kernel is
+   cheaper. *)
+let cell_flops = 60.0
+
+let relax = 0.7
+
+(* Grid traversal (Amanatides & Woo). Cells are unit squares; cell (ix,iz)
+   is indexed ix + iz*nx. *)
+let trace_ray ~nx ~nz ~slowness ~x0 ~z0 ~x1 ~z1 ~cell =
+  let dx = x1 -. x0 and dz = z1 -. z0 in
+  let len = sqrt ((dx *. dx) +. (dz *. dz)) in
+  if len <= 0.0 then 0.0
+  else begin
+    let clamp v lo hi = if v < lo then lo else if v > hi then hi else v in
+    let ix = ref (clamp (int_of_float (Float.floor x0)) 0 (nx - 1)) in
+    let iz = ref (clamp (int_of_float (Float.floor z0)) 0 (nz - 1)) in
+    let step_x = if dx > 0.0 then 1 else -1 in
+    let step_z = if dz > 0.0 then 1 else -1 in
+    let t_delta_x = if dx = 0.0 then infinity else Float.abs (1.0 /. dx) in
+    let t_delta_z = if dz = 0.0 then infinity else Float.abs (1.0 /. dz) in
+    let t_max_x =
+      if dx = 0.0 then infinity
+      else
+        let next = if dx > 0.0 then float_of_int (!ix + 1) else float_of_int !ix in
+        (next -. x0) /. dx
+    in
+    let t_max_z =
+      if dz = 0.0 then infinity
+      else
+        let next = if dz > 0.0 then float_of_int (!iz + 1) else float_of_int !iz in
+        (next -. z0) /. dz
+    in
+    let t_max_x = ref t_max_x and t_max_z = ref t_max_z in
+    let t = ref 0.0 in
+    let time = ref 0.0 in
+    let finished = ref false in
+    while not !finished do
+      let t_next = Float.min (Float.min !t_max_x !t_max_z) 1.0 in
+      let seg = (t_next -. !t) *. len in
+      if seg > 0.0 then begin
+        let c = !ix + (!iz * nx) in
+        cell c seg;
+        time := !time +. (seg *. slowness.(c))
+      end;
+      t := t_next;
+      if t_next >= 1.0 then finished := true
+      else if !t_max_x <= !t_max_z then begin
+        t_max_x := !t_max_x +. t_delta_x;
+        ix := !ix + step_x;
+        if !ix < 0 || !ix >= nx then finished := true
+      end
+      else begin
+        t_max_z := !t_max_z +. t_delta_z;
+        iz := !iz + step_z;
+        if !iz < 0 || !iz >= nz then finished := true
+      end
+    done;
+    !time
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Bent rays: the production String bends rays through the velocity
+   field; we model that as the shortest-travel-time path on the grid
+   graph (8-connected cell centres, edge weight = distance x mean
+   slowness), computed with Dijkstra from each source. *)
+
+type dijkstra = { dist : float array; prev : int array }
+
+let neighbors8 = [| (1, 0); (-1, 0); (0, 1); (0, -1); (1, 1); (1, -1); (-1, 1); (-1, -1) |]
+
+let dijkstra_from ~nx ~nz ~slowness src =
+  let ncells = nx * nz in
+  let dist = Array.make ncells infinity in
+  let prev = Array.make ncells (-1) in
+  let settled = Array.make ncells false in
+  let heap = Jade_sim.Heap.create () in
+  let seq = ref 0 in
+  dist.(src) <- 0.0;
+  Jade_sim.Heap.push heap ~time:0.0 ~seq:0 src;
+  while not (Jade_sim.Heap.is_empty heap) do
+    let d, _, u = Jade_sim.Heap.pop_min heap in
+    if not settled.(u) && d <= dist.(u) then begin
+      settled.(u) <- true;
+      let ux = u mod nx and uz = u / nx in
+      Array.iter
+        (fun (dx, dz) ->
+          let vx = ux + dx and vz = uz + dz in
+          if vx >= 0 && vx < nx && vz >= 0 && vz < nz then begin
+            let v = vx + (vz * nx) in
+            if not settled.(v) then begin
+              let len = sqrt (float_of_int ((dx * dx) + (dz * dz))) in
+              let w = len *. ((slowness.(u) +. slowness.(v)) /. 2.0) in
+              if dist.(u) +. w < dist.(v) then begin
+                dist.(v) <- dist.(u) +. w;
+                prev.(v) <- u;
+                incr seq;
+                Jade_sim.Heap.push heap ~time:dist.(v) ~seq:!seq v
+              end
+            end
+          end)
+        neighbors8
+    end
+  done;
+  { dist; prev }
+
+(* Cells on the shortest path from the Dijkstra source to [dst], with the
+   path length charged half an edge to each endpoint. Calls
+   [cell c seg]; returns the geometric path length. *)
+let walk_path ~nx d dst cell =
+  let len = ref 0.0 in
+  let u = ref dst in
+  while d.prev.(!u) >= 0 do
+    let v = d.prev.(!u) in
+    let dx = abs ((!u mod nx) - (v mod nx)) and dz = abs ((!u / nx) - (v / nx)) in
+    let edge = sqrt (float_of_int ((dx * dx) + (dz * dz))) in
+    cell !u (edge /. 2.0);
+    cell v (edge /. 2.0);
+    len := !len +. edge;
+    u := v
+  done;
+  !len
+
+let cell_of ~nx ~nz x z =
+  let clamp v hi = if v < 0 then 0 else if v > hi then hi else v in
+  clamp (int_of_float (Float.floor x)) (nx - 1)
+  + (clamp (int_of_float (Float.floor z)) (nz - 1) * nx)
+
+(* Synthetic "true" geology: depth-layered slowness with a Gaussian
+   anomaly (substitutes for the proprietary West Texas data set). *)
+let true_model p =
+  let s = Array.make (cells p) 0.0 in
+  let cx = float_of_int p.nx /. 2.0 and cz = float_of_int p.nz /. 2.0 in
+  let sigma2 = (float_of_int (min p.nx p.nz) /. 5.0) ** 2.0 in
+  for iz = 0 to p.nz - 1 do
+    for ix = 0 to p.nx - 1 do
+      let z = float_of_int iz in
+      let layer =
+        1.0 +. (0.15 *. sin (z /. float_of_int p.nz *. 9.42478))
+      in
+      let dx = float_of_int ix -. cx and dz = z -. cz in
+      let anomaly =
+        0.3 *. exp (-.((dx *. dx) +. (dz *. dz)) /. (2.0 *. sigma2))
+      in
+      s.(ix + (iz * p.nx)) <- 4.0e-4 *. (layer +. anomaly)
+    done
+  done;
+  s
+
+let initial_model p = Array.make (cells p) 4.0e-4
+
+(* Source/receiver geometry: sources spread along the left well, receivers
+   along the right well; ray r pairs source (r mod ns) with receiver
+   (r / ns). *)
+let ray_endpoints p r =
+  let ns = max 1 (int_of_float (sqrt (float_of_int p.nrays))) in
+  let nr = (p.nrays + ns - 1) / ns in
+  let si = r mod ns and ri = r / ns mod nr in
+  let z0 = (float_of_int si +. 0.5) /. float_of_int ns *. float_of_int p.nz in
+  let z1 = (float_of_int ri +. 0.5) /. float_of_int nr *. float_of_int p.nz in
+  (0.01, z0, float_of_int p.nx -. 0.01, z1)
+
+(* Group a ray range by source cell so one Dijkstra serves every receiver
+   of that source. *)
+let rays_by_source p ~lo ~hi =
+  let tbl = Hashtbl.create 16 in
+  for r = lo to hi - 1 do
+    let x0, z0, _, _ = ray_endpoints p r in
+    let src = cell_of ~nx:p.nx ~nz:p.nz x0 z0 in
+    Hashtbl.replace tbl src (r :: (try Hashtbl.find tbl src with Not_found -> []))
+  done;
+  tbl
+
+let trace_times_bent p slowness ~lo ~hi =
+  let times = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun src rays ->
+      let d = dijkstra_from ~nx:p.nx ~nz:p.nz ~slowness src in
+      List.iter
+        (fun r ->
+          let _, _, x1, z1 = ray_endpoints p r in
+          let dst = cell_of ~nx:p.nx ~nz:p.nz x1 z1 in
+          Hashtbl.replace times r d.dist.(dst))
+        rays)
+    (rays_by_source p ~lo ~hi);
+  times
+
+let observed_times p =
+  let truth = true_model p in
+  match p.rays with
+  | Straight ->
+      Array.init p.nrays (fun r ->
+          let x0, z0, x1, z1 = ray_endpoints p r in
+          trace_ray ~nx:p.nx ~nz:p.nz ~slowness:truth ~x0 ~z0 ~x1 ~z1
+            ~cell:(fun _ _ -> ()))
+  | Bent ->
+      let times = trace_times_bent p truth ~lo:0 ~hi:p.nrays in
+      Array.init p.nrays (fun r -> Hashtbl.find times r)
+
+(* Trace rays [lo, hi) against [model]; accumulate the backprojected
+   residuals into [acc] (layout: num[cells] ++ den[cells] ++ [sq_misfit]).
+   Backprojection is linear along the path, as in the paper. *)
+let trace_block_straight p observed model acc ~lo ~hi =
+  for r = lo to hi - 1 do
+    let x0, z0, x1, z1 = ray_endpoints p r in
+    (* First pass: travel time and ray length in the current model. *)
+    let ray_len = ref 0.0 in
+    let simulated =
+      trace_ray ~nx:p.nx ~nz:p.nz ~slowness:model ~x0 ~z0 ~x1 ~z1
+        ~cell:(fun _ seg -> ray_len := !ray_len +. seg)
+    in
+    let delta = observed.(r) -. simulated in
+    if !ray_len > 0.0 then begin
+      let per_len = delta /. !ray_len in
+      ignore
+        (trace_ray ~nx:p.nx ~nz:p.nz ~slowness:model ~x0 ~z0 ~x1 ~z1
+           ~cell:(fun c seg ->
+             acc.(c) <- acc.(c) +. (per_len *. seg);
+             acc.(cells p + c) <- acc.(cells p + c) +. seg))
+    end;
+    acc.((2 * cells p)) <- acc.(2 * cells p) +. (delta *. delta)
+  done
+
+let trace_block_bent p observed model acc ~lo ~hi =
+  Hashtbl.iter
+    (fun src rays ->
+      let d = dijkstra_from ~nx:p.nx ~nz:p.nz ~slowness:model src in
+      List.iter
+        (fun r ->
+          let _, _, x1, z1 = ray_endpoints p r in
+          let dst = cell_of ~nx:p.nx ~nz:p.nz x1 z1 in
+          let simulated = d.dist.(dst) in
+          let delta = observed.(r) -. simulated in
+          let ray_len = walk_path ~nx:p.nx d dst (fun _ _ -> ()) in
+          if ray_len > 0.0 then begin
+            let per_len = delta /. ray_len in
+            ignore
+              (walk_path ~nx:p.nx d dst (fun c seg ->
+                   acc.(c) <- acc.(c) +. (per_len *. seg);
+                   acc.(cells p + c) <- acc.(cells p + c) +. seg))
+          end;
+          acc.(2 * cells p) <- acc.(2 * cells p) +. (delta *. delta))
+        rays)
+    (rays_by_source p ~lo ~hi)
+
+let trace_block p observed model acc ~lo ~hi =
+  match p.rays with
+  | Straight -> trace_block_straight p observed model acc ~lo ~hi
+  | Bent -> trace_block_bent p observed model acc ~lo ~hi
+
+let apply_update p model acc =
+  for c = 0 to cells p - 1 do
+    let den = acc.(cells p + c) in
+    if den > 0.0 then begin
+      let s = model.(c) +. (relax *. acc.(c) /. den) in
+      model.(c) <- Float.max 1.0e-5 s
+    end
+  done
+
+let misfit_of p acc =
+  sqrt (acc.(2 * cells p) /. float_of_int p.nrays)
+
+let shortest_time ~nx ~nz ~slowness ~src ~dst =
+  (dijkstra_from ~nx ~nz ~slowness src).dist.(dst)
+
+let ray_work p nrays_in_task =
+  float_of_int nrays_in_task *. float_of_int (p.nx + p.nz) *. cell_flops
+
+let serial p =
+  let observed = observed_times p in
+  let model = initial_model p in
+  let first = ref nan and last = ref nan in
+  let flops = ref 0.0 in
+  for _ = 1 to p.iters do
+    let acc = Array.make ((2 * cells p) + 1) 0.0 in
+    trace_block p observed model acc ~lo:0 ~hi:p.nrays;
+    let m = misfit_of p acc in
+    if Float.is_nan !first then first := m;
+    last := m;
+    apply_update p model acc;
+    flops := !flops +. ray_work p p.nrays +. (float_of_int (cells p) *. 3.0)
+  done;
+  ( { model; misfit = !last; initial_misfit = !first },
+    !flops *. 1.05 )
+
+let total_work p ~nprocs =
+  ignore nprocs;
+  float_of_int p.iters
+  *. (ray_work p p.nrays +. (float_of_int (cells p) *. 3.0))
+
+let make p ~kind:_ ~placed:_ ~nprocs =
+  let result = ref None in
+  let observed = observed_times p in
+  let program rt =
+    assert (R.nprocs rt = nprocs);
+    let model_obj =
+      R.create_object rt ~name:"velocity-model"
+        ~size:(8 * cells p)
+        (initial_model p)
+    in
+    let diffs =
+      App_common.replicate rt ~name:"difference" ~copies:nprocs
+        ~len:((2 * cells p) + 1)
+    in
+    let stats = R.create_object rt ~name:"stats" ~size:16 (Array.make 2 nan) in
+    for _iter = 1 to p.iters do
+      for t = 0 to nprocs - 1 do
+        let lo = t * p.nrays / nprocs and hi = (t + 1) * p.nrays / nprocs in
+        let copy = diffs.App_common.copies.(t) in
+        R.withonly rt
+          ~name:(Printf.sprintf "trace.%d" t)
+          ~work:(ray_work p (hi - lo))
+          ~accesses:(fun s ->
+            Jade.Spec.rw s copy;
+            Jade.Spec.rd s model_obj)
+          (fun env ->
+            let acc = R.wr env copy and model = R.rd env model_obj in
+            Array.fill acc 0 (Array.length acc) 0.0;
+            trace_block p observed model acc ~lo ~hi)
+      done;
+      App_common.tree_reduce rt diffs ~name:"difference";
+      R.withonly rt ~name:"update-model" ~placement:0
+        ~work:(float_of_int (cells p) *. 3.0)
+        ~accesses:(fun s ->
+          Jade.Spec.rw s model_obj;
+          Jade.Spec.rd s (App_common.comprehensive diffs);
+          Jade.Spec.rw s stats)
+        (fun env ->
+          let model = R.wr env model_obj
+          and acc = R.rd env (App_common.comprehensive diffs)
+          and st = R.wr env stats in
+          let m = misfit_of p acc in
+          if Float.is_nan st.(0) then st.(0) <- m;
+          st.(1) <- m;
+          apply_update p model acc)
+    done;
+    R.drain rt;
+    result :=
+      Some
+        {
+          model = Jade.Shared.data model_obj;
+          misfit = (Jade.Shared.data stats).(1);
+          initial_misfit = (Jade.Shared.data stats).(0);
+        }
+  in
+  (program, fun () -> Option.get !result)

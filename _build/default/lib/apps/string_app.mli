@@ -1,0 +1,69 @@
+(** String: computes a velocity model of the geology between two oil wells
+    by tomographic inversion (§4, [11]). Each iteration traces rays through
+    the discretized slowness model, computes the difference between
+    simulated and observed travel times, and backprojects the difference
+    linearly along each ray's path into a replicated difference array; a
+    parallel reduction and a serial phase then update the model (SIRT).
+
+    The paper's data set (an oil field in West Texas, 185 ft x 450 ft at
+    1 ft resolution) is proprietary; we substitute a synthetic layered
+    model with a Gaussian anomaly and synthesize the observed travel times
+    by tracing the true model — the same code path end to end. *)
+
+(** Ray propagation model: [Straight] integrates along straight
+    source-receiver lines (fast); [Bent] finds each ray as the shortest
+    travel-time path through the slowness field (Dijkstra on the
+    8-connected grid graph) — the refracted rays of the production
+    application. *)
+type ray_model = Straight | Bent
+
+type params = {
+  nx : int;  (** horizontal cells (between the wells) *)
+  nz : int;  (** vertical cells (depth) *)
+  nrays : int;
+  iters : int;
+  seed : int;
+  rays : ray_model;
+}
+
+val paper_params : params
+
+val bench_params : params
+
+val test_params : params
+
+type result = {
+  model : float array;  (** slowness, nx*nz row-major by depth *)
+  misfit : float;  (** final RMS travel-time misfit *)
+  initial_misfit : float;
+}
+
+val serial : params -> result * float
+
+val total_work : params -> nprocs:int -> float
+
+val make :
+  params ->
+  kind:App_common.kind ->
+  placed:bool ->
+  nprocs:int ->
+  (Jade.Runtime.t -> unit) * (unit -> result)
+
+(** [shortest_time ~nx ~nz ~slowness ~src ~dst] is the bent-ray travel
+    time between two cells (Dijkstra). Exposed for tests. *)
+val shortest_time :
+  nx:int -> nz:int -> slowness:float array -> src:int -> dst:int -> float
+
+(** Trace one straight ray through a slowness grid. Exposed for tests:
+    returns the travel time and invokes [cell] per traversed cell with the
+    segment length. *)
+val trace_ray :
+  nx:int ->
+  nz:int ->
+  slowness:float array ->
+  x0:float ->
+  z0:float ->
+  x1:float ->
+  z1:float ->
+  cell:(int -> float -> unit) ->
+  float

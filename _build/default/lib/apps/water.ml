@@ -1,0 +1,416 @@
+module R = Jade.Runtime
+
+type params = {
+  n : int;
+  iters : int;
+  box : float;
+  cutoff : float;
+  dt : float;
+  seed : int;
+}
+
+let paper_params =
+  { n = 1728; iters = 8; box = 24.0; cutoff = 6.0; dt = 0.0005; seed = 42 }
+
+let bench_params =
+  { n = 343; iters = 4; box = 14.0; cutoff = 4.5; dt = 0.0005; seed = 42 }
+
+let test_params =
+  { n = 48; iters = 2; box = 8.0; cutoff = 3.0; dt = 0.0005; seed = 42 }
+
+type result = { positions : float array; energy : float; force_norm : float }
+
+(* A flexible three-site water model: each molecule is an oxygen and two
+   hydrogens with harmonic intra-molecular bonds, partial charges on all
+   three sites (Coulomb interactions between all nine site pairs of a
+   molecule pair within the O-O cutoff) and a Lennard-Jones term on the
+   O-O pair — the structure of the original Water application.
+
+   The molecule-state object stores 12 doubles per molecule (the paper's
+   96-byte granularity: 1728 molecules -> 165,888 bytes): the three site
+   positions plus padding. Site velocities live in a separate object that
+   only the serial integration phase touches. *)
+let mol_stride = 12
+
+let sites = 3 (* O, H1, H2; site 0 is the oxygen *)
+
+let site_coords = sites * 3 (* 9 position slots per molecule *)
+
+let q_o = -0.82
+
+let q_h = 0.41
+
+let charge = [| q_o; q_h; q_h |]
+
+let lj_epsilon = 0.65
+
+let lj_sigma = 1.0
+
+let k_bond = 80.0 (* O-H harmonic stretch *)
+
+let r_oh = 0.9572
+
+let k_hh = 30.0 (* H-H harmonic (holds the bend angle) *)
+
+let r_hh = 1.5139
+
+let coulomb_k = 1.0
+
+let min_r2 = 0.25 (* soft floor to keep the synthetic dynamics stable *)
+
+(* Declared cost per molecule pair: nine charged site pairs (distance,
+   inverse-square, force scatter) plus the O-O Lennard-Jones term. *)
+let force_pair_flops = 300.0
+
+let energy_pair_flops = 200.0
+
+let intra_flops = 60.0 (* per molecule: three harmonic site pairs *)
+
+let integrate_flops = 25.0
+
+(* Deterministic initial lattice with jitter; hydrogens start at their
+   equilibrium geometry. *)
+let init_state p =
+  let g = Jade_sim.Srandom.create p.seed in
+  let state = Array.make (p.n * mol_stride) 0.0 in
+  let side = int_of_float (Float.ceil (Float.cbrt (float_of_int p.n))) in
+  let spacing = p.box /. float_of_int side in
+  for m = 0 to p.n - 1 do
+    let x = m mod side
+    and y = m / side mod side
+    and z = m / (side * side) in
+    let base = m * mol_stride in
+    let jitter () = Jade_sim.Srandom.float g 0.1 -. 0.05 in
+    let ox = ((float_of_int x +. 0.5) *. spacing) +. jitter () in
+    let oy = ((float_of_int y +. 0.5) *. spacing) +. jitter () in
+    let oz = ((float_of_int z +. 0.5) *. spacing) +. jitter () in
+    state.(base) <- ox;
+    state.(base + 1) <- oy;
+    state.(base + 2) <- oz;
+    (* H1 and H2 at the equilibrium geometry around the oxygen. *)
+    let hy = sqrt ((r_oh *. r_oh) -. (r_hh *. r_hh /. 4.0)) in
+    state.(base + 3) <- ox +. (r_hh /. 2.0);
+    state.(base + 4) <- oy +. hy;
+    state.(base + 5) <- oz;
+    state.(base + 6) <- ox -. (r_hh /. 2.0);
+    state.(base + 7) <- oy +. hy;
+    state.(base + 8) <- oz
+  done;
+  state
+
+let init_velocities p =
+  let g = Jade_sim.Srandom.create (p.seed + 1) in
+  Array.init (p.n * site_coords) (fun _ -> Jade_sim.Srandom.float g 0.02 -. 0.01)
+
+let min_image box d =
+  if d > box /. 2.0 then d -. box
+  else if d < -.(box /. 2.0) then d +. box
+  else d
+
+let site_pos state m s k = state.((m * mol_stride) + (s * 3) + k)
+
+(* Inter-molecular forces for molecules i = offset, offset + stride, ...
+   against all j > i (gated by the O-O cutoff), accumulated into [f]
+   (length n * 9). *)
+let pair_forces p state f ~stride ~offset =
+  let rc2 = p.cutoff *. p.cutoff in
+  let i = ref offset in
+  while !i < p.n do
+    for j = !i + 1 to p.n - 1 do
+      let dox = min_image p.box (site_pos state !i 0 0 -. site_pos state j 0 0) in
+      let doy = min_image p.box (site_pos state !i 0 1 -. site_pos state j 0 1) in
+      let doz = min_image p.box (site_pos state !i 0 2 -. site_pos state j 0 2) in
+      let ro2 = (dox *. dox) +. (doy *. doy) +. (doz *. doz) in
+      if ro2 < rc2 then begin
+        (* Coulomb on all nine site pairs. *)
+        for a = 0 to sites - 1 do
+          for b = 0 to sites - 1 do
+            let dx = min_image p.box (site_pos state !i a 0 -. site_pos state j b 0) in
+            let dy = min_image p.box (site_pos state !i a 1 -. site_pos state j b 1) in
+            let dz = min_image p.box (site_pos state !i a 2 -. site_pos state j b 2) in
+            let r2 = Float.max min_r2 ((dx *. dx) +. (dy *. dy) +. (dz *. dz)) in
+            let r = sqrt r2 in
+            let coef = coulomb_k *. charge.(a) *. charge.(b) /. (r2 *. r) in
+            let fi = ((!i * sites) + a) * 3 and fj = ((j * sites) + b) * 3 in
+            f.(fi) <- f.(fi) +. (coef *. dx);
+            f.(fi + 1) <- f.(fi + 1) +. (coef *. dy);
+            f.(fi + 2) <- f.(fi + 2) +. (coef *. dz);
+            f.(fj) <- f.(fj) -. (coef *. dx);
+            f.(fj + 1) <- f.(fj + 1) -. (coef *. dy);
+            f.(fj + 2) <- f.(fj + 2) -. (coef *. dz)
+          done
+        done;
+        (* Lennard-Jones on the O-O pair. *)
+        let r2 = Float.max min_r2 ro2 in
+        let s2 = lj_sigma *. lj_sigma /. r2 in
+        let s6 = s2 *. s2 *. s2 in
+        let coef = 24.0 *. lj_epsilon /. r2 *. s6 *. ((2.0 *. s6) -. 1.0) in
+        let fi = !i * sites * 3 and fj = j * sites * 3 in
+        f.(fi) <- f.(fi) +. (coef *. dox);
+        f.(fi + 1) <- f.(fi + 1) +. (coef *. doy);
+        f.(fi + 2) <- f.(fi + 2) +. (coef *. doz);
+        f.(fj) <- f.(fj) -. (coef *. dox);
+        f.(fj + 1) <- f.(fj + 1) -. (coef *. doy);
+        f.(fj + 2) <- f.(fj + 2) -. (coef *. doz)
+      end
+    done;
+    i := !i + stride
+  done
+
+(* Intra-molecular harmonic forces (O-H1, O-H2, H1-H2) for molecules
+   i = offset, offset + stride, ... *)
+let intra_forces p state f ~stride ~offset =
+  let spring a b k r0 m =
+    let dx = site_pos state m a 0 -. site_pos state m b 0 in
+    let dy = site_pos state m a 1 -. site_pos state m b 1 in
+    let dz = site_pos state m a 2 -. site_pos state m b 2 in
+    let r = Float.max 1e-6 (sqrt ((dx *. dx) +. (dy *. dy) +. (dz *. dz))) in
+    let coef = -.k *. (r -. r0) /. r in
+    let fa = ((m * sites) + a) * 3 and fb = ((m * sites) + b) * 3 in
+    f.(fa) <- f.(fa) +. (coef *. dx);
+    f.(fa + 1) <- f.(fa + 1) +. (coef *. dy);
+    f.(fa + 2) <- f.(fa + 2) +. (coef *. dz);
+    f.(fb) <- f.(fb) -. (coef *. dx);
+    f.(fb + 1) <- f.(fb + 1) -. (coef *. dy);
+    f.(fb + 2) <- f.(fb + 2) -. (coef *. dz)
+  in
+  let i = ref offset in
+  while !i < p.n do
+    spring 0 1 k_bond r_oh !i;
+    spring 0 2 k_bond r_oh !i;
+    spring 1 2 k_hh r_hh !i;
+    i := !i + stride
+  done
+
+(* Per-molecule potential energy (Coulomb + LJ inter, harmonic intra),
+   same striping. *)
+let pair_energy p state e ~stride ~offset =
+  let rc2 = p.cutoff *. p.cutoff in
+  let i = ref offset in
+  while !i < p.n do
+    for j = !i + 1 to p.n - 1 do
+      let dox = min_image p.box (site_pos state !i 0 0 -. site_pos state j 0 0) in
+      let doy = min_image p.box (site_pos state !i 0 1 -. site_pos state j 0 1) in
+      let doz = min_image p.box (site_pos state !i 0 2 -. site_pos state j 0 2) in
+      let ro2 = (dox *. dox) +. (doy *. doy) +. (doz *. doz) in
+      if ro2 < rc2 then begin
+        let pot = ref 0.0 in
+        for a = 0 to sites - 1 do
+          for b = 0 to sites - 1 do
+            let dx = min_image p.box (site_pos state !i a 0 -. site_pos state j b 0) in
+            let dy = min_image p.box (site_pos state !i a 1 -. site_pos state j b 1) in
+            let dz = min_image p.box (site_pos state !i a 2 -. site_pos state j b 2) in
+            let r2 = Float.max min_r2 ((dx *. dx) +. (dy *. dy) +. (dz *. dz)) in
+            pot := !pot +. (coulomb_k *. charge.(a) *. charge.(b) /. sqrt r2)
+          done
+        done;
+        let r2 = Float.max min_r2 ro2 in
+        let s2 = lj_sigma *. lj_sigma /. r2 in
+        let s6 = s2 *. s2 *. s2 in
+        pot := !pot +. (4.0 *. lj_epsilon *. s6 *. (s6 -. 1.0));
+        e.(!i) <- e.(!i) +. (!pot /. 2.0);
+        e.(j) <- e.(j) +. (!pot /. 2.0)
+      end
+    done;
+    (* Intra-molecular potential, owned entirely by molecule i. *)
+    let spring a b k r0 =
+      let dx = site_pos state !i a 0 -. site_pos state !i b 0 in
+      let dy = site_pos state !i a 1 -. site_pos state !i b 1 in
+      let dz = site_pos state !i a 2 -. site_pos state !i b 2 in
+      let r = sqrt ((dx *. dx) +. (dy *. dy) +. (dz *. dz)) in
+      0.5 *. k *. (r -. r0) *. (r -. r0)
+    in
+    e.(!i) <-
+      e.(!i) +. spring 0 1 k_bond r_oh +. spring 0 2 k_bond r_oh
+      +. spring 1 2 k_hh r_hh;
+    i := !i + stride
+  done
+
+(* Leapfrog step over all nine site coordinates; molecules are wrapped
+   into the box as rigid units (all sites shifted together) so the
+   intra-molecular geometry survives the periodic boundary. *)
+let integrate p state vel f =
+  for m = 0 to p.n - 1 do
+    for s = 0 to sites - 1 do
+      for k = 0 to 2 do
+        let idx = ((m * sites) + s) * 3 in
+        let v = vel.(idx + k) +. (f.(idx + k) *. p.dt) in
+        vel.(idx + k) <- v;
+        let pos_idx = (m * mol_stride) + (s * 3) + k in
+        state.(pos_idx) <- state.(pos_idx) +. (v *. p.dt)
+      done
+    done;
+    (* Wrap by the oxygen position. *)
+    for k = 0 to 2 do
+      let o = state.((m * mol_stride) + k) in
+      let shift =
+        if o < 0.0 then p.box else if o >= p.box then -.p.box else 0.0
+      in
+      if shift <> 0.0 then
+        for s = 0 to sites - 1 do
+          let idx = (m * mol_stride) + (s * 3) + k in
+          state.(idx) <- state.(idx) +. shift
+        done
+    done
+  done
+
+let pairs_for ~n ~stride ~offset =
+  let total = ref 0 in
+  let i = ref offset in
+  while !i < n do
+    total := !total + (n - 1 - !i);
+    i := !i + stride
+  done;
+  float_of_int !total
+
+let mols_for ~n ~stride ~offset =
+  let total = ref 0 in
+  let i = ref offset in
+  while !i < n do
+    incr total;
+    i := !i + stride
+  done;
+  float_of_int !total
+
+let force_task_work p ~stride ~offset =
+  (pairs_for ~n:p.n ~stride ~offset *. force_pair_flops)
+  +. (mols_for ~n:p.n ~stride ~offset *. intra_flops)
+
+let energy_task_work p ~stride ~offset =
+  (pairs_for ~n:p.n ~stride ~offset *. energy_pair_flops)
+  +. (mols_for ~n:p.n ~stride ~offset *. intra_flops)
+
+let force_norm f =
+  sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 f)
+
+let compute_all_forces p state =
+  let f = Array.make (site_coords * p.n) 0.0 in
+  pair_forces p state f ~stride:1 ~offset:0;
+  intra_forces p state f ~stride:1 ~offset:0;
+  f
+
+let initial_forces p = compute_all_forces p (init_state p)
+
+let oxygen_positions p state =
+  Array.init (3 * p.n) (fun i ->
+      let m = i / 3 and k = i mod 3 in
+      state.((m * mol_stride) + k))
+
+let serial p =
+  let state = init_state p in
+  let vel = init_velocities p in
+  let energy = ref 0.0 in
+  let flops = ref 0.0 in
+  let last_f = ref [||] in
+  for _ = 1 to p.iters do
+    let f = compute_all_forces p state in
+    integrate p state vel f;
+    last_f := f;
+    let e = Array.make p.n 0.0 in
+    pair_energy p state e ~stride:1 ~offset:0;
+    energy := !energy +. Array.fold_left ( +. ) 0.0 e;
+    flops :=
+      !flops
+      +. force_task_work p ~stride:1 ~offset:0
+      +. energy_task_work p ~stride:1 ~offset:0
+      +. (float_of_int p.n *. (integrate_flops +. 1.0))
+  done;
+  ( {
+      positions = oxygen_positions p state;
+      energy = !energy;
+      force_norm = force_norm !last_f;
+    },
+    !flops *. 1.08 (* the original serial code is slightly less tuned *) )
+
+let total_work p ~nprocs =
+  ignore nprocs;
+  float_of_int p.iters
+  *. (force_task_work p ~stride:1 ~offset:0
+     +. energy_task_work p ~stride:1 ~offset:0
+     +. (float_of_int p.n *. (integrate_flops +. 1.0)))
+
+let make p ~kind:_ ~placed:_ ~nprocs =
+  let result = ref None in
+  let program rt =
+    assert (R.nprocs rt = nprocs);
+    let state_obj =
+      R.create_object rt ~name:"molecule-state"
+        ~size:(8 * mol_stride * p.n)
+        (init_state p)
+    in
+    let vel_obj =
+      R.create_object rt ~name:"velocities"
+        ~size:(8 * site_coords * p.n)
+        (init_velocities p)
+    in
+    let forces =
+      App_common.replicate rt ~name:"force" ~copies:nprocs
+        ~len:(site_coords * p.n)
+    in
+    let energies = App_common.replicate rt ~name:"energy" ~copies:nprocs ~len:p.n in
+    let stats = R.create_object rt ~name:"stats" ~size:16 (Array.make 2 0.0) in
+    for _iter = 1 to p.iters do
+      (* Parallel phase 1: inter- and intra-molecular forces. *)
+      for t = 0 to nprocs - 1 do
+        let copy = forces.App_common.copies.(t) in
+        R.withonly rt
+          ~name:(Printf.sprintf "forces.%d" t)
+          ~work:(force_task_work p ~stride:nprocs ~offset:t)
+          ~accesses:(fun s ->
+            Jade.Spec.rw s copy;
+            Jade.Spec.rd s state_obj)
+          (fun env ->
+            let f = R.wr env copy and st = R.rd env state_obj in
+            Array.fill f 0 (Array.length f) 0.0;
+            pair_forces p st f ~stride:nprocs ~offset:t;
+            intra_forces p st f ~stride:nprocs ~offset:t)
+      done;
+      App_common.tree_reduce rt forces ~name:"forces";
+      (* Serial phase: integrate positions on the main processor. *)
+      R.withonly rt ~name:"integrate" ~placement:0
+        ~work:(float_of_int p.n *. integrate_flops)
+        ~accesses:(fun s ->
+          Jade.Spec.rw s state_obj;
+          Jade.Spec.rw s vel_obj;
+          Jade.Spec.rd s (App_common.comprehensive forces))
+        (fun env ->
+          let st = R.wr env state_obj
+          and vel = R.wr env vel_obj
+          and f = R.rd env (App_common.comprehensive forces) in
+          integrate p st vel f);
+      (* Parallel phase 2: potential energy. *)
+      for t = 0 to nprocs - 1 do
+        let copy = energies.App_common.copies.(t) in
+        R.withonly rt
+          ~name:(Printf.sprintf "energy.%d" t)
+          ~work:(energy_task_work p ~stride:nprocs ~offset:t)
+          ~accesses:(fun s ->
+            Jade.Spec.rw s copy;
+            Jade.Spec.rd s state_obj)
+          (fun env ->
+            let e = R.wr env copy and st = R.rd env state_obj in
+            Array.fill e 0 (Array.length e) 0.0;
+            pair_energy p st e ~stride:nprocs ~offset:t)
+      done;
+      App_common.tree_reduce rt energies ~name:"energy";
+      R.withonly rt ~name:"accumulate-energy" ~placement:0
+        ~work:(float_of_int p.n)
+        ~accesses:(fun s ->
+          Jade.Spec.rw s stats;
+          Jade.Spec.rd s (App_common.comprehensive energies))
+        (fun env ->
+          let st = R.wr env stats
+          and e = R.rd env (App_common.comprehensive energies) in
+          st.(0) <- st.(0) +. Array.fold_left ( +. ) 0.0 e)
+    done;
+    R.drain rt;
+    result :=
+      Some
+        {
+          positions = oxygen_positions p (Jade.Shared.data state_obj);
+          energy = (Jade.Shared.data stats).(0);
+          force_norm =
+            force_norm (Jade.Shared.data (App_common.comprehensive forces));
+        }
+  in
+  (program, fun () -> Option.get !result)

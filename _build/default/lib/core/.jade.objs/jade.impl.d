@@ -1,0 +1,1 @@
+lib/core/jade.ml: Access Communicator Config Meta Metrics Protocol Runtime Scheduler_mp Scheduler_shm Shared Shm_model Spec Synchronizer Taskrec Tracing

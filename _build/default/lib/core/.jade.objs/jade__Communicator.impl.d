@@ -1,0 +1,1 @@
+lib/core/communicator.ml: Array Config Costs Engine Fabric Hashtbl Ivar Jade_machines Jade_net Jade_sim List Meta Metrics Mnode Printf Protocol Taskrec

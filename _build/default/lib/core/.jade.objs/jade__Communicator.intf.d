@@ -1,0 +1,1 @@
+lib/core/communicator.mli: Config Jade_machines Jade_net Jade_sim Meta Metrics Protocol Taskrec

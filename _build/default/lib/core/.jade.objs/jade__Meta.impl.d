@@ -1,0 +1,1 @@
+lib/core/meta.ml: Array

@@ -1,0 +1,1 @@
+lib/core/scheduler_mp.ml: Array Config Deque Jade_sim List Meta Taskrec

@@ -1,0 +1,1 @@
+lib/core/scheduler_mp.mli: Config Taskrec

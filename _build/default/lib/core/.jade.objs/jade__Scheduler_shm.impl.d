@@ -1,0 +1,1 @@
+lib/core/scheduler_shm.ml: Array Config Deque Hashtbl Jade_sim List Meta Taskrec

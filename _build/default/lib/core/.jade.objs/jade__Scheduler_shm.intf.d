@@ -1,0 +1,1 @@
+lib/core/scheduler_shm.mli: Config Taskrec

@@ -1,0 +1,1 @@
+lib/core/shm_model.ml: Access Array Hashtbl Jade_machines Meta Queue Taskrec

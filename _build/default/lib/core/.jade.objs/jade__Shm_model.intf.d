@@ -1,0 +1,1 @@
+lib/core/shm_model.mli: Jade_machines Taskrec

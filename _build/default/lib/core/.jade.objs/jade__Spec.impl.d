@@ -1,0 +1,1 @@
+lib/core/spec.ml: Access Array List Meta Shared

@@ -1,0 +1,1 @@
+lib/core/synchronizer.ml: Access Array Deque Hashtbl Jade_sim Meta Printf Taskrec

@@ -1,0 +1,1 @@
+lib/core/synchronizer.mli: Meta Taskrec

@@ -1,0 +1,1 @@
+lib/core/taskrec.ml: Access Array Jade_sim Meta

@@ -1,0 +1,1 @@
+lib/core/tracing.ml: Buffer List Printf String Taskrec

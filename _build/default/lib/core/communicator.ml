@@ -1,0 +1,211 @@
+open Jade_sim
+open Jade_machines
+open Jade_net
+
+type pending = {
+  version : int;
+  ivar : unit Ivar.t;
+  mutable arrived_at : float;  (** -1 until the copy is installed *)
+}
+
+type t = {
+  eng : Engine.t;
+  cfg : Config.t;
+  costs : Costs.mp;
+  nodes : Mnode.t array;
+  fabric : Protocol.t Fabric.t;
+  metrics : Metrics.t;
+  nprocs : int;
+  pending : (int * int, pending) Hashtbl.t;  (** (object id, proc) -> fetch *)
+}
+
+let create eng ~cfg ~costs ~nodes ~fabric ~metrics =
+  {
+    eng;
+    cfg;
+    costs;
+    nodes;
+    fabric;
+    metrics;
+    nprocs = Array.length nodes;
+    pending = Hashtbl.create 64;
+  }
+
+let key (meta : Meta.t) proc = (meta.Meta.id, proc)
+
+(* Issue a request message for (meta, version) on behalf of [proc]; dedups
+   against an in-flight fetch of the same (or newer) version. Returns the
+   pending record to wait on. *)
+let issue t (meta : Meta.t) ~version ~proc =
+  match Hashtbl.find_opt t.pending (key meta proc) with
+  | Some p when p.version >= version -> p
+  | _ ->
+      let p = { version; ivar = Ivar.create (); arrived_at = -1.0 } in
+      Hashtbl.replace t.pending (key meta proc) p;
+      t.metrics.Metrics.object_fetches <- t.metrics.Metrics.object_fetches + 1;
+      meta.Meta.fetch_count <- meta.Meta.fetch_count + 1;
+      let now = Engine.now t.eng in
+      Fabric.post t.fabric ~src:proc ~dst:meta.Meta.owner
+        ~size:t.costs.Costs.small_msg ~tag:"request"
+        (Protocol.Request { meta; version; requester = proc; sent_at = now });
+      p
+
+(* A copy of [version] is now present on [proc] (reply or broadcast). *)
+let installed t (meta : Meta.t) ~version ~proc =
+  Meta.install_copy meta ~proc ~version;
+  match Hashtbl.find_opt t.pending (key meta proc) with
+  | Some p when p.version <= version ->
+      if not (Ivar.is_full p.ivar) then begin
+        p.arrived_at <- Engine.now t.eng;
+        Ivar.fill t.eng p.ivar ()
+      end
+  | _ -> ()
+
+let handle t (msg : Protocol.t Fabric.msg) =
+  match msg.Fabric.body with
+  | Protocol.Request { meta; version; requester; sent_at } ->
+      (* We are the owner: record the requester for the adaptive-broadcast
+         detector and reply with the object. *)
+      if Meta.note_access meta requester && t.cfg.Config.adaptive_broadcast
+      then meta.Meta.broadcast_mode <- true;
+      Fabric.post t.fabric ~src:msg.Fabric.dst ~dst:requester
+        ~size:meta.Meta.size ~tag:"object"
+        (Protocol.Obj { meta; version; sent_at })
+  | Protocol.Obj { meta; version; sent_at } ->
+      t.metrics.Metrics.comm_bytes <-
+        t.metrics.Metrics.comm_bytes +. float_of_int meta.Meta.size;
+      t.metrics.Metrics.object_latency <-
+        t.metrics.Metrics.object_latency +. (Engine.now t.eng -. sent_at);
+      installed t meta ~version ~proc:msg.Fabric.dst
+  | Protocol.Bcast { meta; version } | Protocol.Eager { meta; version } ->
+      t.metrics.Metrics.comm_bytes <-
+        t.metrics.Metrics.comm_bytes +. float_of_int meta.Meta.size;
+      installed t meta ~version ~proc:msg.Fabric.dst
+  | Protocol.Assign _ | Protocol.Done _ ->
+      invalid_arg "Communicator.handle: not a communicator message"
+
+let remote_slots (task : Taskrec.t) ~proc =
+  let acc = ref [] in
+  Array.iteri
+    (fun slot ((meta : Meta.t), _) ->
+      let version = task.Taskrec.required.(slot) in
+      if not (Meta.holds_version meta ~proc ~version) then
+        acc := (meta, version) :: !acc)
+    task.Taskrec.spec;
+  List.rev !acc
+
+let prefetch t (task : Taskrec.t) ~proc =
+  if (not t.cfg.Config.work_free) && t.cfg.Config.concurrent_fetch then begin
+    let remote = remote_slots task ~proc in
+    if remote <> [] && task.Taskrec.fetch_start < 0.0 then
+      task.Taskrec.fetch_start <- Engine.now t.eng;
+    List.iter (fun (meta, version) -> ignore (issue t meta ~version ~proc)) remote
+  end
+
+let ensure_local t (task : Taskrec.t) ~proc =
+  if not t.cfg.Config.work_free then begin
+    let remote = remote_slots task ~proc in
+    let last_arrival = ref (-1.0) in
+    let wait_one (meta, version) =
+      (* May already have arrived between prefetch and now. *)
+      if not (Meta.holds_version meta ~proc ~version) then begin
+        if task.Taskrec.fetch_start < 0.0 then
+          task.Taskrec.fetch_start <- Engine.now t.eng;
+        let p = issue t meta ~version ~proc in
+        Ivar.read t.eng p.ivar;
+        if p.arrived_at > !last_arrival then last_arrival := p.arrived_at
+      end
+      else begin
+        (* Arrived while we were waiting elsewhere: count its arrival. *)
+        match Hashtbl.find_opt t.pending (key meta proc) with
+        | Some p when p.arrived_at > !last_arrival -> last_arrival := p.arrived_at
+        | _ -> ()
+      end
+    in
+    (* With concurrent fetch, [prefetch] already issued every request and
+       we only wait; without it, [wait_one] issues each request and awaits
+       its arrival before moving to the next object — serial fetches. *)
+    List.iter wait_one remote;
+    if task.Taskrec.fetch_start >= 0.0 then begin
+      task.Taskrec.fetch_end <-
+        (if !last_arrival >= 0.0 then !last_arrival else Engine.now t.eng);
+      t.metrics.Metrics.task_latency <-
+        t.metrics.Metrics.task_latency
+        +. (task.Taskrec.fetch_end -. task.Taskrec.fetch_start);
+      t.metrics.Metrics.tasks_with_fetch <-
+        t.metrics.Metrics.tasks_with_fetch + 1
+    end
+  end
+
+(* The protocol invariant behind the whole message-passing design: when a
+   task starts, its processor holds the required version of every declared
+   object. [ensure_local] establishes it; this check catches protocol bugs
+   rather than letting them corrupt results silently. *)
+let assert_coherent t (task : Taskrec.t) ~proc =
+  if not t.cfg.Config.work_free then
+    Array.iteri
+      (fun slot ((meta : Meta.t), _) ->
+        let version = task.Taskrec.required.(slot) in
+        if not (Meta.holds_version meta ~proc ~version) then
+          failwith
+            (Printf.sprintf
+               "coherence violation: task %s on processor %d needs %s@v%d \
+                but holds v%d"
+               task.Taskrec.tname proc meta.Meta.name version
+               meta.Meta.copies.(proc)))
+      task.Taskrec.spec
+
+let note_accesses t (task : Taskrec.t) ~proc =
+  if not t.cfg.Config.work_free then
+    Array.iter
+      (fun ((meta : Meta.t), _) ->
+        if Meta.note_access meta proc && t.cfg.Config.adaptive_broadcast then
+          meta.Meta.broadcast_mode <- true)
+      task.Taskrec.spec
+
+(* Update-protocol variant (§6): push the committed version to every
+   processor that accessed the previous one. *)
+let eager_push t (meta : Meta.t) =
+  let version = meta.Meta.committed in
+  Array.iteri
+    (fun q used ->
+      if used && q <> meta.Meta.owner
+         && not (Meta.holds_version meta ~proc:q ~version)
+      then begin
+        t.metrics.Metrics.eager_transfers <-
+          t.metrics.Metrics.eager_transfers + 1;
+        Fabric.post t.fabric ~src:meta.Meta.owner ~dst:q ~size:meta.Meta.size
+          ~tag:"eager"
+          (Protocol.Eager { meta; version })
+      end)
+    meta.Meta.prev_accessed
+
+let on_write_commit t (meta : Meta.t) (task : Taskrec.t) =
+  ignore task;
+  if (not t.cfg.Config.work_free) && t.cfg.Config.eager_transfer then
+    eager_push t meta;
+  if
+    (not t.cfg.Config.work_free)
+    && t.cfg.Config.adaptive_broadcast && meta.Meta.broadcast_mode
+  then begin
+    let version = meta.Meta.committed in
+    t.metrics.Metrics.broadcasts <- t.metrics.Metrics.broadcasts + 1;
+    meta.Meta.broadcast_count <- meta.Meta.broadcast_count + 1;
+    t.metrics.Metrics.broadcast_bytes <-
+      t.metrics.Metrics.broadcast_bytes
+      +. float_of_int (meta.Meta.size * (t.nprocs - 1));
+    (* Protocol cost on the owner, paid even in the degenerate
+       single-processor case (§5.3): the owner still marshals the object
+       for a broadcast that reaches nobody, which is what degrades the
+       1-processor Ocean and Panel Cholesky runs in tables 13 and 14. *)
+    let marshal =
+      if t.nprocs = 1 then
+        float_of_int meta.Meta.size /. t.costs.Costs.marshal_bandwidth
+      else 0.0
+    in
+    ignore
+      (Mnode.charge t.nodes.(meta.Meta.owner)
+         (t.costs.Costs.broadcast_setup +. marshal));
+    Fabric.broadcast t.fabric ~src:meta.Meta.owner ~size:meta.Meta.size
+      ~tag:"bcast" (fun _dst -> Protocol.Bcast { meta; version })
+  end

@@ -1,0 +1,44 @@
+(** The message-passing communicator (§3.3–3.4): implements the single
+    address space in software. Before a processor executes a task, the
+    communicator ensures its memory holds the required version of every
+    declared object, fetching remote objects with request/reply message
+    pairs. It implements replication (copies are installed per processor),
+    concurrent fetches, and the adaptive broadcast algorithm. *)
+
+type t
+
+val create :
+  Jade_sim.Engine.t ->
+  cfg:Config.t ->
+  costs:Jade_machines.Costs.mp ->
+  nodes:Jade_machines.Mnode.t array ->
+  fabric:Protocol.t Jade_net.Fabric.t ->
+  metrics:Metrics.t ->
+  t
+
+(** Handle a [Request], [Obj] or [Bcast] message (interrupt context).
+    Raises on other message kinds. *)
+val handle : t -> Protocol.t Jade_net.Fabric.msg -> unit
+
+(** Issue requests for all of the task's remote objects (interrupt
+    context, called when an assignment arrives). Only acts when the
+    concurrent-fetch optimization is on. *)
+val prefetch : t -> Taskrec.t -> proc:int -> unit
+
+(** Block the calling process until all objects the task declared are held
+    locally at the required versions. With concurrent fetch off, objects
+    are requested and awaited one at a time. Records per-task fetch-window
+    latency. *)
+val ensure_local : t -> Taskrec.t -> proc:int -> unit
+
+(** Check the protocol invariant: [proc] holds the required version of
+    every object the task declared. Raises [Failure] on violation. *)
+val assert_coherent : t -> Taskrec.t -> proc:int -> unit
+
+(** Record that the task's accesses happened on [proc] (feeds the
+    adaptive-broadcast detector). *)
+val note_accesses : t -> Taskrec.t -> proc:int -> unit
+
+(** A writer committed a new version: if the object is in broadcast mode,
+    broadcast the new version to all processors. *)
+val on_write_commit : t -> Meta.t -> Taskrec.t -> unit

@@ -1,0 +1,35 @@
+type locality_level = No_locality | Locality | Task_placement
+
+type t = {
+  locality : locality_level;
+  adaptive_broadcast : bool;
+  concurrent_fetch : bool;
+  target_tasks : int;
+  replication : bool;
+  work_free : bool;
+  eager_transfer : bool;
+}
+
+let default =
+  {
+    locality = Locality;
+    adaptive_broadcast = true;
+    concurrent_fetch = true;
+    target_tasks = 1;
+    replication = true;
+    work_free = false;
+    eager_transfer = false;
+  }
+
+let locality_to_string = function
+  | No_locality -> "no-locality"
+  | Locality -> "locality"
+  | Task_placement -> "task-placement"
+
+let pp fmt t =
+  Format.fprintf fmt
+    "{locality=%s; broadcast=%b; concurrent-fetch=%b; target-tasks=%d; \
+     replication=%b; work-free=%b; eager=%b}"
+    (locality_to_string t.locality)
+    t.adaptive_broadcast t.concurrent_fetch t.target_tasks t.replication
+    t.work_free t.eager_transfer

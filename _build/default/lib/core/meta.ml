@@ -1,0 +1,82 @@
+(** Shared-object metadata. One value per shared object, tracking ownership,
+    versions and per-processor copies — the state the message-passing
+    communicator and the adaptive-broadcast detector operate on.
+
+    Versions count committed writers: version 0 is the initial contents
+    (produced by allocation on the home processor), and each completing
+    writer task bumps the committed version by one. *)
+
+type t = {
+  id : int;
+  name : string;
+  size : int;  (** bytes *)
+  home : int;  (** allocation home: DASH memory module / initial MP owner *)
+  nprocs : int;
+  mutable owner : int;  (** last processor to write the object *)
+  mutable committed : int;  (** latest committed version *)
+  mutable writers_created : int;
+      (** versions already promised to created (not necessarily completed)
+          writer tasks; used to compute required versions in serial order *)
+  copies : int array;  (** per-processor held version; -1 = no copy *)
+  accessed : bool array;  (** processors that accessed the current version *)
+  prev_accessed : bool array;
+      (** snapshot of [accessed] for the previous version — the likely
+          consumers an eager update protocol sends new versions to *)
+  mutable accessed_count : int;
+  mutable broadcast_mode : bool;
+  mutable fetch_count : int;  (** remote fetches of this object (stats) *)
+  mutable broadcast_count : int;
+}
+
+let create ~id ~name ~size ~home ~nprocs =
+  if home < 0 || home >= nprocs then invalid_arg "Meta.create: bad home";
+  if size <= 0 then invalid_arg "Meta.create: size must be positive";
+  let copies = Array.make nprocs (-1) in
+  copies.(home) <- 0;
+  let accessed = Array.make nprocs false in
+  accessed.(home) <- true;
+  let prev_accessed = Array.make nprocs false in
+  {
+    id;
+    name;
+    size;
+    home;
+    nprocs;
+    owner = home;
+    committed = 0;
+    writers_created = 0;
+    copies;
+    accessed;
+    prev_accessed;
+    accessed_count = 1;
+    broadcast_mode = false;
+    fetch_count = 0;
+    broadcast_count = 0;
+  }
+
+(** Record that processor [p] accessed the current version; returns [true]
+    if this access completes the set (all processors have now accessed the
+    same version), the adaptive-broadcast trigger. *)
+let note_access t p =
+  if not t.accessed.(p) then begin
+    t.accessed.(p) <- true;
+    t.accessed_count <- t.accessed_count + 1
+  end;
+  t.accessed_count = t.nprocs
+
+(** A writer on processor [p] committed [version]: ownership moves, the
+    accessed set resets to the writer. *)
+let commit_write t ~proc ~version =
+  if version <= t.committed then invalid_arg "Meta.commit_write: stale version";
+  t.committed <- version;
+  t.owner <- proc;
+  t.copies.(proc) <- version;
+  Array.blit t.accessed 0 t.prev_accessed 0 t.nprocs;
+  Array.fill t.accessed 0 t.nprocs false;
+  t.accessed.(proc) <- true;
+  t.accessed_count <- 1
+
+let holds_version t ~proc ~version = t.copies.(proc) >= version
+
+let install_copy t ~proc ~version =
+  if t.copies.(proc) < version then t.copies.(proc) <- version

@@ -1,0 +1,107 @@
+(** Run metrics: everything §5 of the paper measures.
+
+    A [t] is mutated during a run; {!summary} snapshots the derived
+    quantities (task locality percentage, communication-to-computation
+    ratio, ...) once the run finishes. *)
+
+type t = {
+  mutable tasks_created : int;
+  mutable tasks_executed : int;
+  mutable tasks_on_target : int;
+  mutable total_task_time : float;
+      (** DASH: task execution time including communication (the paper's
+          "time in application code"); iPSC: compute time only *)
+  mutable total_compute_time : float;
+  mutable total_comm_time : float;  (** DASH: remote-access stall time *)
+  mutable comm_bytes : float;  (** iPSC: bytes of object-transfer messages *)
+  mutable messages : int;
+  mutable object_fetches : int;
+  mutable object_latency : float;
+      (** sum over object requests of (arrival - request) *)
+  mutable task_latency : float;
+      (** sum over tasks of (last object arrival - first request) *)
+  mutable tasks_with_fetch : int;
+  mutable broadcasts : int;
+  mutable broadcast_bytes : float;
+  mutable eager_transfers : int;
+  mutable steals : int;
+  mutable elapsed : float;  (** virtual completion time of the run *)
+}
+
+let create () =
+  {
+    tasks_created = 0;
+    tasks_executed = 0;
+    tasks_on_target = 0;
+    total_task_time = 0.0;
+    total_compute_time = 0.0;
+    total_comm_time = 0.0;
+    comm_bytes = 0.0;
+    messages = 0;
+    object_fetches = 0;
+    object_latency = 0.0;
+    task_latency = 0.0;
+    tasks_with_fetch = 0;
+    broadcasts = 0;
+    broadcast_bytes = 0.0;
+    eager_transfers = 0;
+    steals = 0;
+    elapsed = 0.0;
+  }
+
+type summary = {
+  tasks : int;
+  elapsed_s : float;
+  locality_pct : float;  (** tasks executed on their target processor, % *)
+  task_time_s : float;
+  compute_time_s : float;
+  comm_time_s : float;
+  comm_mbytes : float;
+  comm_to_comp : float;  (** Mbytes of communication per second of task time *)
+  msg_count : int;
+  fetches : int;
+  object_latency_s : float;
+  task_latency_s : float;
+  latency_ratio : float;  (** object latency / task latency; ~1 = no overlap *)
+  broadcast_count : int;
+  eager_count : int;
+  steal_count : int;
+}
+
+let summary m =
+  let pct =
+    if m.tasks_executed = 0 then 100.0
+    else 100.0 *. float_of_int m.tasks_on_target /. float_of_int m.tasks_executed
+  in
+  let ratio =
+    if m.total_task_time <= 0.0 then 0.0
+    else m.comm_bytes /. 1.0e6 /. m.total_task_time
+  in
+  let lat_ratio =
+    if m.task_latency <= 0.0 then 1.0 else m.object_latency /. m.task_latency
+  in
+  {
+    tasks = m.tasks_executed;
+    elapsed_s = m.elapsed;
+    locality_pct = pct;
+    task_time_s = m.total_task_time;
+    compute_time_s = m.total_compute_time;
+    comm_time_s = m.total_comm_time;
+    comm_mbytes = m.comm_bytes /. 1.0e6;
+    comm_to_comp = ratio;
+    msg_count = m.messages;
+    fetches = m.object_fetches;
+    object_latency_s = m.object_latency;
+    task_latency_s = m.task_latency;
+    latency_ratio = lat_ratio;
+    broadcast_count = m.broadcasts;
+    eager_count = m.eager_transfers;
+    steal_count = m.steals;
+  }
+
+let pp_summary fmt s =
+  Format.fprintf fmt
+    "elapsed=%.4fs tasks=%d locality=%.1f%% task-time=%.3fs comm=%.3fMB \
+     ratio=%.3f msgs=%d bcasts=%d steals=%d"
+    s.elapsed_s s.tasks s.locality_pct s.task_time_s s.comm_mbytes
+    s.comm_to_comp s.msg_count s.broadcast_count s.steal_count

@@ -1,0 +1,23 @@
+(** Wire protocol of the message-passing implementation. One variant per
+    message kind; the fabric carries these as payloads. *)
+
+type t =
+  | Assign of Taskrec.t  (** main -> executor: here is a task *)
+  | Request of { meta : Meta.t; version : int; requester : int; sent_at : float }
+      (** executor -> owner: send me this version *)
+  | Obj of { meta : Meta.t; version : int; sent_at : float }
+      (** owner -> executor: the object data *)
+  | Bcast of { meta : Meta.t; version : int }
+      (** owner -> everyone: adaptive broadcast of a new version *)
+  | Eager of { meta : Meta.t; version : int }
+      (** owner -> previous consumers: eager update-protocol transfer *)
+  | Done of { task : Taskrec.t; proc : int }
+      (** executor -> main: completion notification *)
+
+let tag = function
+  | Assign _ -> "assign"
+  | Request _ -> "request"
+  | Obj _ -> "object"
+  | Bcast _ -> "bcast"
+  | Eager _ -> "eager"
+  | Done _ -> "done"

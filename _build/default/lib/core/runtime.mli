@@ -1,0 +1,118 @@
+(** The Jade runtime: public API for writing Jade programs, plus the
+    machinery that executes them on a simulated machine.
+
+    A Jade program is a function [t -> unit] that allocates shared objects
+    ({!create_object}) and decomposes its computation into tasks
+    ({!withonly}). {!run} executes it on a simulated DASH or iPSC/860 with
+    a given number of processors and optimization configuration, and
+    returns the run's metrics.
+
+    Task bodies access shared-object payloads through {!rd} / {!wr}, which
+    check the access against the task's declaration and raise
+    {!Access_violation} on undeclared accesses — the dynamic check the Jade
+    implementation performs. *)
+
+type machine =
+  | Dash of Jade_machines.Costs.shm
+  | Ipsc of Jade_machines.Costs.mp
+  | Lan of Jade_machines.Costs.mp
+      (** heterogeneous workstations on a shared-medium LAN — the third
+          platform the paper mentions; an extension beyond its measured
+          machines *)
+
+(** Convenience constructors with the default cost calibration. *)
+val dash : machine
+
+val ipsc860 : machine
+
+val lan : machine
+
+type t
+
+(** Execution context passed to task bodies. *)
+type env
+
+exception Access_violation of string
+
+(** [run ?config ?trace ~machine ~nprocs main] executes the Jade program
+    [main]. Returns the metrics summary of the run. [trace], when given,
+    collects per-task lifecycle events (see {!Tracing}). Raises [Failure]
+    if the program deadlocks (some task can never be enabled). *)
+val run :
+  ?config:Config.t ->
+  ?trace:Tracing.t ->
+  machine:machine ->
+  nprocs:int ->
+  (t -> unit) ->
+  Metrics.summary
+
+(** Like {!run} but also exposes the raw metrics and the runtime to a
+    post-run inspection function. *)
+val run_with :
+  ?config:Config.t ->
+  ?trace:Tracing.t ->
+  machine:machine ->
+  nprocs:int ->
+  (t -> unit) ->
+  inspect:(t -> Metrics.t -> 'a) ->
+  Metrics.summary * 'a
+
+val nprocs : t -> int
+
+val config : t -> Config.t
+
+(** Virtual time inside a running program. *)
+val now : t -> float
+
+(** [create_object t ?home ~name ~size data] allocates a shared object of
+    [size] bytes whose payload is [data]. [home] is the processor in whose
+    memory it is allocated (default 0, the main processor). *)
+val create_object :
+  t -> ?home:int -> name:string -> size:int -> 'a -> 'a Shared.t
+
+(** [withonly t ?placement ?wait ~name ~work ~accesses body] creates a
+    task. [accesses] runs immediately to build the access specification
+    (the first declared object is the locality object); [body] runs when
+    the task executes. [work] is the task's computation in flops.
+    [placement] pins the task to a processor (the paper's explicit task
+    placement). [wait] blocks the caller until the task completes — used
+    for serial phases. *)
+val withonly :
+  t ->
+  ?placement:int ->
+  ?wait:bool ->
+  name:string ->
+  work:float ->
+  accesses:(Spec.t -> unit) ->
+  (env -> unit) ->
+  unit
+
+(** Checked payload access for task bodies. *)
+val rd : env -> 'a Shared.t -> 'a
+
+val wr : env -> 'a Shared.t -> 'a
+
+(** Processor the task is executing on. *)
+val env_proc : env -> int
+
+(** [work env flops] charges part of the task's declared computation at
+    the current point of the body, advancing virtual time. Anything not
+    charged through [work] is charged when the body returns; use it
+    together with {!release} to expose pipeline concurrency inside a
+    task. *)
+val work : env -> float -> unit
+
+(** [release env obj] — Jade's advanced access-specification statements
+    (§2): the running task declares it will no longer access [obj]. Its
+    write (if any) commits immediately and successor tasks may start
+    before this task completes. Subsequent {!rd}/{!wr} of [obj] in this
+    task raise {!Access_violation}. *)
+val release : env -> 'a Shared.t -> unit
+
+(** Wait until every task created so far has completed (a join point for
+    examples; the paper's programs synchronize through data instead). *)
+val drain : t -> unit
+
+(** Seconds of work processor [p] executed during the run (available from
+    [run_with]'s inspect hook). *)
+val node_busy : t -> int -> float

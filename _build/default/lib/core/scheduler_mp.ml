@@ -1,0 +1,96 @@
+open Jade_sim
+
+type t = {
+  cfg : Config.t;
+  nprocs : int;
+  loads : int array;
+  pool : Taskrec.t Deque.t;
+}
+
+let create cfg ~nprocs =
+  { cfg; nprocs; loads = Array.make nprocs 0; pool = Deque.create () }
+
+let set_target _t (task : Taskrec.t) =
+  let target =
+    match task.Taskrec.placement with
+    | Some p -> p
+    | None -> (
+        match Taskrec.locality_object task with
+        | Some meta -> meta.Meta.owner
+        | None -> 0)
+  in
+  task.Taskrec.target <- target
+
+let min_load t =
+  Array.fold_left (fun acc l -> if l < acc then l else acc) max_int t.loads
+
+let least_loaded t =
+  let m = min_load t in
+  let rec go p acc =
+    if p < 0 then acc else go (p - 1) (if t.loads.(p) = m then p :: acc else acc)
+  in
+  (m, go (t.nprocs - 1) [])
+
+let assign t p =
+  t.loads.(p) <- t.loads.(p) + 1;
+  `Assign p
+
+let on_enabled t (task : Taskrec.t) =
+  set_target t task;
+  match task.Taskrec.placement with
+  | Some p ->
+      (* Explicitly placed tasks are sent straight to their processor. *)
+      assign t p
+  | None -> (
+      match t.cfg.Config.locality with
+      | Config.No_locality -> (
+          (* Single queue at the main processor, FCFS to idle processors. *)
+          let m, least = least_loaded t in
+          match least with
+          | p :: _ when m = 0 -> assign t p
+          | _ ->
+              Deque.push_back t.pool task;
+              `Pooled)
+      | Config.Locality | Config.Task_placement -> (
+          let m, least = least_loaded t in
+          if m < t.cfg.Config.target_tasks then
+            let p =
+              if List.mem task.Taskrec.target least then task.Taskrec.target
+              else match least with p :: _ -> p | [] -> assert false
+            in
+            assign t p
+          else begin
+            Deque.push_back t.pool task;
+            `Pooled
+          end))
+
+let on_completed t ~proc =
+  t.loads.(proc) <- t.loads.(proc) - 1;
+  if t.loads.(proc) < 0 then invalid_arg "Scheduler_mp.on_completed: negative load";
+  let handed = ref [] in
+  let target_count =
+    match t.cfg.Config.locality with
+    | Config.No_locality -> 1
+    | _ -> t.cfg.Config.target_tasks
+  in
+  let continue = ref true in
+  while !continue && t.loads.(proc) < target_count do
+    (* Prefer a pooled task whose target processor is [proc]. *)
+    let pick =
+      match
+        Deque.remove_first t.pool (fun task -> task.Taskrec.target = proc)
+      with
+      | Some task -> Some task
+      | None -> Deque.pop_front t.pool
+    in
+    match pick with
+    | Some task ->
+        t.loads.(proc) <- t.loads.(proc) + 1;
+        handed := task :: !handed
+    | None -> continue := false
+  done;
+  List.rev !handed
+
+let load t p = t.loads.(p)
+
+let pooled t = Deque.length t.pool

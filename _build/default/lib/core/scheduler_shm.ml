@@ -1,0 +1,161 @@
+open Jade_sim
+
+type otq = {
+  obj_id : int;
+  tasks : Taskrec.t Deque.t;
+  mutable linked : bool;  (** currently a member of some processor queue *)
+}
+
+type t = {
+  cfg : Config.t;
+  nprocs : int;
+  cluster_size : int;
+  proc_queues : otq Deque.t array;  (** queue of object task queues *)
+  otqs : (int, otq) Hashtbl.t;  (** object id -> its object task queue *)
+  shared : Taskrec.t Deque.t;  (** No_locality: single FCFS queue *)
+  placed : Taskrec.t Deque.t array;  (** Task_placement: pinned tasks *)
+  mutable steal_count : int;
+  mutable queued_count : int;
+}
+
+let create ?(cluster_size = 1) cfg ~nprocs =
+  if cluster_size < 1 then invalid_arg "Scheduler_shm.create: bad cluster size";
+  {
+    cfg;
+    nprocs;
+    cluster_size;
+    proc_queues = Array.init nprocs (fun _ -> Deque.create ());
+    otqs = Hashtbl.create 64;
+    shared = Deque.create ();
+    placed = Array.init nprocs (fun _ -> Deque.create ());
+    steal_count = 0;
+    queued_count = 0;
+  }
+
+let target_of _t (task : Taskrec.t) =
+  match task.Taskrec.placement with
+  | Some p -> p
+  | None -> (
+      match Taskrec.locality_object task with
+      | Some meta -> meta.Meta.home
+      | None -> 0)
+
+let otq_of t (meta : Meta.t) =
+  match Hashtbl.find_opt t.otqs meta.Meta.id with
+  | Some q -> q
+  | None ->
+      let q = { obj_id = meta.Meta.id; tasks = Deque.create (); linked = false } in
+      Hashtbl.add t.otqs meta.Meta.id q;
+      q
+
+let enqueue_locality t (task : Taskrec.t) =
+  let owner_queue, otq =
+    match Taskrec.locality_object task with
+    | Some meta -> (t.proc_queues.(meta.Meta.home), otq_of t meta)
+    | None ->
+        (* Objectless tasks live in a pseudo object queue on processor 0. *)
+        let q =
+          match Hashtbl.find_opt t.otqs (-1) with
+          | Some q -> q
+          | None ->
+              let q = { obj_id = -1; tasks = Deque.create (); linked = false } in
+              Hashtbl.add t.otqs (-1) q;
+              q
+        in
+        (t.proc_queues.(0), q)
+  in
+  Deque.push_back otq.tasks task;
+  if not otq.linked then begin
+    otq.linked <- true;
+    Deque.push_back owner_queue otq
+  end
+
+let enqueue t (task : Taskrec.t) =
+  task.Taskrec.target <- target_of t task;
+  t.queued_count <- t.queued_count + 1;
+  match (t.cfg.Config.locality, task.Taskrec.placement) with
+  | _, Some p -> Deque.push_back t.placed.(p) task
+  | Config.No_locality, None -> Deque.push_back t.shared task
+  | (Config.Locality | Config.Task_placement), None -> enqueue_locality t task
+
+(* Pop the first task of the first (non-empty) object task queue. *)
+let rec pop_local t proc =
+  match Deque.peek_front t.proc_queues.(proc) with
+  | None -> None
+  | Some otq -> (
+      match Deque.pop_front otq.tasks with
+      | None ->
+          (* Emptied by steals: unlink and keep looking. *)
+          ignore (Deque.pop_front t.proc_queues.(proc));
+          otq.linked <- false;
+          pop_local t proc
+      | Some task ->
+          if Deque.is_empty otq.tasks then begin
+            ignore (Deque.pop_front t.proc_queues.(proc));
+            otq.linked <- false
+          end;
+          Some task)
+
+(* Steal the last task of the last object task queue of [victim]. *)
+let rec steal_from t victim =
+  match Deque.peek_back t.proc_queues.(victim) with
+  | None -> None
+  | Some otq -> (
+      match Deque.pop_back otq.tasks with
+      | None ->
+          ignore (Deque.pop_back t.proc_queues.(victim));
+          otq.linked <- false;
+          steal_from t victim
+      | Some task ->
+          if Deque.is_empty otq.tasks then begin
+            ignore (Deque.pop_back t.proc_queues.(victim));
+            otq.linked <- false
+          end;
+          Some task)
+
+let next ?(allow_steal = true) t ~proc =
+  let found =
+    match Deque.pop_front t.placed.(proc) with
+    | Some task -> Some task
+    | None -> (
+        match t.cfg.Config.locality with
+        | Config.No_locality -> Deque.pop_front t.shared
+        | Config.Locality -> (
+            match pop_local t proc with
+            | Some task -> Some task
+            | None when not allow_steal -> None
+            | None ->
+                (* Cyclic search over the other processors, visiting the
+                   thief's own cluster first: a task stolen within the
+                   cluster keeps its data behind the same memory bus (the
+                   DASH-tailored variant of the locality heuristic). *)
+                let cluster p = p / t.cluster_size in
+                let victims =
+                  let all = List.init (t.nprocs - 1) (fun k -> (proc + k + 1) mod t.nprocs) in
+                  let near, far = List.partition (fun v -> cluster v = cluster proc) all in
+                  near @ far
+                in
+                let rec search = function
+                  | [] -> None
+                  | victim :: rest -> (
+                      match steal_from t victim with
+                      | Some task ->
+                          t.steal_count <- t.steal_count + 1;
+                          task.Taskrec.stolen <- true;
+                          Some task
+                      | None -> search rest)
+                in
+                search victims)
+        | Config.Task_placement ->
+            (* No stealing: placed tasks are pinned; unplaced tasks still use
+               the locality structure but are only taken locally. *)
+            pop_local t proc)
+  in
+  (match found with
+  | Some _ -> t.queued_count <- t.queued_count - 1
+  | None -> ());
+  found
+
+let steals t = t.steal_count
+
+let queued t = t.queued_count

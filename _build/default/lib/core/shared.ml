@@ -1,0 +1,21 @@
+(** Typed shared objects: a metadata record plus the single master copy of
+    the payload. Conflicting tasks are serialized by the synchronizer, so
+    one master copy is sound; replication on the message-passing machine is
+    tracked as per-processor version metadata in {!Meta}. *)
+
+type 'a t = { meta : Meta.t; data : 'a }
+
+let meta t = t.meta
+
+(** Unchecked payload access, for serial code and for the runtime itself.
+    Task bodies should go through [Runtime.rd] / [Runtime.wr], which check
+    the task's access specification. *)
+let data t = t.data
+
+let make meta data = { meta; data }
+
+let id t = t.meta.Meta.id
+
+let name t = t.meta.Meta.name
+
+let size t = t.meta.Meta.size

@@ -1,0 +1,22 @@
+(** Typed shared objects: a metadata record plus the single master copy of
+    the payload. Conflicting tasks are serialized by the synchronizer, so
+    one master copy is sound; replication on the message-passing machine is
+    tracked as per-processor version metadata in {!Meta}. *)
+
+type 'a t
+
+val make : Meta.t -> 'a -> 'a t
+
+val meta : 'a t -> Meta.t
+
+(** Unchecked payload access, for serial code and for the runtime itself.
+    Task bodies should go through [Runtime.rd] / [Runtime.wr], which check
+    the task's access specification. *)
+val data : 'a t -> 'a
+
+val id : 'a t -> int
+
+val name : 'a t -> string
+
+(** Modelled size in bytes (drives communication costs). *)
+val size : 'a t -> int

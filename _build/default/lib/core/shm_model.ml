@@ -1,0 +1,91 @@
+(** DASH communication cost model.
+
+    On the shared-memory machine all communication happens on demand as
+    tasks reference remote data, so the cost of a task's communication is
+    folded into its execution time. For each declared object we charge one
+    full-object traversal at a per-line latency determined by where the
+    line comes from: the processor's cache (if it holds the required
+    version), the local cluster's memory, a clean remote home, or a third
+    cluster that holds the data dirty — the published DASH latencies.
+
+    Each processor has a modelled cache with FIFO eviction; caching the
+    version of each object a task touches captures the paper's observation
+    that executing tasks with the same locality object consecutively on the
+    same processor improves cache locality (§3.2.2). *)
+
+type cache = {
+  versions : (int, int) Hashtbl.t;  (** object id -> cached version *)
+  order : int Queue.t;
+  sizes : (int, int) Hashtbl.t;
+  mutable bytes : int;
+}
+
+type t = { costs : Jade_machines.Costs.shm; caches : cache array }
+
+let create costs ~nprocs =
+  {
+    costs;
+    caches =
+      Array.init nprocs (fun _ ->
+          {
+            versions = Hashtbl.create 32;
+            order = Queue.create ();
+            sizes = Hashtbl.create 32;
+            bytes = 0;
+          });
+  }
+
+let cluster t p = p / t.costs.Jade_machines.Costs.cluster_size
+
+let cache_insert t cache (meta : Meta.t) version =
+  let c = t.costs in
+  if meta.Meta.size <= c.Jade_machines.Costs.cache_bytes then begin
+    if not (Hashtbl.mem cache.versions meta.Meta.id) then begin
+      Queue.add meta.Meta.id cache.order;
+      Hashtbl.replace cache.sizes meta.Meta.id meta.Meta.size;
+      cache.bytes <- cache.bytes + meta.Meta.size
+    end;
+    Hashtbl.replace cache.versions meta.Meta.id version;
+    while cache.bytes > c.Jade_machines.Costs.cache_bytes do
+      match Queue.take_opt cache.order with
+      | None -> cache.bytes <- 0
+      | Some id ->
+          let sz = try Hashtbl.find cache.sizes id with Not_found -> 0 in
+          Hashtbl.remove cache.versions id;
+          Hashtbl.remove cache.sizes id;
+          cache.bytes <- cache.bytes - sz
+    done
+  end
+
+(** Communication time for [task] executing on [proc]; updates the cache
+    model. The returned time is what DASH folds into task execution. *)
+let task_cost t (task : Taskrec.t) ~proc =
+  let c = t.costs in
+  let open Jade_machines.Costs in
+  let cache = t.caches.(proc) in
+  let total = ref 0.0 in
+  Array.iteri
+    (fun slot ((meta : Meta.t), mode) ->
+      let required = task.Taskrec.required.(slot) in
+      let lines = (meta.Meta.size + c.cache_line - 1) / c.cache_line in
+      let cached =
+        match Hashtbl.find_opt cache.versions meta.Meta.id with
+        | Some v -> v >= required
+        | None -> false
+      in
+      let cycles =
+        if cached then c.l2_hit_cycles
+        else if cluster t meta.Meta.home = cluster t proc then c.local_cycles
+        else if
+          cluster t meta.Meta.owner <> cluster t meta.Meta.home
+          && cluster t meta.Meta.owner <> cluster t proc
+        then c.remote_dirty_cycles
+        else c.remote_cycles
+      in
+      total := !total +. (float_of_int lines *. float_of_int cycles *. c.cycle);
+      let final_version =
+        if Access.is_write mode then task.Taskrec.produces.(slot) else required
+      in
+      cache_insert t cache meta final_version)
+    task.Taskrec.spec;
+  !total

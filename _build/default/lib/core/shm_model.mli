@@ -1,0 +1,20 @@
+(** DASH communication cost model.
+
+    On the shared-memory machine all communication happens on demand as
+    tasks reference remote data, so the cost of a task's communication is
+    folded into its execution time. Each declared object is charged one
+    full-object traversal at a per-line latency determined by where the
+    line comes from: the processor's cache (if it holds the required
+    version), the local cluster's memory, a clean remote home, or a third
+    cluster holding the data dirty — the published DASH latencies. Each
+    processor has a modelled cache with FIFO eviction, capturing the cache
+    locality of executing tasks with the same locality object
+    consecutively (§3.2.2). *)
+
+type t
+
+val create : Jade_machines.Costs.shm -> nprocs:int -> t
+
+(** Communication time for [task] executing on [proc]; updates the cache
+    model. *)
+val task_cost : t -> Taskrec.t -> proc:int -> float

@@ -1,0 +1,21 @@
+(** Access specification builder: the code in a [withonly]'s access
+    specification section executes these statements to declare the task's
+    accesses (§2). *)
+
+type t = { mutable entries : (Meta.t * Access.mode) list }
+
+let create () = { entries = [] }
+
+(** Declare that the task will read the object. *)
+let rd t shared = t.entries <- (Shared.meta shared, Access.Read) :: t.entries
+
+(** Declare that the task will write the object. *)
+let wr t shared = t.entries <- (Shared.meta shared, Access.Write) :: t.entries
+
+(** Declare that the task will both read and write the object. *)
+let rw t shared =
+  t.entries <- (Shared.meta shared, Access.Read_write) :: t.entries
+
+(** Entries in declaration order; the first declared object is the task's
+    locality object. *)
+let entries t = Array.of_list (List.rev t.entries)

@@ -1,0 +1,20 @@
+(** Access specification builder: the code in a [withonly]'s access
+    specification section executes these statements to declare the task's
+    accesses (§2). *)
+
+type t
+
+val create : unit -> t
+
+(** Declare that the task will read the object. *)
+val rd : t -> 'a Shared.t -> unit
+
+(** Declare that the task will write the object. *)
+val wr : t -> 'a Shared.t -> unit
+
+(** Declare that the task will both read and write the object. *)
+val rw : t -> 'a Shared.t -> unit
+
+(** Entries in declaration order; the first declared object is the task's
+    locality object. *)
+val entries : t -> (Meta.t * Access.mode) array

@@ -1,0 +1,76 @@
+type event = {
+  task_name : string;
+  tid : int;
+  proc : int;
+  target : int;
+  created_at : float;
+  enabled_at : float;
+  started_at : float;
+  finished_at : float;
+  stolen : bool;
+}
+
+type t = { mutable rev_events : event list; mutable n : int }
+
+let create () = { rev_events = []; n = 0 }
+
+let record t (task : Taskrec.t) =
+  let open Taskrec in
+  t.rev_events <-
+    {
+      task_name = task.tname;
+      tid = task.tid;
+      proc = task.ran_on;
+      target = task.target;
+      created_at = task.created_at;
+      enabled_at = task.enabled_at;
+      started_at = task.started_at;
+      finished_at = task.finished_at;
+      stolen = task.stolen;
+    }
+    :: t.rev_events;
+  t.n <- t.n + 1
+
+let events t = List.rev t.rev_events
+
+let count t = t.n
+
+(* JSON string escaping for the few metacharacters task names can carry. *)
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let us t = t *. 1.0e6
+
+let to_chrome_json t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "[\n";
+  let first = ref true in
+  List.iter
+    (fun e ->
+      if not !first then Buffer.add_string buf ",\n";
+      first := false;
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"task\",\"ph\":\"X\",\"ts\":%.3f,\
+            \"dur\":%.3f,\"pid\":0,\"tid\":%d,\"args\":{\"task\":%d,\
+            \"target\":%d,\"stolen\":%b,\"created\":%.3f,\"enabled\":%.3f}}"
+           (escape e.task_name) (us e.started_at)
+           (us (e.finished_at -. e.started_at))
+           e.proc e.tid e.target e.stolen (us e.created_at) (us e.enabled_at)))
+    (events t);
+  Buffer.add_string buf "\n]\n";
+  Buffer.contents buf
+
+let write_chrome_json t path =
+  let oc = open_out path in
+  output_string oc (to_chrome_json t);
+  close_out oc

@@ -1,0 +1,34 @@
+(** Task-lifecycle tracing: records per-task events during a run and
+    exports them in the Chrome trace-event format (load the file at
+    chrome://tracing or in Perfetto to see the schedule on a timeline,
+    one lane per simulated processor). *)
+
+type event = {
+  task_name : string;
+  tid : int;
+  proc : int;  (** processor the task executed on *)
+  target : int;  (** its target processor *)
+  created_at : float;
+  enabled_at : float;
+  started_at : float;
+  finished_at : float;
+  stolen : bool;
+}
+
+type t
+
+val create : unit -> t
+
+(** Record one completed task (called by the runtime when tracing is on). *)
+val record : t -> Taskrec.t -> unit
+
+val events : t -> event list
+(** In completion order. *)
+
+val count : t -> int
+
+(** Chrome trace-event JSON ("X" complete events, one per task, with
+    microsecond timestamps; processor = tid lane). *)
+val to_chrome_json : t -> string
+
+val write_chrome_json : t -> string -> unit

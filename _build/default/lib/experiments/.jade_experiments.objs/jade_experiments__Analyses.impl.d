@@ -1,0 +1,1 @@
+lib/experiments/analyses.ml: Jade Jade_apps Jade_machines List Printf Report Runner

@@ -1,0 +1,1 @@
+lib/experiments/analyses.mli: Report Runner

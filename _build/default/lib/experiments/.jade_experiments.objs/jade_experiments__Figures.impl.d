@@ -1,0 +1,1 @@
+lib/experiments/figures.ml: Jade List Printf Report Runner

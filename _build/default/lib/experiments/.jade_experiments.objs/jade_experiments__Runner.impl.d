@@ -1,0 +1,1 @@
+lib/experiments/runner.ml: App_common Hashtbl Jade Jade_apps Jade_machines String_app

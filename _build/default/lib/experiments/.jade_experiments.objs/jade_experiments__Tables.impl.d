@@ -1,0 +1,1 @@
+lib/experiments/tables.ml: Jade List Printf Report Runner

@@ -1,0 +1,37 @@
+(** The paper's non-tabular evaluations: replication (§5.1), adaptive
+    broadcast arithmetic (§5.3), latency hiding (§5.4) and concurrent
+    fetches (§5.5). *)
+
+(** §5.1: replication on vs off. Disabling replication serializes
+    concurrent readers, so every application collapses to (at best) serial
+    speed. *)
+val replication : Runner.t -> app:Runner.app -> Report.table
+
+(** §5.3: the sizes and distribution times behind the broadcast result —
+    per-object serial-send vs broadcast time at 32 processors for the
+    updated objects of Water and String. *)
+val broadcast_breakdown : Runner.t -> Report.table
+
+(** §5.4: latency hiding for Panel Cholesky on the iPSC/860 — target
+    tasks per processor 1 (off) vs 2 (on). *)
+val latency_hiding : Runner.t -> Report.table
+
+(** §5.5: ratio of object latency to task latency per application on the
+    iPSC/860 (a ratio near 1 means concurrent fetching finds nothing to
+    parallelize, the paper's observation). *)
+val concurrent_fetch : Runner.t -> Report.table
+
+(** §6: eager producer-to-consumer transfers (the update-protocol variant
+    the paper reports prototyping) vs demand fetching. *)
+val eager_transfer : Runner.t -> Report.table
+
+(** Reproduction-design ablation: the shared-memory balancer's steal
+    patience vs the task locality it achieves. *)
+val ablation_steal_patience : Runner.t -> Report.table
+
+(** §1's portability claim, extended to a third platform: the four
+    applications unmodified on DASH, the iPSC/860, and a workstation
+    LAN. *)
+val portability : Runner.t -> Report.table
+
+val all : Runner.t -> Report.table list

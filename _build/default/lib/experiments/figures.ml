@@ -1,0 +1,90 @@
+open Runner
+
+let procs_cols = List.map string_of_int Runner.procs
+
+let series r ~app ~machine ~metric ~unit_label ~id ~title =
+  {
+    Report.id;
+    title;
+    columns = procs_cols;
+    rows =
+      List.map
+        (fun level ->
+          ( level_name level,
+            List.map
+              (fun nprocs ->
+                Some (metric (run_level r ~app ~machine ~nprocs ~level)))
+              Runner.procs ))
+        (levels_for app);
+    unit_label;
+  }
+
+let locality_pct r ~app ~machine ~id =
+  series r ~app ~machine
+    ~metric:(fun s -> s.Jade.Metrics.locality_pct)
+    ~unit_label:"% of tasks on target processor" ~id
+    ~title:
+      (Printf.sprintf "Task Locality Percentage for %s on %s" (app_name app)
+         (machine_name machine))
+
+let task_time r ~app ~machine ~id =
+  series r ~app ~machine
+    ~metric:(fun s -> s.Jade.Metrics.task_time_s)
+    ~unit_label:"seconds in application code" ~id
+    ~title:
+      (Printf.sprintf "Total Task Execution Time for %s on %s" (app_name app)
+         (machine_name machine))
+
+let comm_to_comp r ~app ~machine ~id =
+  series r ~app ~machine
+    ~metric:(fun s -> s.Jade.Metrics.comm_to_comp)
+    ~unit_label:"Mbytes of communication per second of computation" ~id
+    ~title:
+      (Printf.sprintf "Communication to Computation Ratio for %s on %s"
+         (app_name app) (machine_name machine))
+
+(* Task-management percentage at the Task Placement level (the paper plots
+   it for the placed versions of Ocean and Panel Cholesky). *)
+let mgmt_pct r ~app ~machine ~id =
+  {
+    Report.id;
+    title =
+      Printf.sprintf "Task Management Percentage for %s on %s" (app_name app)
+        (machine_name machine);
+    columns = procs_cols;
+    rows =
+      [
+        ( "Task Placement",
+          List.map
+            (fun nprocs ->
+              Some (task_management_pct r ~app ~machine ~nprocs ~level:Tp))
+            Runner.procs );
+      ];
+    unit_label = "% of execution time spent managing tasks";
+  }
+
+let figure r n =
+  match n with
+  | 2 -> locality_pct r ~app:Water ~machine:Dash ~id:"Figure 2"
+  | 3 -> locality_pct r ~app:String_ ~machine:Dash ~id:"Figure 3"
+  | 4 -> locality_pct r ~app:Ocean ~machine:Dash ~id:"Figure 4"
+  | 5 -> locality_pct r ~app:Cholesky ~machine:Dash ~id:"Figure 5"
+  | 6 -> task_time r ~app:Water ~machine:Dash ~id:"Figure 6"
+  | 7 -> task_time r ~app:String_ ~machine:Dash ~id:"Figure 7"
+  | 8 -> task_time r ~app:Ocean ~machine:Dash ~id:"Figure 8"
+  | 9 -> task_time r ~app:Cholesky ~machine:Dash ~id:"Figure 9"
+  | 10 -> mgmt_pct r ~app:Ocean ~machine:Dash ~id:"Figure 10"
+  | 11 -> mgmt_pct r ~app:Cholesky ~machine:Dash ~id:"Figure 11"
+  | 12 -> locality_pct r ~app:Water ~machine:Ipsc ~id:"Figure 12"
+  | 13 -> locality_pct r ~app:String_ ~machine:Ipsc ~id:"Figure 13"
+  | 14 -> locality_pct r ~app:Ocean ~machine:Ipsc ~id:"Figure 14"
+  | 15 -> locality_pct r ~app:Cholesky ~machine:Ipsc ~id:"Figure 15"
+  | 16 -> comm_to_comp r ~app:Water ~machine:Ipsc ~id:"Figure 16"
+  | 17 -> comm_to_comp r ~app:String_ ~machine:Ipsc ~id:"Figure 17"
+  | 18 -> comm_to_comp r ~app:Ocean ~machine:Ipsc ~id:"Figure 18"
+  | 19 -> comm_to_comp r ~app:Cholesky ~machine:Ipsc ~id:"Figure 19"
+  | 20 -> mgmt_pct r ~app:Ocean ~machine:Ipsc ~id:"Figure 20"
+  | 21 -> mgmt_pct r ~app:Cholesky ~machine:Ipsc ~id:"Figure 21"
+  | _ -> invalid_arg "Figures.figure: the paper has figures 2-21"
+
+let all r = List.map (figure r) (List.init 20 (fun i -> i + 2))

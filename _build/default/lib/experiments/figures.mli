@@ -1,0 +1,8 @@
+(** Regeneration of the paper's figures 2-21 (data series; the paper plots
+    them, we print them as tables of series). *)
+
+(** [figure r n] regenerates paper figure [n] (2..21). Raises
+    [Invalid_argument] otherwise. *)
+val figure : Runner.t -> int -> Report.table
+
+val all : Runner.t -> Report.table list

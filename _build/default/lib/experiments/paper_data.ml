@@ -1,0 +1,232 @@
+(** The numbers the paper reports for its fourteen tables, transcribed for
+    side-by-side comparison. Absolute values are not expected to match the
+    reproduction (different machine calibrations); they anchor the shape
+    comparisons recorded in EXPERIMENTS.md. *)
+
+let procs_cols = [ "1"; "2"; "4"; "8"; "16"; "24"; "32" ]
+
+let some l = List.map (fun v -> Some v) l
+
+let t v : Report.table = v
+
+let table1 =
+  t
+    {
+      Report.id = "Table 1 (paper)";
+      title = "Serial and Stripped Execution Times on DASH";
+      columns = [ "Water"; "String"; "Ocean"; "Panel Cholesky" ];
+      rows =
+        [
+          ("Serial", some [ 3628.29; 20594.50; 102.99; 26.67 ]);
+          ("Stripped", some [ 3285.90; 19314.80; 100.03; 28.91 ]);
+        ];
+      unit_label = "seconds";
+    }
+
+let table2 =
+  t
+    {
+      Report.id = "Table 2 (paper)";
+      title = "Execution Times for Water on DASH";
+      columns = procs_cols;
+      rows =
+        [
+          ("Locality", some [ 3270.71; 1648.96; 833.19; 423.14; 220.63; 153.03; 119.48 ]);
+          ("No Locality", some [ 3290.47; 1648.60; 832.91; 434.36; 229.84; 160.82; 124.74 ]);
+        ];
+      unit_label = "seconds";
+    }
+
+let table3 =
+  t
+    {
+      Report.id = "Table 3 (paper)";
+      title = "Execution Times for String on DASH";
+      columns = procs_cols;
+      rows =
+        [
+          ("Locality", some [ 19621.15; 9774.07; 5003.69; 2534.62; 1320.00; 903.95; 705.84 ]);
+          ("No Locality", some [ 19396.12; 9756.71; 5017.82; 2559.44; 1350.06; 948.73; 769.21 ]);
+        ];
+      unit_label = "seconds";
+    }
+
+let table4 =
+  t
+    {
+      Report.id = "Table 4 (paper)";
+      title = "Execution Times for Ocean on DASH";
+      columns = procs_cols;
+      rows =
+        [
+          ("Task Placement", some [ 105.21; 105.36; 36.36; 16.14; 9.24; 8.39; 10.71 ]);
+          ("Locality", some [ 105.33; 99.22; 37.79; 25.30; 17.58; 14.52; 13.26 ]);
+          ("No Locality", some [ 104.51; 99.20; 38.97; 31.21; 22.31; 18.88; 17.31 ]);
+        ];
+      unit_label = "seconds";
+    }
+
+let table5 =
+  t
+    {
+      Report.id = "Table 5 (paper)";
+      title = "Execution Times for Panel Cholesky on DASH";
+      columns = procs_cols;
+      rows =
+        [
+          ("Task Placement", some [ 35.71; 33.64; 15.24; 7.82; 5.95; 5.61; 5.76 ]);
+          ("Locality", some [ 34.94; 17.99; 11.77; 7.53; 7.30; 7.43; 7.86 ]);
+          ("No Locality", some [ 35.09; 18.99; 12.97; 9.29; 7.88; 8.00; 8.48 ]);
+        ];
+      unit_label = "seconds";
+    }
+
+let table6 =
+  t
+    {
+      Report.id = "Table 6 (paper)";
+      title = "Serial and Stripped Execution Times on the iPSC/860";
+      columns = [ "Water"; "String"; "Ocean"; "Panel Cholesky" ];
+      rows =
+        [
+          ("Serial", some [ 2482.91; 20270.45; 54.19; 27.60 ]);
+          ("Stripped", some [ 2406.72; 19629.42; 60.99; 28.53 ]);
+        ];
+      unit_label = "seconds";
+    }
+
+let table7 =
+  t
+    {
+      Report.id = "Table 7 (paper)";
+      title = "Execution Times for Water on the iPSC/860";
+      columns = procs_cols;
+      rows =
+        [
+          ("Locality", some [ 2435.16; 1219.71; 617.28; 315.69; 165.64; 118.09; 91.53 ]);
+          ("No Locality", some [ 2454.78; 1231.91; 623.34; 318.34; 167.77; 119.72; 93.11 ]);
+        ];
+      unit_label = "seconds";
+    }
+
+let table8 =
+  t
+    {
+      Report.id = "Table 8 (paper)";
+      title = "Execution Times for String on the iPSC/860";
+      columns = procs_cols;
+      rows =
+        [
+          ("Locality", some [ 17382.07; 9473.24; 4773.02; 2418.75; 1249.69; 873.14; 678.55 ]);
+          ( "No Locality",
+            [
+              Some 18873.86; Some 9529.52; Some 4765.96; Some 2424.12; None;
+              Some 869.27; Some 680.94;
+            ] );
+        ];
+      unit_label = "seconds";
+    }
+
+let table9 =
+  t
+    {
+      Report.id = "Table 9 (paper)";
+      title = "Execution Times for Ocean on the iPSC/860";
+      columns = procs_cols;
+      rows =
+        [
+          ("Task Placement", some [ 77.44; 68.14; 28.75; 18.77; 24.16; 37.18; 51.87 ]);
+          ("Locality", some [ 77.71; 93.74; 95.95; 57.28; 39.50; 44.48; 55.96 ]);
+          ("No Locality", some [ 78.03; 100.29; 159.77; 88.86; 56.33; 55.56; 63.58 ]);
+        ];
+      unit_label = "seconds";
+    }
+
+let table10 =
+  t
+    {
+      Report.id = "Table 10 (paper)";
+      title = "Execution Times for Panel Cholesky on the iPSC/860";
+      columns = procs_cols;
+      rows =
+        [
+          ("Task Placement", some [ 54.56; 50.18; 31.56; 32.50; 34.41; 36.38; 38.17 ]);
+          ("Locality", some [ 54.54; 34.17; 33.65; 35.97; 43.73; 47.62; 50.83 ]);
+          ("No Locality", some [ 54.43; 107.43; 99.39; 75.84; 59.02; 56.41; 59.45 ]);
+        ];
+      unit_label = "seconds";
+    }
+
+let table11 =
+  t
+    {
+      Report.id = "Table 11 (paper)";
+      title = "Adaptive Broadcast for Water on the iPSC/860";
+      columns = procs_cols;
+      rows =
+        [
+          ("Adaptive Broadcast", some [ 2435.16; 1219.71; 617.28; 315.69; 165.64; 118.09; 91.53 ]);
+          ("No Adaptive Broadcast", some [ 2459.87; 1233.98; 625.27; 323.84; 180.15; 140.59; 122.74 ]);
+        ];
+      unit_label = "seconds";
+    }
+
+let table12 =
+  t
+    {
+      Report.id = "Table 12 (paper)";
+      title = "Adaptive Broadcast for String on the iPSC/860";
+      columns = procs_cols;
+      rows =
+        [
+          ("Adaptive Broadcast", some [ 17382.07; 9473.24; 4773.02; 2418.75; 1249.69; 873.14; 678.55 ]);
+          ("No Adaptive Broadcast", some [ 18877.42; 9469.36; 4765.68; 2425.82; 1255.29; 874.18; 689.57 ]);
+        ];
+      unit_label = "seconds";
+    }
+
+let table13 =
+  t
+    {
+      Report.id = "Table 13 (paper)";
+      title = "Adaptive Broadcast for Ocean on the iPSC/860";
+      columns = procs_cols;
+      rows =
+        [
+          ("Adaptive Broadcast", some [ 77.44; 68.14; 28.75; 18.77; 24.16; 37.18; 51.87 ]);
+          ("No Adaptive Broadcast", some [ 63.14; 65.54; 28.73; 19.11; 25.68; 39.99; 55.71 ]);
+        ];
+      unit_label = "seconds";
+    }
+
+let table14 =
+  t
+    {
+      Report.id = "Table 14 (paper)";
+      title = "Adaptive Broadcast for Panel Cholesky on the iPSC/860";
+      columns = procs_cols;
+      rows =
+        [
+          ("Adaptive Broadcast", some [ 54.56; 50.18; 31.56; 32.50; 34.41; 36.38; 38.17 ]);
+          ("No Adaptive Broadcast", some [ 37.25; 49.76; 31.29; 32.01; 34.92; 35.87; 38.16 ]);
+        ];
+      unit_label = "seconds";
+    }
+
+(** Paper table by number (1..14). *)
+let table = function
+  | 1 -> Some table1
+  | 2 -> Some table2
+  | 3 -> Some table3
+  | 4 -> Some table4
+  | 5 -> Some table5
+  | 6 -> Some table6
+  | 7 -> Some table7
+  | 8 -> Some table8
+  | 9 -> Some table9
+  | 10 -> Some table10
+  | 11 -> Some table11
+  | 12 -> Some table12
+  | 13 -> Some table13
+  | 14 -> Some table14
+  | _ -> None

@@ -1,0 +1,65 @@
+type table = {
+  id : string;
+  title : string;
+  columns : string list;
+  rows : (string * float option list) list;
+  unit_label : string;
+}
+
+let default_fmt v =
+  if Float.abs v >= 1000.0 then Printf.sprintf "%.0f" v
+  else if Float.abs v >= 10.0 then Printf.sprintf "%.2f" v
+  else Printf.sprintf "%.3f" v
+
+let render ?(fmt = default_fmt) t =
+  let cell = function Some v -> fmt v | None -> "-" in
+  let header = "" :: t.columns in
+  let body = List.map (fun (label, vs) -> label :: List.map cell vs) t.rows in
+  let all = header :: body in
+  let ncols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i c -> if String.length c > widths.(i) then widths.(i) <- String.length c)
+        row)
+    all;
+  let pad i s = Printf.sprintf "%*s" widths.(i) s in
+  let line row = String.concat "  " (List.mapi pad row) in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "%s: %s (%s)\n" t.id t.title t.unit_label);
+  Buffer.add_string buf (line header);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (line row);
+      Buffer.add_char buf '\n')
+    body;
+  Buffer.contents buf
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (String.concat "," ("" :: List.map csv_escape t.columns));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (label, vs) ->
+      let cells =
+        List.map (function Some v -> Printf.sprintf "%.17g" v | None -> "") vs
+      in
+      Buffer.add_string buf (String.concat "," (csv_escape label :: cells));
+      Buffer.add_char buf '\n')
+    t.rows;
+  Buffer.contents buf
+
+let render_comparison ~ours ~paper =
+  match paper with
+  | None -> render ours
+  | Some p ->
+      render ours ^ "\nPaper reported:\n"
+      ^ render { p with id = ours.id; title = p.title }

@@ -1,0 +1,22 @@
+(** Table/series rendering for the experiment harness: aligned ASCII
+    tables, one per paper table or figure. *)
+
+type table = {
+  id : string;  (** "Table 7", "Figure 12", ... *)
+  title : string;
+  columns : string list;  (** column headers after the row label *)
+  rows : (string * float option list) list;
+      (** row label and one value per column; [None] renders as "-" (the
+          paper has a few missing cells) *)
+  unit_label : string;  (** e.g. "seconds", "%", "Mbytes/s" *)
+}
+
+(** Render with a given numeric format (default ["%.2f"]). *)
+val render : ?fmt:(float -> string) -> table -> string
+
+(** Render the run-vs-paper comparison side by side (same shape tables). *)
+val render_comparison : ours:table -> paper:table option -> string
+
+(** Comma-separated values: header row of column labels, then one row per
+    series (empty cells for missing values). For feeding plots. *)
+val to_csv : table -> string

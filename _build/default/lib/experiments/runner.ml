@@ -1,0 +1,169 @@
+open Jade_apps
+
+type app = Water | String_ | Ocean | Cholesky
+
+type machine = Dash | Ipsc
+
+type size = Test | Bench | Paper
+
+type level = Tp | Loc | Noloc
+
+let app_name = function
+  | Water -> "Water"
+  | String_ -> "String"
+  | Ocean -> "Ocean"
+  | Cholesky -> "Panel Cholesky"
+
+let machine_name = function Dash -> "DASH" | Ipsc -> "iPSC/860"
+
+let level_name = function
+  | Tp -> "Task Placement"
+  | Loc -> "Locality"
+  | Noloc -> "No Locality"
+
+let all_apps = [ Water; String_; Ocean; Cholesky ]
+
+let procs = [ 1; 2; 4; 8; 16; 24; 32 ]
+
+let config_of_level level =
+  match level with
+  | Tp -> { Jade.Config.default with Jade.Config.locality = Jade.Config.Task_placement }
+  | Loc -> Jade.Config.default
+  | Noloc -> { Jade.Config.default with Jade.Config.locality = Jade.Config.No_locality }
+
+let levels_for = function
+  | Water | String_ -> [ Loc; Noloc ]
+  | Ocean | Cholesky -> [ Tp; Loc; Noloc ]
+
+(* Scaled problem instances. [Bench] keeps the paper's data-set geometry
+   where it matters for communication (object sizes) while trimming
+   iteration counts and ray/pair volume so the full harness finishes in
+   minutes. *)
+let water_params = function
+  | Test -> Jade_apps.Water.test_params
+  | Bench -> { Jade_apps.Water.paper_params with Jade_apps.Water.iters = 2 }
+  | Paper -> Jade_apps.Water.paper_params
+
+let string_params = function
+  | Test -> String_app.test_params
+  | Bench -> String_app.bench_params
+  | Paper -> String_app.paper_params
+
+let ocean_params = function
+  | Test -> Jade_apps.Ocean.test_params
+  | Bench -> { Jade_apps.Ocean.paper_params with Jade_apps.Ocean.iters = 50 }
+  | Paper -> Jade_apps.Ocean.paper_params
+
+let cholesky_params = function
+  | Test -> Jade_apps.Cholesky.test_params
+  | Bench -> Jade_apps.Cholesky.bench_params
+  | Paper -> Jade_apps.Cholesky.paper_params
+
+type key = {
+  k_app : app;
+  k_machine : machine;
+  k_nprocs : int;
+  k_config : Jade.Config.t;
+  k_placed : bool;
+}
+
+type t = {
+  sz : size;
+  cache : (key, Jade.Metrics.summary) Hashtbl.t;
+  serial_flops : (app, float) Hashtbl.t;
+  total_flops : (app, float) Hashtbl.t;
+}
+
+let create sz =
+  {
+    sz;
+    cache = Hashtbl.create 64;
+    serial_flops = Hashtbl.create 8;
+    total_flops = Hashtbl.create 8;
+  }
+
+let size t = t.sz
+
+let jade_machine = function Dash -> Jade.Runtime.dash | Ipsc -> Jade.Runtime.ipsc860
+
+let kind_of = function Dash -> App_common.Shm | Ipsc -> App_common.Mp
+
+let flops_of = function
+  | Dash -> Jade_machines.Costs.(dash.flops_shm)
+  | Ipsc -> Jade_machines.Costs.(ipsc860.flops)
+
+let make_program t app ~kind ~placed ~nprocs =
+  match app with
+  | Water ->
+      fst (Jade_apps.Water.make (water_params t.sz) ~kind ~placed ~nprocs)
+  | String_ -> fst (String_app.make (string_params t.sz) ~kind ~placed ~nprocs)
+  | Ocean -> fst (Jade_apps.Ocean.make (ocean_params t.sz) ~kind ~placed ~nprocs)
+  | Cholesky ->
+      fst (Jade_apps.Cholesky.make (cholesky_params t.sz) ~kind ~placed ~nprocs)
+
+let run t ~app ~machine ~nprocs ~config ~placed =
+  let key =
+    { k_app = app; k_machine = machine; k_nprocs = nprocs; k_config = config;
+      k_placed = placed }
+  in
+  match Hashtbl.find_opt t.cache key with
+  | Some s -> s
+  | None ->
+      let program =
+        make_program t app ~kind:(kind_of machine) ~placed ~nprocs
+      in
+      let s =
+        Jade.Runtime.run ~config ~machine:(jade_machine machine) ~nprocs program
+      in
+      Hashtbl.add t.cache key s;
+      s
+
+(* A traced run bypasses the cache: tracing mutates external state. *)
+let run_traced t ~trace ~app ~machine ~nprocs ~config ~placed =
+  let program = make_program t app ~kind:(kind_of machine) ~placed ~nprocs in
+  Jade.Runtime.run ~config ~trace ~machine:(jade_machine machine) ~nprocs program
+
+let run_level t ~app ~machine ~nprocs ~level =
+  let placed = level = Tp in
+  run t ~app ~machine ~nprocs ~config:(config_of_level level) ~placed
+
+let serial_flops t app =
+  match Hashtbl.find_opt t.serial_flops app with
+  | Some f -> f
+  | None ->
+      let f =
+        match app with
+        | Water -> snd (Jade_apps.Water.serial (water_params t.sz))
+        | String_ -> snd (String_app.serial (string_params t.sz))
+        | Ocean -> snd (Jade_apps.Ocean.serial (ocean_params t.sz) ~nprocs:32)
+        | Cholesky -> snd (Jade_apps.Cholesky.serial (cholesky_params t.sz))
+      in
+      Hashtbl.add t.serial_flops app f;
+      f
+
+let total_flops t app =
+  match Hashtbl.find_opt t.total_flops app with
+  | Some f -> f
+  | None ->
+      let f =
+        match app with
+        | Water -> Jade_apps.Water.total_work (water_params t.sz) ~nprocs:1
+        | String_ -> String_app.total_work (string_params t.sz) ~nprocs:1
+        | Ocean -> Jade_apps.Ocean.total_work (ocean_params t.sz) ~nprocs:32
+        | Cholesky -> Jade_apps.Cholesky.total_work (cholesky_params t.sz) ~nprocs:1
+      in
+      Hashtbl.add t.total_flops app f;
+      f
+
+let serial_time t ~app ~machine = serial_flops t app /. flops_of machine
+
+let stripped_time t ~app ~machine = total_flops t app /. flops_of machine
+
+let task_management_pct t ~app ~machine ~nprocs ~level =
+  let placed = level = Tp in
+  let config = config_of_level level in
+  let orig = run t ~app ~machine ~nprocs ~config ~placed in
+  let wf_config = { config with Jade.Config.work_free = true } in
+  let wf = run t ~app ~machine ~nprocs ~config:wf_config ~placed in
+  if orig.Jade.Metrics.elapsed_s <= 0.0 then 0.0
+  else 100.0 *. wf.Jade.Metrics.elapsed_s /. orig.Jade.Metrics.elapsed_s

@@ -1,0 +1,82 @@
+(** Experiment runner: executes (application x machine x processors x
+    configuration) combinations and caches the metric summaries, since the
+    same run backs several tables and figures. *)
+
+type app = Water | String_ | Ocean | Cholesky
+
+type machine = Dash | Ipsc
+
+(** Problem scale: [Test] for unit tests, [Bench] for the default harness
+    (scaled to finish in minutes), [Paper] for the paper's full data
+    sets. *)
+type size = Test | Bench | Paper
+
+type level = Tp | Loc | Noloc  (** the three locality optimization levels *)
+
+val app_name : app -> string
+
+val machine_name : machine -> string
+
+val level_name : level -> string
+
+val all_apps : app list
+
+(** The paper's processor counts: 1, 2, 4, 8, 16, 24, 32. *)
+val procs : int list
+
+(** Baseline configuration of §5.2: all optimizations on, latency hiding
+    off, at the given locality level. *)
+val config_of_level : level -> Jade.Config.t
+
+type t
+
+val create : size -> t
+
+val size : t -> size
+
+(** [run t ~app ~machine ~nprocs ~config ~placed] executes one simulation
+    (memoized on all parameters). [placed] selects the program variant with
+    explicit task placement. *)
+val run :
+  t ->
+  app:app ->
+  machine:machine ->
+  nprocs:int ->
+  config:Jade.Config.t ->
+  placed:bool ->
+  Jade.Metrics.summary
+
+(** Like {!run} but uncached and collecting task-lifecycle events into
+    [trace]. *)
+val run_traced :
+  t ->
+  trace:Jade.Tracing.t ->
+  app:app ->
+  machine:machine ->
+  nprocs:int ->
+  config:Jade.Config.t ->
+  placed:bool ->
+  Jade.Metrics.summary
+
+(** [run_level t ~app ~machine ~nprocs ~level] — the standard §5.2 runs:
+    placement follows the level. *)
+val run_level :
+  t -> app:app -> machine:machine -> nprocs:int -> level:level -> Jade.Metrics.summary
+
+(** Virtual execution time of the original serial program (its measured
+    flop count over the machine's rate). *)
+val serial_time : t -> app:app -> machine:machine -> float
+
+(** Virtual execution time of the stripped program (Jade constructs
+    removed): total declared work over the machine's rate. *)
+val stripped_time : t -> app:app -> machine:machine -> float
+
+(** Task-management percentage (§5.2.1): elapsed time of the work-free
+    version over elapsed time of the original, x100, at the app's best
+    placement level. *)
+val task_management_pct :
+  t -> app:app -> machine:machine -> nprocs:int -> level:level -> float
+
+(** Levels the paper evaluates for an app: Water and String have no
+    explicit placement. *)
+val levels_for : app -> level list

@@ -1,0 +1,1 @@
+lib/machines/costs.mli:

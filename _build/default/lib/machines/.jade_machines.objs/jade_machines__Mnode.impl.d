@@ -1,0 +1,1 @@
+lib/machines/mnode.ml: Engine Jade_sim

@@ -1,0 +1,1 @@
+lib/machines/mnode.mli: Jade_sim

@@ -1,0 +1,44 @@
+open Jade_sim
+
+type t = {
+  eng : Engine.t;
+  node_id : int;
+  mutable avail : float;  (** foreground (task/scheduler) work horizon *)
+  mutable int_avail : float;  (** interrupt-work completion horizon *)
+  mutable busy : float;
+}
+
+let create eng node_id =
+  { eng; node_id; avail = 0.0; int_avail = 0.0; busy = 0.0 }
+
+let id t = t.node_id
+
+let occupy t dur =
+  if dur < 0.0 then invalid_arg "Mnode.occupy: negative duration";
+  let now = Engine.now t.eng in
+  let start = if t.avail > now then t.avail else now in
+  let finish = start +. dur in
+  t.avail <- finish;
+  t.busy <- t.busy +. dur;
+  Engine.delay t.eng (finish -. now)
+
+(* Interrupt work preempts the running activity: it serializes with other
+   interrupt work (back-to-back replies still queue on the interface) and
+   pushes *future* foreground work back by its cost, but completes without
+   waiting for an in-progress task. *)
+let charge t cost =
+  if cost < 0.0 then invalid_arg "Mnode.charge: negative cost";
+  let now = Engine.now t.eng in
+  let start = if t.int_avail > now then t.int_avail else now in
+  let finish = start +. cost in
+  t.int_avail <- finish;
+  let base = if t.avail > now then t.avail else now in
+  t.avail <- base +. cost;
+  t.busy <- t.busy +. cost;
+  finish
+
+let avail t = t.avail
+
+let busy_time t = t.busy
+
+let reset_busy t = t.busy <- 0.0

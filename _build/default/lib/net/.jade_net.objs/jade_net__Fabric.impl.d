@@ -1,0 +1,1 @@
+lib/net/fabric.ml: Array Engine Float Hashtbl Jade_machines Jade_sim Mnode Printf Topology

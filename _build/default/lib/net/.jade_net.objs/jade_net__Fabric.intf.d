@@ -1,0 +1,1 @@
+lib/net/fabric.mli: Jade_machines Jade_sim Topology

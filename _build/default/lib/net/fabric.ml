@@ -1,0 +1,122 @@
+open Jade_sim
+open Jade_machines
+
+type 'a msg = { src : int; dst : int; size : int; tag : string; body : 'a }
+
+type 'a t = {
+  eng : Engine.t;
+  nodes : Mnode.t array;
+  topo : Topology.t;
+  startup : float;
+  bandwidth : float;
+  hop_latency : float;
+  bus : Mnode.t option;  (** shared medium all transfers serialize through *)
+  handlers : ('a msg -> unit) option array;
+  by_tag : (string, int ref * int ref) Hashtbl.t;
+  mutable msgs : int;
+  mutable bytes : int;
+}
+
+let create ?bus eng ~nodes ~topology ~startup ~bandwidth ~hop_latency =
+  if Array.length nodes <> Topology.nodes topology then
+    invalid_arg "Fabric.create: node/topology size mismatch";
+  {
+    eng;
+    nodes;
+    topo = topology;
+    startup;
+    bandwidth;
+    hop_latency;
+    bus;
+    handlers = Array.make (Array.length nodes) None;
+    by_tag = Hashtbl.create 16;
+    msgs = 0;
+    bytes = 0;
+  }
+
+let set_handler t p f = t.handlers.(p) <- Some f
+
+let send_occupancy t ~size = t.startup +. (float_of_int size /. t.bandwidth)
+
+let record t msg =
+  t.msgs <- t.msgs + 1;
+  t.bytes <- t.bytes + msg.size;
+  let count, bytes =
+    match Hashtbl.find_opt t.by_tag msg.tag with
+    | Some p -> p
+    | None ->
+        let p = (ref 0, ref 0) in
+        Hashtbl.add t.by_tag msg.tag p;
+        p
+  in
+  incr count;
+  bytes := !bytes + msg.size
+
+let deliver t msg =
+  match t.handlers.(msg.dst) with
+  | Some f -> f msg
+  | None -> invalid_arg (Printf.sprintf "Fabric: no handler on node %d" msg.dst)
+
+let deliver_at t time msg =
+  record t msg;
+  let now = Engine.now t.eng in
+  let d = if time > now then time -. now else 0.0 in
+  Engine.schedule t.eng ~delay:d (fun () -> deliver t msg)
+
+let wire t ~src ~dst = float_of_int (Topology.hops t.topo src dst) *. t.hop_latency
+
+(* On a shared medium the transfer additionally serializes through the
+   bus; the returned time is when the medium has carried this message. *)
+let bus_time t ~size ~earliest =
+  match t.bus with
+  | None -> earliest
+  | Some bus ->
+      let finish = Mnode.charge bus (float_of_int size /. t.bandwidth) in
+      Float.max earliest finish
+
+let send t ~src ~dst ~size ~tag body =
+  let msg = { src; dst; size; tag; body } in
+  if src = dst then deliver_at t (Engine.now t.eng) msg
+  else begin
+    Mnode.occupy t.nodes.(src) (send_occupancy t ~size);
+    let earliest = Engine.now t.eng +. wire t ~src ~dst in
+    deliver_at t (bus_time t ~size ~earliest) msg
+  end
+
+let post t ~src ~dst ~size ~tag body =
+  let msg = { src; dst; size; tag; body } in
+  if src = dst then deliver_at t (Engine.now t.eng) msg
+  else
+    let done_at = Mnode.charge t.nodes.(src) (send_occupancy t ~size) in
+    let earliest = done_at +. wire t ~src ~dst in
+    deliver_at t (bus_time t ~size ~earliest) msg
+
+let broadcast t ~src ~size ~tag body_of_node =
+  let n = Array.length t.nodes in
+  if n > 1 then begin
+    let rounds = Topology.broadcast_schedule t.topo ~root:src in
+    let per_round = send_occupancy t ~size in
+    let total_rounds = Topology.broadcast_rounds t.topo in
+    ignore (Mnode.charge t.nodes.(src) (float_of_int total_rounds *. per_round));
+    let base = Engine.now t.eng in
+    for dst = 0 to n - 1 do
+      if dst <> src then begin
+        let r = float_of_int rounds.(dst) in
+        let time = base +. (r *. (per_round +. t.hop_latency)) in
+        deliver_at t (bus_time t ~size ~earliest:time)
+          { src; dst; size; tag; body = body_of_node dst }
+      end
+    done
+  end
+
+let broadcast_rounds t = Topology.broadcast_rounds t.topo
+
+let message_count t = t.msgs
+
+let byte_count t = t.bytes
+
+let bytes_with_tag t tag =
+  match Hashtbl.find_opt t.by_tag tag with Some (_, b) -> !b | None -> 0
+
+let count_with_tag t tag =
+  match Hashtbl.find_opt t.by_tag tag with Some (c, _) -> !c | None -> 0

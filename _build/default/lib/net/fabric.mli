@@ -1,0 +1,66 @@
+(** Message-passing fabric over a hypercube: point-to-point sends with
+    sender-side processor occupancy (NX/2-style, the CPU performs the send)
+    and binomial-tree broadcasts.
+
+    Two send flavours mirror the two contexts in the Jade implementation:
+    {!send} is called from a simulation process and blocks it for the send
+    occupancy (a processor explicitly distributing data); {!post} is called
+    from an interrupt handler and charges the occupancy to the node's busy
+    ledger without blocking (a handler replying to an object request).
+
+    The payload type ['a] is chosen by the client (the Jade communicator
+    instantiates it with its protocol messages). *)
+
+type 'a msg = { src : int; dst : int; size : int; tag : string; body : 'a }
+
+type 'a t
+
+val create :
+  ?bus:Jade_machines.Mnode.t ->
+  Jade_sim.Engine.t ->
+  nodes:Jade_machines.Mnode.t array ->
+  topology:Topology.t ->
+  startup:float ->
+  bandwidth:float ->
+  hop_latency:float ->
+  'a t
+(** [bus], when given, is a shared-medium ledger (an Ethernet-class LAN):
+    every transfer additionally serializes through it. *)
+
+(** [set_handler t p f] installs the message handler for node [p]. [f] runs
+    as a plain callback at delivery time (interrupt context). *)
+val set_handler : 'a t -> int -> ('a msg -> unit) -> unit
+
+(** Process-context send: blocks the caller until the sending node has
+    worked off the send occupancy; delivery is scheduled after the wire
+    latency. A self-send delivers at the current time with no occupancy. *)
+val send : 'a t -> src:int -> dst:int -> size:int -> tag:string -> 'a -> unit
+
+(** Interrupt-context send: charges the occupancy to the source node and
+    schedules delivery; never blocks. *)
+val post : 'a t -> src:int -> dst:int -> size:int -> tag:string -> 'a -> unit
+
+(** [broadcast t ~src ~size ~tag body_of_node] delivers a copy to every
+    other node via a binomial tree: the source is occupied for one send per
+    round; the node reached in round [r] receives its copy after [r] rounds
+    of (occupancy + wire). Charges the source as interrupt work, so it can
+    be used from either context. *)
+val broadcast : 'a t -> src:int -> size:int -> tag:string -> (int -> 'a) -> unit
+
+(** Number of rounds a broadcast takes on this fabric's topology. *)
+val broadcast_rounds : 'a t -> int
+
+(** Total messages delivered or scheduled for delivery. *)
+val message_count : 'a t -> int
+
+(** Total payload bytes across all messages. *)
+val byte_count : 'a t -> int
+
+(** [bytes_with_tag t tag] sums bytes of messages carrying [tag]. *)
+val bytes_with_tag : 'a t -> string -> int
+
+(** [count_with_tag t tag] counts messages carrying [tag]. *)
+val count_with_tag : 'a t -> string -> int
+
+(** Occupancy charged to a sender for one message of [size] bytes. *)
+val send_occupancy : 'a t -> size:int -> float

@@ -1,0 +1,34 @@
+(** Hypercube topology with e-cube (dimension-ordered) routing, as on the
+    Intel iPSC/860. Partitions need not be full cubes: a topology over [n]
+    nodes is embedded in the smallest enclosing cube. *)
+
+type t
+
+(** [hypercube n] builds a topology over nodes [0 .. n-1]. *)
+val hypercube : int -> t
+
+val nodes : t -> int
+
+(** Dimension of the enclosing cube ([ceil (log2 n)], 0 for n = 1). *)
+val dimension : t -> int
+
+(** Number of links traversed between two nodes (Hamming distance). *)
+val hops : t -> int -> int -> int
+
+(** [route t src dst] is the e-cube route as the list of intermediate and
+    final nodes (excluding [src]; empty when [src = dst]). Every step flips
+    exactly one address bit, lowest dimension first. *)
+val route : t -> int -> int -> int list
+
+(** [neighbors t p] lists the cube neighbors of [p] that exist in the
+    (possibly partial) partition. *)
+val neighbors : t -> int -> int list
+
+(** [broadcast_rounds t] is the number of rounds a binomial-tree broadcast
+    needs to reach all nodes: [ceil (log2 n)]. *)
+val broadcast_rounds : t -> int
+
+(** [broadcast_schedule t ~root] assigns each node the round (1-based) in
+    which a binomial-tree broadcast from [root] reaches it; the root maps to
+    round 0. Nodes reached in round [r] number at most [2^(r-1)]. *)
+val broadcast_schedule : t -> root:int -> int array

@@ -1,0 +1,1 @@
+lib/sim/srandom.ml: Array Int64

@@ -1,0 +1,73 @@
+(* Two-list representation: [front] in order, [back] reversed. *)
+type 'a t = { mutable front : 'a list; mutable back : 'a list; mutable size : int }
+
+let create () = { front = []; back = []; size = 0 }
+
+let length t = t.size
+
+let is_empty t = t.size = 0
+
+let push_front t v =
+  t.front <- v :: t.front;
+  t.size <- t.size + 1
+
+let push_back t v =
+  t.back <- v :: t.back;
+  t.size <- t.size + 1
+
+let pop_front t =
+  match t.front with
+  | v :: rest ->
+      t.front <- rest;
+      t.size <- t.size - 1;
+      Some v
+  | [] -> (
+      match List.rev t.back with
+      | [] -> None
+      | v :: rest ->
+          t.back <- [];
+          t.front <- rest;
+          t.size <- t.size - 1;
+          Some v)
+
+let pop_back t =
+  match t.back with
+  | v :: rest ->
+      t.back <- rest;
+      t.size <- t.size - 1;
+      Some v
+  | [] -> (
+      match List.rev t.front with
+      | [] -> None
+      | v :: rest ->
+          t.front <- [];
+          t.back <- rest;
+          t.size <- t.size - 1;
+          Some v)
+
+let peek_front t =
+  match t.front with
+  | v :: _ -> Some v
+  | [] -> ( match List.rev t.back with v :: _ -> Some v | [] -> None)
+
+let peek_back t =
+  match t.back with
+  | v :: _ -> Some v
+  | [] -> ( match List.rev t.front with v :: _ -> Some v | [] -> None)
+
+let to_list t = t.front @ List.rev t.back
+
+let remove_first t p =
+  let rec split acc = function
+    | [] -> None
+    | v :: rest -> if p v then Some (v, List.rev_append acc rest) else split (v :: acc) rest
+  in
+  match split [] (to_list t) with
+  | None -> None
+  | Some (v, rest) ->
+      t.front <- rest;
+      t.back <- [];
+      t.size <- t.size - 1;
+      Some v
+
+let iter f t = List.iter f (to_list t)

@@ -1,0 +1,31 @@
+(** Double-ended queues, used for the paper's task-queue structures (the
+    shared-memory scheduler pops from the front of its own queue and steals
+    from the back of other processors' queues). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push_front : 'a t -> 'a -> unit
+
+val push_back : 'a t -> 'a -> unit
+
+val pop_front : 'a t -> 'a option
+
+val pop_back : 'a t -> 'a option
+
+val peek_front : 'a t -> 'a option
+
+val peek_back : 'a t -> 'a option
+
+(** [remove_first t p] removes and returns the first (front-most) element
+    satisfying [p]. O(n). *)
+val remove_first : 'a t -> ('a -> bool) -> 'a option
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val to_list : 'a t -> 'a list

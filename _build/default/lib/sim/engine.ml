@@ -1,0 +1,75 @@
+open Effect
+open Effect.Deep
+
+type t = {
+  events : (unit -> unit) Heap.t;
+  mutable clock : float;
+  mutable seq : int;
+  mutable live : int;
+  mutable processed : int;
+}
+
+type _ Effect.t += Await : (('a -> unit) -> unit) -> 'a Effect.t
+
+let create () =
+  { events = Heap.create (); clock = 0.0; seq = 0; live = 0; processed = 0 }
+
+let now t = t.clock
+
+let schedule t ?(delay = 0.0) f =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  t.seq <- t.seq + 1;
+  Heap.push t.events ~time:(t.clock +. delay) ~seq:t.seq f
+
+let run_process t f =
+  match_with f ()
+    {
+      retc = (fun () -> t.live <- t.live - 1);
+      exnc = raise;
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Await register ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  let resumed = ref false in
+                  register (fun v ->
+                      if !resumed then
+                        invalid_arg "Engine.await: resumed twice";
+                      resumed := true;
+                      continue k v))
+          | _ -> None);
+    }
+
+let spawn t f =
+  t.live <- t.live + 1;
+  schedule t (fun () -> run_process t f)
+
+let await _t register = perform (Await register)
+
+let delay t d =
+  if d < 0.0 then invalid_arg "Engine.delay: negative delay";
+  if d = 0.0 then
+    (* Still go through the queue so that same-time activities interleave
+       deterministically in scheduling order. *)
+    await t (fun resume -> schedule t (fun () -> resume ()))
+  else await t (fun resume -> schedule t ~delay:d (fun () -> resume ()))
+
+let run t =
+  let n0 = t.processed in
+  let continue_run = ref true in
+  while !continue_run do
+    if Heap.is_empty t.events then continue_run := false
+    else begin
+      let time, _seq, f = Heap.pop_min t.events in
+      if time < t.clock then invalid_arg "Engine.run: time went backwards";
+      t.clock <- time;
+      t.processed <- t.processed + 1;
+      f ()
+    end
+  done;
+  t.processed - n0
+
+let live_processes t = t.live
+
+let events_processed t = t.processed

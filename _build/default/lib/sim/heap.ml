@@ -1,0 +1,68 @@
+type 'a entry = { time : float; seq : int; value : 'a }
+
+type 'a t = { mutable data : 'a entry array; mutable size : int }
+
+let dummy = { time = 0.0; seq = 0; value = Obj.magic 0 }
+
+let create () = { data = Array.make 16 dummy; size = 0 }
+
+let length t = t.size
+
+let is_empty t = t.size = 0
+
+let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t =
+  let n = Array.length t.data in
+  let data = Array.make (2 * n) dummy in
+  Array.blit t.data 0 data 0 n;
+  t.data <- data
+
+let push t ~time ~seq value =
+  if t.size = Array.length t.data then grow t;
+  let e = { time; seq; value } in
+  (* Sift up. *)
+  let i = ref t.size in
+  t.size <- t.size + 1;
+  t.data.(!i) <- e;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if less e t.data.(parent) then begin
+      t.data.(!i) <- t.data.(parent);
+      t.data.(parent) <- e;
+      i := parent
+    end
+    else continue := false
+  done
+
+let sift_down t =
+  let e = t.data.(0) in
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < t.size && less t.data.(l) t.data.(!smallest) then smallest := l;
+    if r < t.size && less t.data.(r) t.data.(!smallest) then smallest := r;
+    if !smallest <> !i then begin
+      t.data.(!i) <- t.data.(!smallest);
+      t.data.(!smallest) <- e;
+      i := !smallest
+    end
+    else continue := false
+  done
+
+let pop_min t =
+  if t.size = 0 then raise Not_found;
+  let e = t.data.(0) in
+  t.size <- t.size - 1;
+  t.data.(0) <- t.data.(t.size);
+  t.data.(t.size) <- dummy;
+  if t.size > 0 then sift_down t;
+  (e.time, e.seq, e.value)
+
+let peek_min t =
+  if t.size = 0 then raise Not_found;
+  let e = t.data.(0) in
+  (e.time, e.seq, e.value)

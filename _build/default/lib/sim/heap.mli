@@ -1,0 +1,21 @@
+(** Binary min-heap keyed by [(time, seq)], used as the event queue of the
+    discrete-event engine. Ties on [time] are broken by insertion sequence,
+    which makes simulations deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+(** [push t ~time ~seq v] inserts [v] with priority [(time, seq)]. *)
+val push : 'a t -> time:float -> seq:int -> 'a -> unit
+
+(** [pop_min t] removes and returns the minimum element as
+    [(time, seq, v)]. Raises [Not_found] when empty. *)
+val pop_min : 'a t -> float * int * 'a
+
+(** [peek_min t] returns the minimum without removing it. *)
+val peek_min : 'a t -> float * int * 'a

@@ -1,0 +1,21 @@
+type 'a state = Empty of ('a -> unit) Queue.t | Full of 'a
+
+type 'a t = { mutable state : 'a state }
+
+let create () = { state = Empty (Queue.create ()) }
+
+let fill eng t v =
+  match t.state with
+  | Full _ -> invalid_arg "Ivar.fill: already filled"
+  | Empty waiters ->
+      t.state <- Full v;
+      Queue.iter (fun resume -> Engine.schedule eng (fun () -> resume v)) waiters
+
+let read eng t =
+  match t.state with
+  | Full v -> v
+  | Empty waiters -> Engine.await eng (fun resume -> Queue.add resume waiters)
+
+let is_full t = match t.state with Full _ -> true | Empty _ -> false
+
+let peek t = match t.state with Full v -> Some v | Empty _ -> None

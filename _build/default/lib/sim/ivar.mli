@@ -1,0 +1,19 @@
+(** Write-once synchronization cells for simulation processes.
+
+    An ivar starts empty; {!fill} sets its value exactly once and wakes all
+    blocked readers (at the fill's virtual time, in blocking order). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** Raises [Invalid_argument] if already filled. *)
+val fill : Engine.t -> 'a t -> 'a -> unit
+
+(** Blocks the calling process until the ivar is filled. Returns
+    immediately if it already is. *)
+val read : Engine.t -> 'a t -> 'a
+
+val is_full : 'a t -> bool
+
+val peek : 'a t -> 'a option

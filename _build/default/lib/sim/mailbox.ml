@@ -1,0 +1,17 @@
+type 'a t = { items : 'a Queue.t; waiters : ('a -> unit) Queue.t }
+
+let create () = { items = Queue.create (); waiters = Queue.create () }
+
+let send eng t v =
+  match Queue.take_opt t.waiters with
+  | Some resume -> Engine.schedule eng (fun () -> resume v)
+  | None -> Queue.add v t.items
+
+let recv eng t =
+  match Queue.take_opt t.items with
+  | Some v -> v
+  | None -> Engine.await eng (fun resume -> Queue.add resume t.waiters)
+
+let try_recv t = Queue.take_opt t.items
+
+let length t = Queue.length t.items

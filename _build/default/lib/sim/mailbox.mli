@@ -1,0 +1,19 @@
+(** Unbounded FIFO message queues with blocking receive, for communication
+    between simulation processes (e.g. a dispatcher waiting for work). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** Never blocks. If a process is blocked in {!recv}, it is woken at the
+    current virtual time. *)
+val send : Engine.t -> 'a t -> 'a -> unit
+
+(** Blocks the calling process until a message is available. Messages are
+    delivered in FIFO order; blocked receivers are served in FIFO order. *)
+val recv : Engine.t -> 'a t -> 'a
+
+val try_recv : 'a t -> 'a option
+
+(** Number of queued (undelivered) messages. *)
+val length : 'a t -> int

@@ -1,0 +1,43 @@
+type t = {
+  eng : Engine.t;
+  name : string;
+  waiters : (unit -> unit) Queue.t;
+  mutable held : bool;
+  mutable held_since : float;
+  mutable busy : float;
+}
+
+let create eng name =
+  { eng; name; waiters = Queue.create (); held = false; held_since = 0.0; busy = 0.0 }
+
+let name t = t.name
+
+let acquire t =
+  if not t.held then begin
+    t.held <- true;
+    t.held_since <- Engine.now t.eng
+  end
+  else begin
+    Engine.await t.eng (fun resume -> Queue.add (fun () -> resume ()) t.waiters);
+    (* The releaser transferred ownership to us; just stamp the hold start. *)
+    t.held_since <- Engine.now t.eng
+  end
+
+let release t =
+  if not t.held then invalid_arg "Resource.release: not held";
+  t.busy <- t.busy +. (Engine.now t.eng -. t.held_since);
+  match Queue.take_opt t.waiters with
+  | Some wake ->
+      (* Ownership passes directly to the next waiter (still held). *)
+      t.held_since <- Engine.now t.eng;
+      Engine.schedule t.eng wake
+  | None -> t.held <- false
+
+let use t dur =
+  acquire t;
+  Engine.delay t.eng dur;
+  release t
+
+let busy_time t = t.busy
+
+let is_busy t = t.held

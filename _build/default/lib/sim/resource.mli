@@ -1,0 +1,26 @@
+(** Unit-capacity resources with FIFO queueing, used to model serially
+    occupied hardware (a processor's network interface, a memory port).
+
+    Busy time is accumulated so utilization can be reported. *)
+
+type t
+
+val create : Engine.t -> string -> t
+
+val name : t -> string
+
+(** Blocks the calling process until the resource is free, then holds it. *)
+val acquire : t -> unit
+
+(** Releases the resource; the first queued acquirer (if any) is woken at
+    the current virtual time. Raises [Invalid_argument] if not held. *)
+val release : t -> unit
+
+(** [use t dur] = acquire; delay [dur]; release. The common case of
+    occupying hardware for a fixed service time. *)
+val use : t -> float -> unit
+
+(** Total virtual time during which the resource was held. *)
+val busy_time : t -> float
+
+val is_busy : t -> bool

@@ -1,0 +1,1 @@
+lib/sparse/etree.ml: Array Csc List

@@ -1,0 +1,1 @@
+lib/sparse/etree.mli: Csc

@@ -1,0 +1,1 @@
+lib/sparse/panel.ml: Array Hashtbl List Symbolic

@@ -1,0 +1,1 @@
+lib/sparse/spd_gen.ml: Array Csc Float Jade_sim

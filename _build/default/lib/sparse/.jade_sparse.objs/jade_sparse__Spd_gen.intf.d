@@ -1,0 +1,1 @@
+lib/sparse/spd_gen.mli: Csc

@@ -1,0 +1,1 @@
+lib/sparse/symbolic.ml: Array Csc Etree List

@@ -1,0 +1,68 @@
+let cholesky a =
+  let n = Array.length a in
+  let l = Array.make_matrix n n 0.0 in
+  for j = 0 to n - 1 do
+    let s = ref a.(j).(j) in
+    for k = 0 to j - 1 do
+      s := !s -. (l.(j).(k) *. l.(j).(k))
+    done;
+    if !s <= 0.0 then failwith "Dense.cholesky: matrix not positive definite";
+    l.(j).(j) <- sqrt !s;
+    for i = j + 1 to n - 1 do
+      let s = ref a.(i).(j) in
+      for k = 0 to j - 1 do
+        s := !s -. (l.(i).(k) *. l.(j).(k))
+      done;
+      l.(i).(j) <- !s /. l.(j).(j)
+    done
+  done;
+  l
+
+let mul_lt l =
+  let n = Array.length l in
+  let a = Array.make_matrix n n 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let s = ref 0.0 in
+      for k = 0 to min i j do
+        s := !s +. (l.(i).(k) *. l.(j).(k))
+      done;
+      a.(i).(j) <- !s
+    done
+  done;
+  a
+
+let max_diff a b =
+  let n = Array.length a in
+  let d = ref 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let x = Float.abs (a.(i).(j) -. b.(i).(j)) in
+      if x > !d then d := x
+    done
+  done;
+  !d
+
+let solve_lower l b =
+  let n = Array.length l in
+  let y = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    let s = ref b.(i) in
+    for k = 0 to i - 1 do
+      s := !s -. (l.(i).(k) *. y.(k))
+    done;
+    y.(i) <- !s /. l.(i).(i)
+  done;
+  y
+
+let solve_upper_t l b =
+  let n = Array.length l in
+  let x = Array.make n 0.0 in
+  for i = n - 1 downto 0 do
+    let s = ref b.(i) in
+    for k = i + 1 to n - 1 do
+      s := !s -. (l.(k).(i) *. x.(k))
+    done;
+    x.(i) <- !s /. l.(i).(i)
+  done;
+  x

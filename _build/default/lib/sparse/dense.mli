@@ -1,0 +1,18 @@
+(** Small dense linear algebra for verifying the sparse panel
+    factorization. *)
+
+(** [cholesky a] returns lower-triangular L with L L^T = a. Raises
+    [Failure] if [a] is not positive definite. [a] is not modified. *)
+val cholesky : float array array -> float array array
+
+(** [mul_lt l] computes L L^T. *)
+val mul_lt : float array array -> float array array
+
+(** Max absolute elementwise difference. *)
+val max_diff : float array array -> float array array -> float
+
+(** [solve_lower l b] solves L y = b (forward substitution). *)
+val solve_lower : float array array -> float array -> float array
+
+(** [solve_upper_t l b] solves L^T x = b given lower-triangular L. *)
+val solve_upper_t : float array array -> float array -> float array

@@ -1,0 +1,93 @@
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+type symmetry = General | Symmetric
+
+let parse_header line =
+  match String.split_on_char ' ' (String.lowercase_ascii (String.trim line)) with
+  | [ "%%matrixmarket"; "matrix"; "coordinate"; "real"; sym ] -> (
+      match sym with
+      | "general" -> General
+      | "symmetric" -> Symmetric
+      | s -> fail "unsupported symmetry %S" s)
+  | _ -> fail "bad MatrixMarket header: %S" line
+
+let read_string text =
+  let lines = String.split_on_char '\n' text in
+  let lines = List.filter (fun l -> String.trim l <> "") lines in
+  match lines with
+  | [] -> fail "empty document"
+  | header :: rest ->
+      let sym = parse_header header in
+      let rest = List.filter (fun l -> (String.trim l).[0] <> '%') rest in
+      (match rest with
+      | [] -> fail "missing size line"
+      | size_line :: entries ->
+          let nrows, ncols, nnz =
+            match
+              String.split_on_char ' ' (String.trim size_line)
+              |> List.filter (fun s -> s <> "")
+            with
+            | [ r; c; z ] -> (
+                try (int_of_string r, int_of_string c, int_of_string z)
+                with Failure _ -> fail "bad size line: %S" size_line)
+            | _ -> fail "bad size line: %S" size_line
+          in
+          if nrows <> ncols then
+            invalid_arg "Matrix_market.read: matrix is not square";
+          if List.length entries <> nnz then
+            fail "expected %d entries, found %d" nnz (List.length entries);
+          let triplets = ref [] in
+          List.iter
+            (fun line ->
+              match
+                String.split_on_char ' ' (String.trim line)
+                |> List.filter (fun s -> s <> "")
+              with
+              | [ i; j; v ] ->
+                  let i, j, v =
+                    try (int_of_string i, int_of_string j, float_of_string v)
+                    with Failure _ -> fail "bad entry line: %S" line
+                  in
+                  if i < 1 || i > nrows || j < 1 || j > ncols then
+                    fail "entry out of range: %S" line;
+                  let i = i - 1 and j = j - 1 in
+                  triplets := (i, j, v) :: !triplets;
+                  if sym = Symmetric && i <> j then
+                    triplets := (j, i, v) :: !triplets
+              | _ -> fail "bad entry line: %S" line)
+            entries;
+          Csc.of_triplets nrows !triplets)
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let content = really_input_string ic n in
+  close_in ic;
+  read_string content
+
+let write_string (a : Csc.t) =
+  let symmetric = Csc.is_symmetric a in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%%%%MatrixMarket matrix coordinate real %s\n"
+       (if symmetric then "symmetric" else "general"));
+  let entries = ref [] in
+  for j = 0 to a.Csc.n - 1 do
+    Csc.iter_col a j (fun i v ->
+        if (not symmetric) || i >= j then entries := (i, j, v) :: !entries)
+  done;
+  let entries = List.rev !entries in
+  Buffer.add_string buf
+    (Printf.sprintf "%d %d %d\n" a.Csc.n a.Csc.n (List.length entries));
+  List.iter
+    (fun (i, j, v) ->
+      Buffer.add_string buf (Printf.sprintf "%d %d %.17g\n" (i + 1) (j + 1) v))
+    entries;
+  Buffer.contents buf
+
+let write_file path a =
+  let oc = open_out path in
+  output_string oc (write_string a);
+  close_out oc

@@ -1,0 +1,20 @@
+(** MatrixMarket coordinate-format I/O, so real matrices (e.g. the
+    Harwell–Boeing/SuiteSparse sets the paper's BCSSTK15 comes from,
+    which are distributed in this format today) can be fed to Panel
+    Cholesky in place of the synthetic generators. *)
+
+exception Parse_error of string
+
+(** [read_string s] parses a [matrix coordinate real general|symmetric]
+    document. Symmetric storage (lower triangle) is expanded to the full
+    matrix. Raises {!Parse_error} on malformed input and
+    [Invalid_argument] on non-square matrices. *)
+val read_string : string -> Csc.t
+
+val read_file : string -> Csc.t
+
+(** [write_string a] emits [a] in coordinate format; symmetric matrices
+    are written with [symmetric] storage (lower triangle only). *)
+val write_string : Csc.t -> string
+
+val write_file : string -> Csc.t -> unit

@@ -1,0 +1,59 @@
+type t = {
+  npanels : int;
+  width : int;
+  first_col : int array;
+  last_col : int array;
+  rows : int array array;
+  row_bytes : int array;
+}
+
+let decompose (sym : Symbolic.t) ~width =
+  if width <= 0 then invalid_arg "Panel.decompose: width must be positive";
+  let n = sym.Symbolic.n in
+  let npanels = (n + width - 1) / width in
+  let first_col = Array.init npanels (fun p -> p * width) in
+  let last_col = Array.init npanels (fun p -> min (n - 1) (((p + 1) * width) - 1)) in
+  let rows =
+    Array.init npanels (fun p ->
+        let set = Hashtbl.create 64 in
+        for c = first_col.(p) to last_col.(p) do
+          Array.iter
+            (fun r -> Hashtbl.replace set r ())
+            sym.Symbolic.col_rows.(c)
+        done;
+        let l = Hashtbl.fold (fun r () acc -> r :: acc) set [] in
+        Array.of_list (List.sort compare l))
+  in
+  let row_bytes =
+    Array.init npanels (fun p ->
+        let ncols = last_col.(p) - first_col.(p) + 1 in
+        8 * ncols * Array.length rows.(p))
+  in
+  { npanels; width; first_col; last_col; rows; row_bytes }
+
+let panel_of_col t c =
+  let rec go p =
+    if p >= t.npanels then invalid_arg "Panel.panel_of_col: out of range"
+    else if c >= t.first_col.(p) && c <= t.last_col.(p) then p
+    else go (p + 1)
+  in
+  if c < 0 then invalid_arg "Panel.panel_of_col: negative column" else go 0
+
+let updates t (sym : Symbolic.t) =
+  let deps = Array.make t.npanels [] in
+  (* Source panel j updates destination panel k (j < k) iff some column of
+     j has a structural nonzero row landing in k's column range. *)
+  for j = 0 to t.npanels - 1 do
+    let touched = Hashtbl.create 8 in
+    for c = t.first_col.(j) to t.last_col.(j) do
+      Array.iter
+        (fun r ->
+          if r > t.last_col.(j) then begin
+            let k = panel_of_col t r in
+            if k > j then Hashtbl.replace touched k ()
+          end)
+        sym.Symbolic.col_rows.(c)
+    done;
+    Hashtbl.iter (fun k () -> deps.(k) <- j :: deps.(k)) touched
+  done;
+  Array.map (fun l -> List.sort compare l) deps

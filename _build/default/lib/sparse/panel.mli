@@ -1,0 +1,25 @@
+(** Panel decomposition for Panel Cholesky: adjacent columns are grouped
+    into panels; the task graph has one internal-update task per panel and
+    one external-update task per ordered pair of panels with overlapping
+    nonzero patterns (§4). *)
+
+type t = {
+  npanels : int;
+  width : int;  (** nominal panel width *)
+  first_col : int array;  (** first column of each panel *)
+  last_col : int array;  (** last column (inclusive) *)
+  rows : int array array;
+      (** per panel: sorted union of the L row patterns of its columns *)
+  row_bytes : int array;  (** modelled storage size of each panel *)
+}
+
+(** [decompose symbolic ~width] groups columns into panels of [width]. *)
+val decompose : Symbolic.t -> width:int -> t
+
+(** Panel containing column [c]. *)
+val panel_of_col : t -> int -> int
+
+(** [updates t symbolic] lists, per destination panel k, the source panels
+    j < k whose columns have structural nonzeros in k's column range —
+    i.e. the external updates that must precede k's internal update. *)
+val updates : t -> Symbolic.t -> int list array

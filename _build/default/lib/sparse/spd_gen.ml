@@ -1,0 +1,72 @@
+let grid_index k x y = (y * k) + x
+
+let grid_laplacian k =
+  if k <= 0 then invalid_arg "Spd_gen.grid_laplacian: k must be positive";
+  let entries = ref [] in
+  let add i j v = entries := (i, j, v) :: !entries in
+  for y = 0 to k - 1 do
+    for x = 0 to k - 1 do
+      let i = grid_index k x y in
+      add i i 4.25;
+      if x + 1 < k then begin
+        let j = grid_index k (x + 1) y in
+        add i j (-1.0);
+        add j i (-1.0)
+      end;
+      if y + 1 < k then begin
+        let j = grid_index k x (y + 1) in
+        add i j (-1.0);
+        add j i (-1.0)
+      end
+    done
+  done;
+  Csc.of_triplets (k * k) !entries
+
+let grid_laplacian9 k =
+  if k <= 0 then invalid_arg "Spd_gen.grid_laplacian9: k must be positive";
+  let entries = ref [] in
+  let add i j v = entries := (i, j, v) :: !entries in
+  for y = 0 to k - 1 do
+    for x = 0 to k - 1 do
+      let i = grid_index k x y in
+      add i i 8.5;
+      let neighbor dx dy w =
+        let x' = x + dx and y' = y + dy in
+        if x' >= 0 && x' < k && y' >= 0 && y' < k then begin
+          let j = grid_index k x' y' in
+          (* Only emit each undirected edge once (from the lower index). *)
+          if j > i then begin
+            add i j w;
+            add j i w
+          end
+        end
+      in
+      neighbor 1 0 (-1.0);
+      neighbor 0 1 (-1.0);
+      neighbor 1 1 (-0.5);
+      neighbor (-1) 1 (-0.5)
+    done
+  done;
+  Csc.of_triplets (k * k) !entries
+
+let banded ~n ~bandwidth ~fill ~seed =
+  if n <= 0 then invalid_arg "Spd_gen.banded: n must be positive";
+  if fill < 0.0 || fill > 1.0 then invalid_arg "Spd_gen.banded: fill in [0,1]";
+  let g = Jade_sim.Srandom.create seed in
+  let entries = ref [] in
+  let row_weight = Array.make n 0.0 in
+  for j = 0 to n - 1 do
+    for i = j + 1 to min (n - 1) (j + bandwidth) do
+      if Jade_sim.Srandom.float g 1.0 < fill then begin
+        let v = -.(0.1 +. Jade_sim.Srandom.float g 0.9) in
+        entries := (i, j, v) :: (j, i, v) :: !entries;
+        row_weight.(i) <- row_weight.(i) +. Float.abs v;
+        row_weight.(j) <- row_weight.(j) +. Float.abs v
+      end
+    done
+  done;
+  for i = 0 to n - 1 do
+    (* Strict diagonal dominance ensures positive definiteness. *)
+    entries := (i, i, row_weight.(i) +. 1.0) :: !entries
+  done;
+  Csc.of_triplets n !entries

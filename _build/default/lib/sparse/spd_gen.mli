@@ -1,0 +1,17 @@
+(** Synthetic symmetric positive-definite matrices. Stands in for the
+    BCSSTK15 Harwell–Boeing matrix of the paper's Panel Cholesky runs:
+    grid Laplacians give a realistic elimination-tree / fill structure of
+    similar profile. *)
+
+(** [grid_laplacian k] is the 5-point Laplacian on a k x k grid
+    (n = k^2), diagonally boosted to be strictly SPD. *)
+val grid_laplacian : int -> Csc.t
+
+(** [grid_laplacian9 k] is the 9-point (box stencil) variant, denser,
+    closer to a structural-mechanics profile. *)
+val grid_laplacian9 : int -> Csc.t
+
+(** [banded ~n ~bandwidth ~fill ~seed] is a random banded SPD matrix:
+    within the band, off-diagonals are present with probability [fill];
+    the diagonal dominates. *)
+val banded : n:int -> bandwidth:int -> fill:float -> seed:int -> Csc.t

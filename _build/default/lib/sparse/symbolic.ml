@@ -1,0 +1,45 @@
+type t = {
+  n : int;
+  parent : int array;
+  col_rows : int array array;
+  col_counts : int array;
+  nnz_l : int;
+}
+
+(* Row-subtree traversal: L(i, j) is nonzero iff j is on the etree path
+   from some k (with A(i,k) nonzero, k < i) up toward i. For each row i we
+   walk up from each such k, marking columns until we reach a node already
+   marked for row i (or i itself). *)
+let factor (a : Csc.t) =
+  let n = a.Csc.n in
+  let parent = Etree.parents a in
+  let mark = Array.make n (-1) in
+  let cols = Array.make n [] in
+  for i = 0 to n - 1 do
+    mark.(i) <- i;
+    (* Diagonal is always present. *)
+    cols.(i) <- i :: cols.(i);
+    Csc.iter_col a i (fun k _ ->
+        (* Column i of symmetric A lists the row pattern of row i. *)
+        if k < i then begin
+          let j = ref k in
+          while !j <> -1 && !j < i && mark.(!j) <> i do
+            mark.(!j) <- i;
+            cols.(!j) <- i :: cols.(!j);
+            j := parent.(!j)
+          done
+        end)
+  done;
+  let col_rows =
+    Array.map (fun l -> Array.of_list (List.sort compare l)) cols
+  in
+  let col_counts = Array.map Array.length col_rows in
+  let nnz_l = Array.fold_left ( + ) 0 col_counts in
+  { n; parent; col_rows; col_counts; nnz_l }
+
+let fill_ratio t (a : Csc.t) =
+  let lower_nnz = ref 0 in
+  for j = 0 to a.Csc.n - 1 do
+    Csc.iter_col a j (fun i _ -> if i >= j then incr lower_nnz)
+  done;
+  float_of_int t.nnz_l /. float_of_int !lower_nnz

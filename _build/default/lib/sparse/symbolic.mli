@@ -1,0 +1,18 @@
+(** Symbolic Cholesky factorization: the nonzero structure of L, computed
+    by row subtrees of the elimination tree (no numerics). *)
+
+type t = {
+  n : int;
+  parent : int array;  (** elimination tree *)
+  col_rows : int array array;
+      (** per column j: sorted row indices of L(:,j), including j *)
+  col_counts : int array;  (** |col_rows.(j)| *)
+  nnz_l : int;
+}
+
+(** [factor a] computes the structure of the Cholesky factor of symmetric
+    [a]. *)
+val factor : Csc.t -> t
+
+(** [fill_ratio t a] is nnz(L) / nnz(lower triangle of A). *)
+val fill_ratio : t -> Csc.t -> float

@@ -1,0 +1,1 @@
+test/test_advanced.ml: Alcotest Array Jade List Printf

@@ -1,0 +1,1 @@
+test/test_app_properties.ml: Alcotest App_common Array Cholesky Float Jade Jade_apps Jade_sparse Ocean Printf QCheck QCheck_alcotest String_app Water

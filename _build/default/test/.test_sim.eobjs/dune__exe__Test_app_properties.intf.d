@@ -1,0 +1,1 @@
+test/test_app_properties.mli:

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest App_common Array Cholesky Float Jade Jade_apps Jade_sparse Lazy List Ocean Printf String_app Water

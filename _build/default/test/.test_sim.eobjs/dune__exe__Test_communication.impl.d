@@ -1,0 +1,1 @@
+test/test_communication.ml: Alcotest Array Jade Printf

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Analyses Figures Jade Jade_experiments List Paper_data Printf Report Runner String Tables

@@ -1,0 +1,1 @@
+test/test_lan.ml: Alcotest Array Engine Fabric Float Hashtbl Jade Jade_apps Jade_machines Jade_net Jade_sim Jade_sparse List Mnode Printf Topology

@@ -1,0 +1,1 @@
+test/test_matrix_market.ml: Alcotest Csc Dense Filename Jade_sparse List Matrix_market Printf Spd_gen String Sys

@@ -1,0 +1,1 @@
+test/test_random_programs.ml: Alcotest Array Fun Jade Jade_sim List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_runtime_smoke.ml: Alcotest Array Jade List Printf

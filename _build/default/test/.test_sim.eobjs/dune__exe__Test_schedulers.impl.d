@@ -1,0 +1,1 @@
+test/test_schedulers.ml: Alcotest Array Jade List Option Printf

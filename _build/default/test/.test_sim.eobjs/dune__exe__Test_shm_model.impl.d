@@ -1,0 +1,1 @@
+test/test_shm_model.ml: Alcotest Array Jade Jade_machines List Printf

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Deque Engine Fun Heap Ivar Jade_sim List Mailbox QCheck QCheck_alcotest Resource Srandom

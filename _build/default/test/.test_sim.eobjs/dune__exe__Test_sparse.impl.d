@@ -1,0 +1,1 @@
+test/test_sparse.ml: Alcotest Array Csc Dense Etree Float Jade_sparse List Panel Printf QCheck QCheck_alcotest Spd_gen Symbolic

@@ -1,0 +1,1 @@
+test/test_synchronizer.ml: Alcotest Array Fun Hashtbl Jade Jade_sim List Option Printf QCheck QCheck_alcotest

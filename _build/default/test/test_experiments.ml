@@ -1,0 +1,220 @@
+(* Tests for the experiments layer: runner memoization, baselines, table
+   and figure structure (at test scale so each check is fast), rendering,
+   and the transcribed paper data. *)
+
+open Jade_experiments
+
+let r = Runner.create Runner.Test
+
+let test_run_is_memoized () =
+  let s1 =
+    Runner.run r ~app:Runner.Ocean ~machine:Runner.Ipsc ~nprocs:4
+      ~config:Jade.Config.default ~placed:false
+  in
+  let s2 =
+    Runner.run r ~app:Runner.Ocean ~machine:Runner.Ipsc ~nprocs:4
+      ~config:Jade.Config.default ~placed:false
+  in
+  Alcotest.(check bool) "same physical summary" true (s1 == s2)
+
+let test_different_config_not_shared () =
+  let s1 =
+    Runner.run r ~app:Runner.Ocean ~machine:Runner.Ipsc ~nprocs:4
+      ~config:Jade.Config.default ~placed:false
+  in
+  let s2 =
+    Runner.run r ~app:Runner.Ocean ~machine:Runner.Ipsc ~nprocs:4
+      ~config:{ Jade.Config.default with Jade.Config.adaptive_broadcast = false }
+      ~placed:false
+  in
+  Alcotest.(check bool) "distinct cache entries" true (not (s1 == s2))
+
+let test_serial_vs_stripped () =
+  List.iter
+    (fun machine ->
+      List.iter
+        (fun app ->
+          let serial = Runner.serial_time r ~app ~machine in
+          let stripped = Runner.stripped_time r ~app ~machine in
+          Alcotest.(check bool) "positive" true (serial > 0.0 && stripped > 0.0);
+          Alcotest.(check bool) "same order of magnitude" true
+            (serial /. stripped < 1.5 && stripped /. serial < 1.5))
+        Runner.all_apps)
+    [ Runner.Dash; Runner.Ipsc ]
+
+let test_task_management_pct_bounds () =
+  let pct =
+    Runner.task_management_pct r ~app:Runner.Cholesky ~machine:Runner.Ipsc
+      ~nprocs:4 ~level:Runner.Tp
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "pct in (0, 100], got %.2f" pct)
+    true
+    (pct > 0.0 && pct <= 100.0)
+
+let expected_rows = function
+  | Runner.Water | Runner.String_ -> 2
+  | Runner.Ocean | Runner.Cholesky -> 3
+
+let test_table_structure () =
+  List.iter
+    (fun n ->
+      let t = Tables.table r n in
+      Alcotest.(check bool)
+        (Printf.sprintf "table %d has rows" n)
+        true
+        (List.length t.Report.rows >= 2);
+      List.iter
+        (fun (_, vs) ->
+          Alcotest.(check int)
+            (Printf.sprintf "table %d row width" n)
+            (List.length t.Report.columns)
+            (List.length vs))
+        t.Report.rows)
+    (List.init 14 (fun i -> i + 1))
+
+let test_locality_tables_have_level_rows () =
+  List.iter
+    (fun (n, app) ->
+      let t = Tables.table r n in
+      Alcotest.(check int)
+        (Printf.sprintf "table %d row count" n)
+        (expected_rows app)
+        (List.length t.Report.rows))
+    [ (2, Runner.Water); (3, Runner.String_); (4, Runner.Ocean); (5, Runner.Cholesky) ]
+
+let test_figures_cover_range () =
+  List.iter
+    (fun n ->
+      let t = Figures.figure r n in
+      List.iter
+        (fun (label, vs) ->
+          List.iter
+            (function
+              | Some v ->
+                  if n <= 5 || (n >= 12 && n <= 15) then
+                    Alcotest.(check bool)
+                      (Printf.sprintf "figure %d %s in [0,100]" n label)
+                      true
+                      (v >= 0.0 && v <= 100.0)
+                  else
+                    Alcotest.(check bool)
+                      (Printf.sprintf "figure %d %s nonnegative" n label)
+                      true (v >= 0.0)
+              | None -> Alcotest.fail "missing figure value")
+            vs)
+        t.Report.rows)
+    (List.init 20 (fun i -> i + 2))
+
+let test_figure_out_of_range () =
+  Alcotest.check_raises "figure 1 does not exist"
+    (Invalid_argument "Figures.figure: the paper has figures 2-21") (fun () ->
+      ignore (Figures.figure r 1));
+  Alcotest.check_raises "table 15 does not exist"
+    (Invalid_argument "Tables.table: the paper has tables 1-14") (fun () ->
+      ignore (Tables.table r 15))
+
+let test_paper_data_complete () =
+  for n = 1 to 14 do
+    match Paper_data.table n with
+    | None -> Alcotest.fail (Printf.sprintf "paper table %d missing" n)
+    | Some t ->
+        List.iter
+          (fun (_, vs) ->
+            Alcotest.(check int)
+              (Printf.sprintf "paper table %d row width" n)
+              (List.length t.Report.columns)
+              (List.length vs))
+          t.Report.rows
+  done;
+  Alcotest.(check bool) "no table 15" true (Paper_data.table 15 = None)
+
+let test_paper_data_spot_values () =
+  (* Spot-check transcription against the paper text. *)
+  match Paper_data.table 9 with
+  | Some t ->
+      let tp = List.assoc "Task Placement" t.Report.rows in
+      Alcotest.(check (option (float 0.0))) "Ocean TP @1" (Some 77.44)
+        (List.nth tp 0);
+      Alcotest.(check (option (float 0.0))) "Ocean TP @32" (Some 51.87)
+        (List.nth tp 6)
+  | None -> Alcotest.fail "table 9 missing"
+
+let test_render_contains_cells () =
+  let t =
+    {
+      Report.id = "Table X";
+      title = "demo";
+      columns = [ "a"; "b" ];
+      rows = [ ("row", [ Some 1.5; None ]) ];
+      unit_label = "units";
+    }
+  in
+  let s = Report.render t in
+  let contains needle =
+    let nh = String.length s and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub s i nn = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "header" true (contains "Table X: demo (units)");
+  Alcotest.(check bool) "value" true (contains "1.500");
+  Alcotest.(check bool) "missing cell dash" true (contains "-")
+
+let test_csv_export () =
+  let t =
+    {
+      Report.id = "Table X";
+      title = "demo";
+      columns = [ "a"; "b" ];
+      rows = [ ("row,1", [ Some 1.5; None ]); ("plain", [ Some 2.0; Some 3.0 ]) ];
+      unit_label = "units";
+    }
+  in
+  Alcotest.(check string) "csv"
+    ",a,b\n\"row,1\",1.5,\nplain,2,3\n"
+    (Report.to_csv t)
+
+let test_analyses_render () =
+  (* All analyses run at test scale without raising and produce rows. *)
+  List.iter
+    (fun t ->
+      Alcotest.(check bool)
+        (t.Report.id ^ " has rows")
+        true
+        (List.length t.Report.rows > 0))
+    (Analyses.all r)
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "runner",
+        [
+          Alcotest.test_case "memoized" `Quick test_run_is_memoized;
+          Alcotest.test_case "config keys cache" `Quick
+            test_different_config_not_shared;
+          Alcotest.test_case "serial vs stripped" `Quick test_serial_vs_stripped;
+          Alcotest.test_case "mgmt pct bounds" `Quick
+            test_task_management_pct_bounds;
+        ] );
+      ( "tables",
+        [
+          Alcotest.test_case "structure" `Quick test_table_structure;
+          Alcotest.test_case "level rows" `Quick test_locality_tables_have_level_rows;
+        ] );
+      ( "figures",
+        [
+          Alcotest.test_case "ranges" `Quick test_figures_cover_range;
+          Alcotest.test_case "out of range" `Quick test_figure_out_of_range;
+        ] );
+      ( "paper data",
+        [
+          Alcotest.test_case "complete" `Quick test_paper_data_complete;
+          Alcotest.test_case "spot values" `Quick test_paper_data_spot_values;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "render" `Quick test_render_contains_cells;
+          Alcotest.test_case "csv export" `Quick test_csv_export;
+          Alcotest.test_case "analyses render" `Quick test_analyses_render;
+        ] );
+    ]

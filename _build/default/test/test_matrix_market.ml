@@ -1,0 +1,124 @@
+(* MatrixMarket I/O tests: parsing, symmetric expansion, round-trips,
+   error reporting, and feeding a parsed matrix through the dense
+   verification path. *)
+
+open Jade_sparse
+
+let doc_general =
+  "%%MatrixMarket matrix coordinate real general\n\
+   % a comment line\n\
+   3 3 4\n\
+   1 1 2.0\n\
+   2 2 3.0\n\
+   3 1 -1.0\n\
+   3 3 4.0\n"
+
+let doc_symmetric =
+  "%%MatrixMarket matrix coordinate real symmetric\n\
+   3 3 4\n\
+   1 1 4.0\n\
+   2 1 -1.0\n\
+   2 2 4.0\n\
+   3 3 4.0\n"
+
+let test_parse_general () =
+  let a = Matrix_market.read_string doc_general in
+  Alcotest.(check int) "n" 3 a.Csc.n;
+  Alcotest.(check int) "nnz" 4 (Csc.nnz a);
+  Alcotest.(check (float 0.0)) "a31" (-1.0) (Csc.get a 2 0);
+  Alcotest.(check (float 0.0)) "a13 absent" 0.0 (Csc.get a 0 2)
+
+let test_parse_symmetric_expands () =
+  let a = Matrix_market.read_string doc_symmetric in
+  Alcotest.(check int) "expanded nnz" 5 (Csc.nnz a);
+  Alcotest.(check (float 0.0)) "mirror entry" (-1.0) (Csc.get a 0 1);
+  Alcotest.(check bool) "symmetric" true (Csc.is_symmetric a)
+
+let test_roundtrip_symmetric () =
+  let a = Spd_gen.grid_laplacian9 5 in
+  let b = Matrix_market.read_string (Matrix_market.write_string a) in
+  Alcotest.(check int) "same nnz" (Csc.nnz a) (Csc.nnz b);
+  for j = 0 to a.Csc.n - 1 do
+    Csc.iter_col a j (fun i v ->
+        Alcotest.(check (float 0.0)) (Printf.sprintf "(%d,%d)" i j) v (Csc.get b i j))
+  done
+
+let test_roundtrip_general () =
+  let a = Csc.of_triplets 3 [ (0, 1, 5.0); (2, 0, 1.5) ] in
+  let text = Matrix_market.write_string a in
+  Alcotest.(check string) "written as general"
+    "%%MatrixMarket matrix coordinate real general"
+    (List.hd (String.split_on_char '\n' text));
+  let b = Matrix_market.read_string text in
+  Alcotest.(check (float 0.0)) "entry preserved" 5.0 (Csc.get b 0 1);
+  Alcotest.(check (float 0.0)) "other entry" 1.5 (Csc.get b 2 0)
+
+let test_file_roundtrip () =
+  let a = Spd_gen.banded ~n:12 ~bandwidth:3 ~fill:0.7 ~seed:5 in
+  let path = Filename.temp_file "jade" ".mtx" in
+  Matrix_market.write_file path a;
+  let b = Matrix_market.read_file path in
+  Sys.remove path;
+  Alcotest.(check int) "nnz preserved" (Csc.nnz a) (Csc.nnz b);
+  Alcotest.(check bool) "still factors" true
+    (Dense.max_diff
+       (Dense.mul_lt (Dense.cholesky (Csc.to_dense b)))
+       (Csc.to_dense a)
+    < 1e-9)
+
+let check_parse_error doc fragment =
+  match Matrix_market.read_string doc with
+  | exception Matrix_market.Parse_error msg ->
+      let contains =
+        let nh = String.length msg and nn = String.length fragment in
+        let rec go i = i + nn <= nh && (String.sub msg i nn = fragment || go (i + 1)) in
+        nn = 0 || go 0
+      in
+      Alcotest.(check bool) (Printf.sprintf "error mentions %S" fragment) true contains
+  | _ -> Alcotest.fail "expected Parse_error"
+
+let test_errors () =
+  check_parse_error "" "empty";
+  check_parse_error "%%MatrixMarket matrix array real general\n1 1 1\n" "header";
+  check_parse_error "%%MatrixMarket matrix coordinate real general\n" "size";
+  check_parse_error "%%MatrixMarket matrix coordinate real general\n2 2 1\n" "entries";
+  check_parse_error
+    "%%MatrixMarket matrix coordinate real general\n2 2 1\n5 1 1.0\n" "range";
+  check_parse_error
+    "%%MatrixMarket matrix coordinate real complex\n1 1 1\n1 1 1.0\n" "symmetry"
+
+let test_non_square_rejected () =
+  Alcotest.check_raises "non-square"
+    (Invalid_argument "Matrix_market.read: matrix is not square") (fun () ->
+      ignore
+        (Matrix_market.read_string
+           "%%MatrixMarket matrix coordinate real general\n2 3 1\n1 1 1.0\n"))
+
+let test_parsed_matrix_through_cholesky () =
+  (* A matrix arriving via the interchange format factors identically to
+     the in-memory one. *)
+  let a = Spd_gen.grid_laplacian 4 in
+  let b = Matrix_market.read_string (Matrix_market.write_string a) in
+  let la = Dense.cholesky (Csc.to_dense a) in
+  let lb = Dense.cholesky (Csc.to_dense b) in
+  Alcotest.(check (float 0.0)) "identical factors" 0.0 (Dense.max_diff la lb)
+
+let () =
+  Alcotest.run "matrix_market"
+    [
+      ( "parse",
+        [
+          Alcotest.test_case "general" `Quick test_parse_general;
+          Alcotest.test_case "symmetric expands" `Quick test_parse_symmetric_expands;
+          Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "non-square" `Quick test_non_square_rejected;
+        ] );
+      ( "roundtrip",
+        [
+          Alcotest.test_case "symmetric" `Quick test_roundtrip_symmetric;
+          Alcotest.test_case "general" `Quick test_roundtrip_general;
+          Alcotest.test_case "file" `Quick test_file_roundtrip;
+          Alcotest.test_case "through cholesky" `Quick
+            test_parsed_matrix_through_cholesky;
+        ] );
+    ]

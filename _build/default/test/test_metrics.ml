@@ -1,0 +1,74 @@
+(* Tests for metric accumulation and summary derivation. *)
+
+module M = Jade.Metrics
+
+let test_empty_summary () =
+  let s = M.summary (M.create ()) in
+  Alcotest.(check (float 0.0)) "no tasks -> 100% locality" 100.0 s.M.locality_pct;
+  Alcotest.(check (float 0.0)) "no comm" 0.0 s.M.comm_to_comp;
+  Alcotest.(check (float 0.0)) "latency ratio defaults to 1" 1.0 s.M.latency_ratio
+
+let test_locality_pct () =
+  let m = M.create () in
+  m.M.tasks_executed <- 8;
+  m.M.tasks_on_target <- 6;
+  Alcotest.(check (float 1e-9)) "75%" 75.0 (M.summary m).M.locality_pct
+
+let test_comm_to_comp () =
+  let m = M.create () in
+  m.M.comm_bytes <- 3.0e6;
+  m.M.total_task_time <- 2.0;
+  Alcotest.(check (float 1e-9)) "MB per second of task time" 1.5
+    (M.summary m).M.comm_to_comp
+
+let test_latency_ratio () =
+  let m = M.create () in
+  m.M.object_latency <- 4.0;
+  m.M.task_latency <- 2.0;
+  Alcotest.(check (float 1e-9)) "parallelized fetches" 2.0
+    (M.summary m).M.latency_ratio
+
+let test_summary_copies_counts () =
+  let m = M.create () in
+  m.M.tasks_executed <- 3;
+  m.M.messages <- 17;
+  m.M.object_fetches <- 5;
+  m.M.broadcasts <- 2;
+  m.M.eager_transfers <- 4;
+  m.M.steals <- 1;
+  m.M.elapsed <- 1.25;
+  let s = M.summary m in
+  Alcotest.(check int) "tasks" 3 s.M.tasks;
+  Alcotest.(check int) "messages" 17 s.M.msg_count;
+  Alcotest.(check int) "fetches" 5 s.M.fetches;
+  Alcotest.(check int) "broadcasts" 2 s.M.broadcast_count;
+  Alcotest.(check int) "eager" 4 s.M.eager_count;
+  Alcotest.(check int) "steals" 1 s.M.steal_count;
+  Alcotest.(check (float 0.0)) "elapsed" 1.25 s.M.elapsed_s
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_pp_summary_renders () =
+  let m = M.create () in
+  m.M.tasks_executed <- 2;
+  m.M.elapsed <- 0.5;
+  let str = Format.asprintf "%a" M.pp_summary (M.summary m) in
+  Alcotest.(check bool) "mentions elapsed" true (contains str "elapsed=0.5000s");
+  Alcotest.(check bool) "mentions tasks" true (contains str "tasks=2")
+
+let () =
+  Alcotest.run "metrics"
+    [
+      ( "summary",
+        [
+          Alcotest.test_case "empty" `Quick test_empty_summary;
+          Alcotest.test_case "locality pct" `Quick test_locality_pct;
+          Alcotest.test_case "comm/comp" `Quick test_comm_to_comp;
+          Alcotest.test_case "latency ratio" `Quick test_latency_ratio;
+          Alcotest.test_case "counts copied" `Quick test_summary_copies_counts;
+          Alcotest.test_case "pp renders" `Quick test_pp_summary_renders;
+        ] );
+    ]

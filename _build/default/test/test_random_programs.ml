@@ -1,0 +1,206 @@
+(* The central correctness property of the whole system: for RANDOM Jade
+   programs, parallel execution on either simulated machine under ANY
+   optimization configuration produces exactly the result of executing the
+   tasks serially in creation order.
+
+   A random program is a set of shared float-array objects plus a list of
+   tasks with random access specifications. Each task body reads its
+   declared read-objects, then writes a deterministic function of what it
+   read into its declared write-objects — so any violation of the
+   dependence order changes the final state. *)
+
+module R = Jade.Runtime
+
+type op = {
+  op_id : int;
+  reads : int list;  (** object indices declared rd *)
+  writes : int list;  (** object indices declared wr *)
+  updates : int list;  (** object indices declared rw *)
+  placement : int option;
+  early_release : int list;
+      (** subset of the declared objects released mid-body, right after the
+          computation touched them — exercises the advanced §2 statements
+          inside the serial-equivalence property *)
+}
+
+type prog = { nobjs : int; ops : op list }
+
+let gen_prog g ~nprocs =
+  let nobjs = 2 + Jade_sim.Srandom.int g 5 in
+  let nops = 3 + Jade_sim.Srandom.int g 30 in
+  let ops =
+    List.init nops (fun op_id ->
+        let order = Array.init nobjs Fun.id in
+        Jade_sim.Srandom.shuffle g order;
+        let count = 1 + Jade_sim.Srandom.int g (min 3 nobjs) in
+        let reads = ref [] and writes = ref [] and updates = ref [] in
+        for k = 0 to count - 1 do
+          match Jade_sim.Srandom.int g 3 with
+          | 0 -> reads := order.(k) :: !reads
+          | 1 -> writes := order.(k) :: !writes
+          | _ -> updates := order.(k) :: !updates
+        done;
+        let placement =
+          if Jade_sim.Srandom.int g 5 = 0 then
+            Some (Jade_sim.Srandom.int g nprocs)
+          else None
+        in
+        let declared = !reads @ !writes @ !updates in
+        let early_release =
+          List.filter (fun _ -> Jade_sim.Srandom.int g 4 = 0) declared
+        in
+        { op_id; reads = !reads; writes = !writes; updates = !updates;
+          placement; early_release })
+  in
+  { nobjs; ops }
+
+(* The deterministic task computation over plain arrays. *)
+let apply_op op (arrays : float array array) =
+  let sum =
+    List.fold_left
+      (fun acc i -> acc +. arrays.(i).(0))
+      0.0 (op.reads @ op.updates)
+  in
+  let v = (sum *. 1.000731) +. float_of_int ((op.op_id * 37) + 11) in
+  List.iter
+    (fun i ->
+      arrays.(i).(0) <- v +. float_of_int i;
+      arrays.(i).(1) <- arrays.(i).(1) +. 1.0)
+    (op.writes @ op.updates)
+
+let serial_result prog =
+  let arrays = Array.init prog.nobjs (fun i -> [| float_of_int i; 0.0 |]) in
+  List.iter (fun op -> apply_op op arrays) prog.ops;
+  arrays
+
+let jade_program prog ~nprocs rt =
+  let objs =
+    Array.init prog.nobjs (fun i ->
+        R.create_object rt
+          ~home:(i mod nprocs)
+          ~name:(Printf.sprintf "obj%d" i)
+          ~size:(64 * (i + 1))
+          [| float_of_int i; 0.0 |])
+  in
+  List.iter
+    (fun op ->
+      let placement =
+        match op.placement with Some p when p < nprocs -> Some p | _ -> None
+      in
+      R.withonly rt ?placement
+        ~name:(Printf.sprintf "op%d" op.op_id)
+        ~work:(float_of_int (100 + (op.op_id * 13 mod 500)))
+        ~accesses:(fun s ->
+          List.iter (fun i -> Jade.Spec.rd s objs.(i)) op.reads;
+          List.iter (fun i -> Jade.Spec.wr s objs.(i)) op.writes;
+          List.iter (fun i -> Jade.Spec.rw s objs.(i)) op.updates)
+        (fun env ->
+          (* Checked accessors: reads and writes both verify the spec. *)
+          let arrays =
+            Array.init prog.nobjs (fun i ->
+                if List.mem i op.reads then R.rd env objs.(i)
+                else if List.mem i (op.writes @ op.updates) then R.wr env objs.(i)
+                else [| 0.0; 0.0 |])
+          in
+          apply_op op arrays;
+          List.iter (fun i -> R.release env objs.(i)) op.early_release))
+    prog.ops;
+  R.drain rt;
+  Array.map Jade.Shared.data objs
+
+let configs =
+  let d = Jade.Config.default in
+  [
+    d;
+    { d with Jade.Config.locality = Jade.Config.No_locality };
+    { d with Jade.Config.locality = Jade.Config.Task_placement };
+    { d with Jade.Config.adaptive_broadcast = false };
+    { d with Jade.Config.concurrent_fetch = false };
+    { d with Jade.Config.target_tasks = 3 };
+    { d with Jade.Config.replication = false };
+    {
+      d with
+      Jade.Config.adaptive_broadcast = false;
+      Jade.Config.concurrent_fetch = false;
+      Jade.Config.target_tasks = 2;
+    };
+  ]
+
+let equal_states a b =
+  Array.for_all2
+    (fun (x : float array) (y : float array) -> x.(0) = y.(0) && x.(1) = y.(1))
+    a b
+
+let run_one prog ~machine ~nprocs ~config =
+  let result = ref [||] in
+  ignore
+    (R.run ~config ~machine ~nprocs (fun rt ->
+         result := jade_program prog ~nprocs rt));
+  !result
+
+let serial_equivalence_prop machine name =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "random programs match serial on %s" name)
+    ~count:60 QCheck.small_int
+    (fun seed ->
+      let g = Jade_sim.Srandom.create seed in
+      let nprocs = 1 + Jade_sim.Srandom.int g 8 in
+      let prog = gen_prog g ~nprocs in
+      let expected = serial_result prog in
+      let config = List.nth configs (Jade_sim.Srandom.int g (List.length configs)) in
+      let got = run_one prog ~machine ~nprocs ~config in
+      equal_states expected got)
+
+(* Exhaustive sweep of one fixed program across every configuration and a
+   range of processor counts, on both machines. *)
+let test_fixed_program_sweep () =
+  let g = Jade_sim.Srandom.create 2024 in
+  let prog = gen_prog g ~nprocs:8 in
+  let expected = serial_result prog in
+  List.iter
+    (fun (mname, machine) ->
+      List.iter
+        (fun nprocs ->
+          List.iteri
+            (fun ci config ->
+              let got = run_one prog ~machine ~nprocs ~config in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s p=%d config=%d" mname nprocs ci)
+                true
+                (equal_states expected got))
+            configs)
+        [ 1; 2; 3; 7; 8 ])
+    [ ("dash", R.dash); ("ipsc", R.ipsc860); ("lan", R.lan) ]
+
+(* Determinism: the same program+config yields bit-identical metrics. *)
+let test_simulation_deterministic () =
+  let g = Jade_sim.Srandom.create 99 in
+  let prog = gen_prog g ~nprocs:6 in
+  let run () =
+    let result = ref [||] in
+    let s =
+      R.run ~machine:R.ipsc860 ~nprocs:6 (fun rt ->
+          result := jade_program prog ~nprocs:6 rt)
+    in
+    (s.Jade.Metrics.elapsed_s, s.Jade.Metrics.msg_count, !result)
+  in
+  let e1, m1, r1 = run () in
+  let e2, m2, r2 = run () in
+  Alcotest.(check (float 0.0)) "elapsed identical" e1 e2;
+  Alcotest.(check int) "messages identical" m1 m2;
+  Alcotest.(check bool) "state identical" true (equal_states r1 r2)
+
+let qcheck t = QCheck_alcotest.to_alcotest t
+
+let () =
+  Alcotest.run "random_programs"
+    [
+      ( "serial equivalence",
+        [
+          qcheck (serial_equivalence_prop Jade.Runtime.dash "DASH");
+          qcheck (serial_equivalence_prop Jade.Runtime.ipsc860 "iPSC/860");
+          qcheck (serial_equivalence_prop Jade.Runtime.lan "workstation LAN");
+          Alcotest.test_case "fixed program sweep" `Quick test_fixed_program_sweep;
+          Alcotest.test_case "determinism" `Quick test_simulation_deterministic;
+        ] );
+    ]

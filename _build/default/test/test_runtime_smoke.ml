@@ -1,0 +1,220 @@
+(* End-to-end smoke tests of the Jade runtime on both simulated machines:
+   a small pipeline of tasks with real data flow, checked for correct
+   results, dependence ordering and sane metrics. *)
+
+module R = Jade.Runtime
+
+let machines = [ ("dash", R.dash); ("ipsc", R.ipsc860) ]
+
+(* Sum 1..n with parallel partial sums into per-task cells, then a serial
+   reduction task. Exercises replication (all tasks read the same input
+   object) and write dependences (reduction reads all cells). *)
+let pipeline_program ntasks n result rt =
+  let input =
+    R.create_object rt ~name:"input" ~size:(8 * n) (Array.init n float_of_int)
+  in
+  let cells =
+    Array.init ntasks (fun i ->
+        R.create_object rt
+          ~home:(i mod R.nprocs rt)
+          ~name:(Printf.sprintf "cell.%d" i)
+          ~size:8 (Array.make 1 0.0))
+  in
+  for i = 0 to ntasks - 1 do
+    R.withonly rt ~name:(Printf.sprintf "partial.%d" i) ~work:1000.0
+      ~accesses:(fun s ->
+        Jade.Spec.wr s cells.(i);
+        Jade.Spec.rd s input)
+      (fun env ->
+        let inp = R.rd env input in
+        let cell = R.wr env cells.(i) in
+        let lo = i * n / ntasks and hi = ((i + 1) * n / ntasks) - 1 in
+        let acc = ref 0.0 in
+        for k = lo to hi do
+          acc := !acc +. inp.(k)
+        done;
+        cell.(0) <- !acc)
+  done;
+  R.withonly rt ~name:"reduce" ~work:100.0 ~wait:true
+    ~accesses:(fun s -> Array.iter (fun c -> Jade.Spec.rd s c) cells)
+    (fun env ->
+      let acc = ref 0.0 in
+      Array.iter (fun c -> acc := !acc +. (R.rd env c).(0)) cells;
+      result := !acc)
+
+let expected n = float_of_int (n * (n - 1)) /. 2.0
+
+let test_pipeline machine () =
+  List.iter
+    (fun nprocs ->
+      let result = ref 0.0 in
+      let s = R.run ~machine ~nprocs (pipeline_program 8 1000 result) in
+      Alcotest.(check (float 1e-6))
+        (Printf.sprintf "sum with %d procs" nprocs)
+        (expected 1000) !result;
+      Alcotest.(check int) "all tasks ran" 9 s.Jade.Metrics.tasks;
+      Alcotest.(check bool) "time advanced" true (s.Jade.Metrics.elapsed_s > 0.0))
+    [ 1; 2; 4; 7 ]
+
+(* Writer -> reader chain must observe serial order on both machines. *)
+let test_write_read_order machine () =
+  let log = ref [] in
+  let program rt =
+    let x = R.create_object rt ~name:"x" ~size:64 (Array.make 8 0.0) in
+    for i = 1 to 5 do
+      R.withonly rt ~name:(Printf.sprintf "w%d" i) ~work:500.0
+        ~accesses:(fun s -> Jade.Spec.rw s x)
+        (fun env ->
+          let a = R.wr env x in
+          a.(0) <- a.(0) +. 1.0;
+          log := int_of_float a.(0) :: !log)
+    done;
+    R.drain rt
+  in
+  List.iter
+    (fun nprocs ->
+      log := [];
+      ignore (R.run ~machine ~nprocs program);
+      Alcotest.(check (list int))
+        (Printf.sprintf "serial order, %d procs" nprocs)
+        [ 1; 2; 3; 4; 5 ] (List.rev !log))
+    [ 1; 3; 8 ]
+
+(* Undeclared accesses must raise. *)
+let test_access_violation machine () =
+  let program rt =
+    let x = R.create_object rt ~name:"x" ~size:8 (Array.make 1 0.0) in
+    let y = R.create_object rt ~name:"y" ~size:8 (Array.make 1 0.0) in
+    R.withonly rt ~name:"bad" ~work:1.0 ~wait:true
+      ~accesses:(fun s -> Jade.Spec.rd s x)
+      (fun env -> ignore (R.rd env y))
+  in
+  Alcotest.check_raises "undeclared read"
+    (R.Access_violation "task bad reads undeclared object y") (fun () ->
+      ignore (R.run ~machine ~nprocs:2 program))
+
+let test_read_not_write machine () =
+  let program rt =
+    let x = R.create_object rt ~name:"x" ~size:8 (Array.make 1 0.0) in
+    R.withonly rt ~name:"sneaky" ~work:1.0 ~wait:true
+      ~accesses:(fun s -> Jade.Spec.rd s x)
+      (fun env -> ignore (R.wr env x))
+  in
+  Alcotest.check_raises "write through rd declaration"
+    (R.Access_violation "task sneaky writes undeclared object x") (fun () ->
+      ignore (R.run ~machine ~nprocs:2 program))
+
+(* Concurrent readers run in parallel: with replication, elapsed time on N
+   processors is well below the serial sum of task times. *)
+let test_replication_parallelizes () =
+  let program rt =
+    let input = R.create_object rt ~name:"in" ~size:1024 (Array.make 128 1.0) in
+    for i = 0 to 7 do
+      R.withonly rt ~name:(Printf.sprintf "r%d" i) ~work:1.0e6
+        ~accesses:(fun s -> Jade.Spec.rd s input)
+        (fun env -> ignore (R.rd env input))
+    done;
+    R.drain rt
+  in
+  let with_rep = R.run ~machine:R.ipsc860 ~nprocs:8 program in
+  let without =
+    R.run
+      ~config:{ Jade.Config.default with Jade.Config.replication = false }
+      ~machine:R.ipsc860 ~nprocs:8 program
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "replication speeds up readers (%.4f vs %.4f)"
+       with_rep.Jade.Metrics.elapsed_s without.Jade.Metrics.elapsed_s)
+    true
+    (without.Jade.Metrics.elapsed_s > 2.0 *. with_rep.Jade.Metrics.elapsed_s)
+
+(* The work-free configuration still runs the full task-management path. *)
+let test_work_free machine () =
+  let result = ref 0.0 in
+  let s =
+    R.run
+      ~config:{ Jade.Config.default with Jade.Config.work_free = true }
+      ~machine ~nprocs:4
+      (pipeline_program 8 100 result)
+  in
+  Alcotest.(check int) "all tasks managed" 9 s.Jade.Metrics.tasks;
+  Alcotest.(check (float 0.0)) "bodies skipped" 0.0 !result;
+  Alcotest.(check bool) "mgmt time nonzero" true (s.Jade.Metrics.elapsed_s > 0.0)
+
+let test_argument_validation () =
+  Alcotest.check_raises "nprocs must be positive"
+    (Invalid_argument "Runtime.run: need at least one processor") (fun () ->
+      ignore (R.run ~machine:R.dash ~nprocs:0 (fun _ -> ())));
+  Alcotest.check_raises "target_tasks must be positive"
+    (Invalid_argument "Runtime.run: target_tasks must be >= 1") (fun () ->
+      ignore
+        (R.run
+           ~config:{ Jade.Config.default with Jade.Config.target_tasks = 0 }
+           ~machine:R.ipsc860 ~nprocs:2
+           (fun _ -> ())));
+  Alcotest.check_raises "home out of range"
+    (Invalid_argument "Runtime.create_object: home out of range") (fun () ->
+      ignore
+        (R.run ~machine:R.dash ~nprocs:2 (fun rt ->
+             ignore (R.create_object rt ~home:5 ~name:"x" ~size:8 ()))));
+  Alcotest.check_raises "placement out of range"
+    (Invalid_argument "Runtime.withonly: placement out of range") (fun () ->
+      ignore
+        (R.run ~machine:R.dash ~nprocs:2 (fun rt ->
+             R.withonly rt ~placement:7 ~name:"t" ~work:1.0
+               ~accesses:(fun _ -> ())
+               (fun _ -> ()))));
+  Alcotest.check_raises "object size must be positive"
+    (Invalid_argument "Meta.create: size must be positive") (fun () ->
+      ignore
+        (R.run ~machine:R.dash ~nprocs:2 (fun rt ->
+             ignore (R.create_object rt ~name:"x" ~size:0 ()))))
+
+let test_objectless_task_runs () =
+  (* A task with an empty access specification is legal and enabled
+     immediately. *)
+  let hit = ref false in
+  ignore
+    (R.run ~machine:R.ipsc860 ~nprocs:3 (fun rt ->
+         R.withonly rt ~wait:true ~name:"free" ~work:100.0
+           ~accesses:(fun _ -> ())
+           (fun _ -> hit := true)));
+  Alcotest.(check bool) "ran" true !hit
+
+let test_deadlock_detection () =
+  (* A task that waits on itself can never run; [wait] on a never-enabled
+     task must be reported, not hang. Construct impossibility via a task
+     that waits for a later task's write (impossible in serial order), by
+     waiting on the first of two conflicting tasks from inside a task.
+     Simplest: main waits on a task while holding no way to run it —
+     everything in Jade is runnable, so instead check that [drain] with no
+     tasks returns immediately. *)
+  let s = R.run ~machine:R.dash ~nprocs:2 (fun rt -> R.drain rt) in
+  Alcotest.(check int) "no tasks" 0 s.Jade.Metrics.tasks
+
+let suite machine_name machine =
+  [
+    Alcotest.test_case "pipeline results" `Quick (test_pipeline machine);
+    Alcotest.test_case "write/read order" `Quick (test_write_read_order machine);
+    Alcotest.test_case "access violation" `Quick (test_access_violation machine);
+    Alcotest.test_case "rd is not wr" `Quick (test_read_not_write machine);
+    Alcotest.test_case "work-free mode" `Quick (test_work_free machine);
+  ]
+  |> List.map (fun tc -> tc)
+  |> fun cases -> (machine_name, cases)
+
+let () =
+  Alcotest.run "runtime_smoke"
+    ([ suite "dash" R.dash; suite "ipsc" R.ipsc860 ]
+    @ [
+        ( "cross",
+          [
+            Alcotest.test_case "replication parallelizes" `Quick
+              test_replication_parallelizes;
+            Alcotest.test_case "empty drain" `Quick test_deadlock_detection;
+            Alcotest.test_case "argument validation" `Quick test_argument_validation;
+            Alcotest.test_case "objectless task" `Quick test_objectless_task_runs;
+          ] );
+      ])
+
+let _ = machines

@@ -1,0 +1,164 @@
+(* Tests of the DASH memory-cost model: per-line latencies by data
+   location, cache residency across tasks, version-based invalidation and
+   capacity eviction. *)
+
+module M = Jade.Meta
+module T = Jade.Taskrec
+module Model = Jade.Shm_model
+
+let costs = Jade_machines.Costs.dash
+
+let cycle = costs.Jade_machines.Costs.cycle
+
+let lines size = (size + 15) / 16
+
+let expected size cycles = float_of_int (lines size) *. float_of_int cycles *. cycle
+
+let make_meta ?(nprocs = 8) ?(home = 0) ~size id =
+  M.create ~id ~name:(Printf.sprintf "o%d" id) ~size ~home ~nprocs
+
+let make_task ~spec ~required ~produces =
+  let t =
+    T.create ~tid:1 ~tname:"t" ~spec:(Array.of_list spec)
+      ~body:(fun _ _ -> ())
+      ~work:1.0 ~placement:None ~now:0.0
+  in
+  List.iteri (fun i v -> t.T.required.(i) <- v) required;
+  List.iteri (fun i v -> t.T.produces.(i) <- v) produces;
+  t
+
+let approx = Alcotest.(check (float 1e-12))
+
+let test_remote_then_cached () =
+  let model = Model.create costs ~nprocs:8 in
+  let o = make_meta ~home:4 ~size:1600 1 in
+  let task () =
+    make_task ~spec:[ (o, Jade.Access.Read) ] ~required:[ 0 ] ~produces:[ -1 ]
+  in
+  (* Processor 0 is in cluster 0; home 4 is cluster 1: remote access. *)
+  approx "first access remote"
+    (expected 1600 costs.Jade_machines.Costs.remote_cycles)
+    (Model.task_cost model (task ()) ~proc:0);
+  approx "second access cached"
+    (expected 1600 costs.Jade_machines.Costs.l2_hit_cycles)
+    (Model.task_cost model (task ()) ~proc:0);
+  (* A different processor still pays the remote cost. *)
+  approx "other processor remote"
+    (expected 1600 costs.Jade_machines.Costs.remote_cycles)
+    (Model.task_cost model (task ()) ~proc:1)
+
+let test_local_cluster () =
+  let model = Model.create costs ~nprocs:8 in
+  let o = make_meta ~home:1 ~size:800 1 in
+  let task =
+    make_task ~spec:[ (o, Jade.Access.Read) ] ~required:[ 0 ] ~produces:[ -1 ]
+  in
+  (* Processor 2 shares cluster 0 with home 1. *)
+  approx "in-cluster memory latency"
+    (expected 800 costs.Jade_machines.Costs.local_cycles)
+    (Model.task_cost model task ~proc:2)
+
+let test_dirty_third_cluster () =
+  let model = Model.create costs ~nprocs:12 in
+  let o = make_meta ~nprocs:12 ~home:0 ~size:800 1 in
+  (* The last writer lives in cluster 2 (processor 8): dirty remote. *)
+  o.M.owner <- 8;
+  let task =
+    make_task ~spec:[ (o, Jade.Access.Read) ] ~required:[ 0 ] ~produces:[ -1 ]
+  in
+  approx "dirty in third cluster"
+    (expected 800 costs.Jade_machines.Costs.remote_dirty_cycles)
+    (Model.task_cost model task ~proc:4)
+
+let test_stale_cache_version_misses () =
+  let model = Model.create costs ~nprocs:8 in
+  let o = make_meta ~home:4 ~size:1600 1 in
+  let read required =
+    make_task ~spec:[ (o, Jade.Access.Read) ] ~required:[ required ]
+      ~produces:[ -1 ]
+  in
+  ignore (Model.task_cost model (read 0) ~proc:0);
+  (* The object moves to version 1 elsewhere; the cached version 0 copy
+     must not satisfy the new requirement. *)
+  approx "stale copy refetched"
+    (expected 1600 costs.Jade_machines.Costs.remote_cycles)
+    (Model.task_cost model (read 1) ~proc:0)
+
+let test_write_caches_produced_version () =
+  let model = Model.create costs ~nprocs:8 in
+  let o = make_meta ~home:4 ~size:1600 1 in
+  let write =
+    make_task ~spec:[ (o, Jade.Access.Read_write) ] ~required:[ 0 ] ~produces:[ 1 ]
+  in
+  ignore (Model.task_cost model write ~proc:0);
+  let read =
+    make_task ~spec:[ (o, Jade.Access.Read) ] ~required:[ 1 ] ~produces:[ -1 ]
+  in
+  approx "written version is cached"
+    (expected 1600 costs.Jade_machines.Costs.l2_hit_cycles)
+    (Model.task_cost model read ~proc:0)
+
+let test_capacity_eviction () =
+  let model = Model.create costs ~nprocs:8 in
+  let cache_bytes = costs.Jade_machines.Costs.cache_bytes in
+  let big = make_meta ~home:4 ~size:(cache_bytes / 2) 1 in
+  let filler1 = make_meta ~home:4 ~size:(cache_bytes / 2) 2 in
+  let filler2 = make_meta ~home:4 ~size:(cache_bytes / 2) 3 in
+  let read o =
+    make_task ~spec:[ (o, Jade.Access.Read) ] ~required:[ 0 ] ~produces:[ -1 ]
+  in
+  ignore (Model.task_cost model (read big) ~proc:0);
+  ignore (Model.task_cost model (read filler1) ~proc:0);
+  ignore (Model.task_cost model (read filler2) ~proc:0);
+  (* [big] was evicted FIFO by the two fillers. *)
+  approx "evicted object refetched"
+    (expected (cache_bytes / 2) costs.Jade_machines.Costs.remote_cycles)
+    (Model.task_cost model (read big) ~proc:0)
+
+let test_oversized_object_not_cached () =
+  let model = Model.create costs ~nprocs:8 in
+  let huge = make_meta ~home:4 ~size:(costs.Jade_machines.Costs.cache_bytes * 2) 1 in
+  let read () =
+    make_task ~spec:[ (huge, Jade.Access.Read) ] ~required:[ 0 ] ~produces:[ -1 ]
+  in
+  ignore (Model.task_cost model (read ()) ~proc:0);
+  approx "oversized object never hits"
+    (expected (costs.Jade_machines.Costs.cache_bytes * 2)
+       costs.Jade_machines.Costs.remote_cycles)
+    (Model.task_cost model (read ()) ~proc:0)
+
+let test_multi_object_cost_sums () =
+  let model = Model.create costs ~nprocs:8 in
+  let a = make_meta ~home:4 ~size:160 1 in
+  let b = make_meta ~home:1 ~size:320 2 in
+  let task =
+    make_task
+      ~spec:[ (a, Jade.Access.Read); (b, Jade.Access.Read) ]
+      ~required:[ 0; 0 ] ~produces:[ -1; -1 ]
+  in
+  approx "costs sum across objects"
+    (expected 160 costs.Jade_machines.Costs.remote_cycles
+    +. expected 320 costs.Jade_machines.Costs.local_cycles)
+    (Model.task_cost model task ~proc:0)
+
+let () =
+  Alcotest.run "shm_model"
+    [
+      ( "latencies",
+        [
+          Alcotest.test_case "remote then cached" `Quick test_remote_then_cached;
+          Alcotest.test_case "local cluster" `Quick test_local_cluster;
+          Alcotest.test_case "dirty third cluster" `Quick test_dirty_third_cluster;
+          Alcotest.test_case "multi-object sum" `Quick test_multi_object_cost_sums;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "stale version misses" `Quick
+            test_stale_cache_version_misses;
+          Alcotest.test_case "write caches produced" `Quick
+            test_write_caches_produced_version;
+          Alcotest.test_case "capacity eviction" `Quick test_capacity_eviction;
+          Alcotest.test_case "oversized not cached" `Quick
+            test_oversized_object_not_cached;
+        ] );
+    ]

@@ -1,0 +1,307 @@
+(* Tests for the discrete-event simulation substrate: heap, engine,
+   ivars, mailboxes, resources, deques, RNG. *)
+
+open Jade_sim
+
+let test_heap_order () =
+  let h = Heap.create () in
+  Heap.push h ~time:3.0 ~seq:1 "c";
+  Heap.push h ~time:1.0 ~seq:2 "a";
+  Heap.push h ~time:2.0 ~seq:3 "b";
+  let _, _, a = Heap.pop_min h in
+  let _, _, b = Heap.pop_min h in
+  let _, _, c = Heap.pop_min h in
+  Alcotest.(check (list string)) "sorted" [ "a"; "b"; "c" ] [ a; b; c ]
+
+let test_heap_fifo_ties () =
+  let h = Heap.create () in
+  for i = 0 to 9 do
+    Heap.push h ~time:1.0 ~seq:i i
+  done;
+  let out = List.init 10 (fun _ -> let _, _, v = Heap.pop_min h in v) in
+  Alcotest.(check (list int)) "fifo on equal times" (List.init 10 Fun.id) out
+
+let heap_sorted_prop =
+  QCheck.Test.make ~name:"heap pops in nondecreasing time order" ~count:200
+    QCheck.(list (pair (float_bound_exclusive 1000.0) small_int))
+    (fun entries ->
+      let h = Heap.create () in
+      List.iteri (fun i (t, v) -> Heap.push h ~time:t ~seq:i v) entries;
+      let rec drain last ok =
+        if Heap.is_empty h then ok
+        else
+          let t, _, _ = Heap.pop_min h in
+          drain t (ok && t >= last)
+      in
+      drain neg_infinity true)
+
+let test_engine_delay_order () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  Engine.spawn eng (fun () ->
+      Engine.delay eng 2.0;
+      log := ("b", Engine.now eng) :: !log);
+  Engine.spawn eng (fun () ->
+      Engine.delay eng 1.0;
+      log := ("a", Engine.now eng) :: !log);
+  ignore (Engine.run eng);
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "order and times"
+    [ ("a", 1.0); ("b", 2.0) ]
+    (List.rev !log)
+
+let test_engine_same_time_fifo () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  for i = 0 to 4 do
+    Engine.spawn eng (fun () ->
+        Engine.delay eng 1.0;
+        log := i :: !log)
+  done;
+  ignore (Engine.run eng);
+  Alcotest.(check (list int)) "spawn order preserved" [ 0; 1; 2; 3; 4 ]
+    (List.rev !log)
+
+let test_engine_nested_spawn () =
+  let eng = Engine.create () in
+  let hits = ref 0 in
+  Engine.spawn eng (fun () ->
+      Engine.delay eng 1.0;
+      Engine.spawn eng (fun () ->
+          Engine.delay eng 1.0;
+          incr hits);
+      Engine.delay eng 5.0;
+      incr hits);
+  ignore (Engine.run eng);
+  Alcotest.(check int) "both ran" 2 !hits;
+  Alcotest.(check int) "no live processes" 0 (Engine.live_processes eng)
+
+let test_engine_negative_delay () =
+  let eng = Engine.create () in
+  Engine.spawn eng (fun () ->
+      Alcotest.check_raises "negative delay rejected"
+        (Invalid_argument "Engine.delay: negative delay") (fun () ->
+          Engine.delay eng (-1.0)));
+  ignore (Engine.run eng)
+
+let test_ivar_basic () =
+  let eng = Engine.create () in
+  let iv = Ivar.create () in
+  let seen = ref [] in
+  for i = 0 to 2 do
+    Engine.spawn eng (fun () ->
+        let v = Ivar.read eng iv in
+        seen := (i, v, Engine.now eng) :: !seen)
+  done;
+  Engine.spawn eng (fun () ->
+      Engine.delay eng 3.0;
+      Ivar.fill eng iv 42);
+  ignore (Engine.run eng);
+  Alcotest.(check int) "all readers woke" 3 (List.length !seen);
+  List.iter
+    (fun (_, v, t) ->
+      Alcotest.(check int) "value" 42 v;
+      Alcotest.(check (float 1e-9)) "woke at fill time" 3.0 t)
+    !seen
+
+let test_ivar_double_fill () =
+  let eng = Engine.create () in
+  let iv = Ivar.create () in
+  Ivar.fill eng iv 1;
+  Alcotest.check_raises "double fill"
+    (Invalid_argument "Ivar.fill: already filled") (fun () ->
+      Ivar.fill eng iv 2)
+
+let test_ivar_read_after_fill () =
+  let eng = Engine.create () in
+  let iv = Ivar.create () in
+  Ivar.fill eng iv "x";
+  let got = ref "" in
+  Engine.spawn eng (fun () -> got := Ivar.read eng iv);
+  ignore (Engine.run eng);
+  Alcotest.(check string) "immediate" "x" !got
+
+let test_mailbox_fifo () =
+  let eng = Engine.create () in
+  let mb = Mailbox.create () in
+  let got = ref [] in
+  Engine.spawn eng (fun () ->
+      for _ = 1 to 3 do
+        got := Mailbox.recv eng mb :: !got
+      done);
+  Engine.spawn eng (fun () ->
+      Engine.delay eng 1.0;
+      Mailbox.send eng mb 1;
+      Mailbox.send eng mb 2;
+      Mailbox.send eng mb 3);
+  ignore (Engine.run eng);
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3 ] (List.rev !got)
+
+let test_mailbox_buffered () =
+  let eng = Engine.create () in
+  let mb = Mailbox.create () in
+  Mailbox.send eng mb "a";
+  Mailbox.send eng mb "b";
+  Alcotest.(check int) "buffered" 2 (Mailbox.length mb);
+  Alcotest.(check (option string)) "try_recv" (Some "a") (Mailbox.try_recv mb)
+
+let test_resource_serializes () =
+  let eng = Engine.create () in
+  let r = Resource.create eng "cpu" in
+  let finish = Array.make 3 0.0 in
+  for i = 0 to 2 do
+    Engine.spawn eng (fun () ->
+        Resource.use r 2.0;
+        finish.(i) <- Engine.now eng)
+  done;
+  ignore (Engine.run eng);
+  Alcotest.(check (float 1e-9)) "first" 2.0 finish.(0);
+  Alcotest.(check (float 1e-9)) "second" 4.0 finish.(1);
+  Alcotest.(check (float 1e-9)) "third" 6.0 finish.(2);
+  Alcotest.(check (float 1e-9)) "busy accumulated" 6.0 (Resource.busy_time r)
+
+let test_deque_ends () =
+  let d = Deque.create () in
+  Deque.push_back d 1;
+  Deque.push_back d 2;
+  Deque.push_front d 0;
+  Alcotest.(check (list int)) "order" [ 0; 1; 2 ] (Deque.to_list d);
+  Alcotest.(check (option int)) "pop back" (Some 2) (Deque.pop_back d);
+  Alcotest.(check (option int)) "pop front" (Some 0) (Deque.pop_front d);
+  Alcotest.(check int) "length" 1 (Deque.length d)
+
+let test_deque_remove_first () =
+  let d = Deque.create () in
+  List.iter (Deque.push_back d) [ 1; 2; 3; 4 ];
+  let removed = Deque.remove_first d (fun x -> x mod 2 = 0) in
+  Alcotest.(check (option int)) "removed first even" (Some 2) removed;
+  Alcotest.(check (list int)) "rest intact" [ 1; 3; 4 ] (Deque.to_list d)
+
+let deque_model_prop =
+  QCheck.Test.make ~name:"deque behaves like a list" ~count:300
+    QCheck.(list (pair bool small_int))
+    (fun ops ->
+      let d = Deque.create () in
+      let model = ref [] in
+      List.iter
+        (fun (front, v) ->
+          if front then begin
+            Deque.push_front d v;
+            model := v :: !model
+          end
+          else begin
+            Deque.push_back d v;
+            model := !model @ [ v ]
+          end)
+        ops;
+      Deque.to_list d = !model)
+
+let test_srandom_deterministic () =
+  let a = Srandom.create 7 in
+  let b = Srandom.create 7 in
+  let da = List.init 20 (fun _ -> Srandom.int a 1000) in
+  let db = List.init 20 (fun _ -> Srandom.int b 1000) in
+  Alcotest.(check (list int)) "same seed, same stream" da db
+
+let srandom_bounds_prop =
+  QCheck.Test.make ~name:"srandom int stays in bounds" ~count:300
+    QCheck.(pair small_int (int_range 1 10000))
+    (fun (seed, bound) ->
+      let g = Srandom.create seed in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let v = Srandom.int g bound in
+        if v < 0 || v >= bound then ok := false
+      done;
+      !ok)
+
+let test_srandom_shuffle_permutes () =
+  let g = Srandom.create 11 in
+  let a = Array.init 50 Fun.id in
+  Srandom.shuffle g a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+(* Stress property: a random tree of processes with random delays and
+   ivar joins always terminates with a monotone clock and no live
+   processes. *)
+let engine_stress_prop =
+  QCheck.Test.make ~name:"random process trees terminate cleanly" ~count:100
+    QCheck.small_int
+    (fun seed ->
+      let g = Srandom.create seed in
+      let eng = Engine.create () in
+      let completions = ref [] in
+      let spawned = ref 0 in
+      let rec spawn_tree depth =
+        incr spawned;
+        let children = if depth >= 3 then 0 else Srandom.int g 4 in
+        let kids = List.init children (fun _ -> Ivar.create ()) in
+        let me = Ivar.create () in
+        Engine.spawn eng (fun () ->
+            Engine.delay eng (Srandom.float g 0.5);
+            let child_ivars = List.map (fun iv -> iv) kids in
+            List.iter
+              (fun iv ->
+                let child = spawn_tree (depth + 1) in
+                (* Forward the child's completion into our slot. *)
+                Engine.spawn eng (fun () -> Ivar.fill eng iv (Ivar.read eng child)))
+              child_ivars;
+            List.iter (fun iv -> ignore (Ivar.read eng iv)) child_ivars;
+            Engine.delay eng (Srandom.float g 0.2);
+            completions := Engine.now eng :: !completions;
+            Ivar.fill eng me ());
+        me
+      in
+      let root = spawn_tree 0 in
+      ignore (Engine.run eng);
+      Engine.live_processes eng = 0
+      && Ivar.is_full root
+      && List.length !completions >= 1)
+
+let qcheck t = QCheck_alcotest.to_alcotest t
+
+let () =
+  Alcotest.run "jade_sim"
+    [
+      ( "heap",
+        [
+          Alcotest.test_case "pop order" `Quick test_heap_order;
+          Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+          qcheck heap_sorted_prop;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "delay order" `Quick test_engine_delay_order;
+          Alcotest.test_case "same-time fifo" `Quick test_engine_same_time_fifo;
+          Alcotest.test_case "nested spawn" `Quick test_engine_nested_spawn;
+          Alcotest.test_case "negative delay" `Quick test_engine_negative_delay;
+          qcheck engine_stress_prop;
+        ] );
+      ( "ivar",
+        [
+          Alcotest.test_case "fill wakes readers" `Quick test_ivar_basic;
+          Alcotest.test_case "double fill" `Quick test_ivar_double_fill;
+          Alcotest.test_case "read after fill" `Quick test_ivar_read_after_fill;
+        ] );
+      ( "mailbox",
+        [
+          Alcotest.test_case "fifo" `Quick test_mailbox_fifo;
+          Alcotest.test_case "buffered" `Quick test_mailbox_buffered;
+        ] );
+      ( "resource",
+        [ Alcotest.test_case "serializes" `Quick test_resource_serializes ] );
+      ( "deque",
+        [
+          Alcotest.test_case "ends" `Quick test_deque_ends;
+          Alcotest.test_case "remove_first" `Quick test_deque_remove_first;
+          qcheck deque_model_prop;
+        ] );
+      ( "srandom",
+        [
+          Alcotest.test_case "deterministic" `Quick test_srandom_deterministic;
+          Alcotest.test_case "shuffle permutes" `Quick test_srandom_shuffle_permutes;
+          qcheck srandom_bounds_prop;
+        ] );
+    ]

@@ -1,0 +1,216 @@
+(* Tests for the sparse-matrix substrate: CSC construction, SPD
+   generators, elimination trees, symbolic factorization, panels, dense
+   verification kernels. *)
+
+open Jade_sparse
+
+let test_csc_roundtrip () =
+  let a = Csc.of_triplets 3 [ (0, 0, 2.0); (1, 2, 3.0); (2, 1, -1.0); (1, 2, 1.0) ] in
+  Alcotest.(check int) "nnz (duplicates summed)" 3 (Csc.nnz a);
+  Alcotest.(check (float 0.0)) "summed entry" 4.0 (Csc.get a 1 2);
+  Alcotest.(check (float 0.0)) "absent entry" 0.0 (Csc.get a 2 2)
+
+let test_csc_mul_vec () =
+  let a = Csc.of_triplets 2 [ (0, 0, 1.0); (0, 1, 2.0); (1, 0, 3.0) ] in
+  let y = Csc.mul_vec a [| 1.0; 1.0 |] in
+  Alcotest.(check (array (float 1e-12))) "matvec" [| 3.0; 3.0 |] y
+
+let test_laplacian_symmetric () =
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (Printf.sprintf "5pt k=%d symmetric" k)
+        true
+        (Csc.is_symmetric (Spd_gen.grid_laplacian k));
+      Alcotest.(check bool)
+        (Printf.sprintf "9pt k=%d symmetric" k)
+        true
+        (Csc.is_symmetric (Spd_gen.grid_laplacian9 k)))
+    [ 2; 3; 5 ]
+
+let test_laplacian_posdef () =
+  (* Dense Cholesky succeeds iff SPD. *)
+  List.iter
+    (fun a ->
+      ignore (Dense.cholesky (Csc.to_dense a)))
+    [ Spd_gen.grid_laplacian 4; Spd_gen.grid_laplacian9 4;
+      Spd_gen.banded ~n:30 ~bandwidth:5 ~fill:0.6 ~seed:3 ]
+
+let banded_spd_prop =
+  QCheck.Test.make ~name:"banded generator always SPD" ~count:30
+    QCheck.(triple (int_range 2 40) (int_range 1 8) small_int)
+    (fun (n, bw, seed) ->
+      let a = Spd_gen.banded ~n ~bandwidth:bw ~fill:0.5 ~seed in
+      Csc.is_symmetric a
+      &&
+      match Dense.cholesky (Csc.to_dense a) with
+      | _ -> true
+      | exception Failure _ -> false)
+
+let test_etree_parent_above () =
+  let a = Spd_gen.grid_laplacian9 5 in
+  let parent = Etree.parents a in
+  Array.iteri
+    (fun v p ->
+      if p <> -1 then
+        Alcotest.(check bool)
+          (Printf.sprintf "parent(%d)=%d above" v p)
+          true (p > v))
+    parent
+
+let test_etree_postorder () =
+  let a = Spd_gen.grid_laplacian 4 in
+  let parent = Etree.parents a in
+  let order = Etree.postorder parent in
+  let pos = Array.make (Array.length order) 0 in
+  Array.iteri (fun i v -> pos.(v) <- i) order;
+  Array.iteri
+    (fun v p ->
+      if p <> -1 then
+        Alcotest.(check bool)
+          (Printf.sprintf "%d before parent %d" v p)
+          true
+          (pos.(v) < pos.(p)))
+    parent
+
+let dense_pattern_of_l l =
+  (* Structural nonzeros of a dense factor, with a tolerance. *)
+  let n = Array.length l in
+  let pat = Array.make_matrix n n false in
+  for i = 0 to n - 1 do
+    for j = 0 to i do
+      if Float.abs l.(i).(j) > 1e-13 then pat.(i).(j) <- true
+    done
+  done;
+  pat
+
+let test_symbolic_covers_numeric () =
+  (* The symbolic pattern must contain every numeric nonzero of L. *)
+  List.iter
+    (fun a ->
+      let sym = Symbolic.factor a in
+      let l = Dense.cholesky (Csc.to_dense a) in
+      let pat = dense_pattern_of_l l in
+      let n = a.Csc.n in
+      let in_sym = Array.make_matrix n n false in
+      for j = 0 to n - 1 do
+        Array.iter (fun r -> in_sym.(r).(j) <- true) sym.Symbolic.col_rows.(j)
+      done;
+      for i = 0 to n - 1 do
+        for j = 0 to i do
+          if pat.(i).(j) then
+            Alcotest.(check bool)
+              (Printf.sprintf "L(%d,%d) covered" i j)
+              true in_sym.(i).(j)
+        done
+      done)
+    [ Spd_gen.grid_laplacian 4; Spd_gen.grid_laplacian9 4;
+      Spd_gen.banded ~n:25 ~bandwidth:4 ~fill:0.5 ~seed:9 ]
+
+let test_symbolic_fill_grows () =
+  let a = Spd_gen.grid_laplacian 8 in
+  let sym = Symbolic.factor a in
+  Alcotest.(check bool) "fill ratio > 1" true (Symbolic.fill_ratio sym a > 1.0)
+
+let test_panels_partition () =
+  let a = Spd_gen.grid_laplacian9 6 in
+  let sym = Symbolic.factor a in
+  let p = Panel.decompose sym ~width:5 in
+  (* Panels tile all columns without gaps. *)
+  Alcotest.(check int) "first panel starts at 0" 0 p.Panel.first_col.(0);
+  for k = 1 to p.Panel.npanels - 1 do
+    Alcotest.(check int)
+      (Printf.sprintf "panel %d contiguous" k)
+      (p.Panel.last_col.(k - 1) + 1)
+      p.Panel.first_col.(k)
+  done;
+  Alcotest.(check int) "last panel ends at n-1" (a.Csc.n - 1)
+    p.Panel.last_col.(p.Panel.npanels - 1);
+  for c = 0 to a.Csc.n - 1 do
+    let k = Panel.panel_of_col p c in
+    Alcotest.(check bool)
+      (Printf.sprintf "col %d in panel %d" c k)
+      true
+      (c >= p.Panel.first_col.(k) && c <= p.Panel.last_col.(k))
+  done
+
+let test_panel_updates_ordered () =
+  let a = Spd_gen.grid_laplacian9 6 in
+  let sym = Symbolic.factor a in
+  let p = Panel.decompose sym ~width:4 in
+  let deps = Panel.updates p sym in
+  Array.iteri
+    (fun k srcs ->
+      List.iter
+        (fun j ->
+          Alcotest.(check bool)
+            (Printf.sprintf "dep %d -> %d is forward" j k)
+            true (j < k))
+        srcs)
+    deps;
+  (* A tridiagonal-ish structure must have at least the adjacent panel
+     dependences. *)
+  Alcotest.(check bool) "some dependences exist" true
+    (Array.exists (fun l -> l <> []) deps)
+
+let test_dense_cholesky_roundtrip () =
+  let a = Csc.to_dense (Spd_gen.banded ~n:20 ~bandwidth:4 ~fill:0.7 ~seed:1) in
+  let l = Dense.cholesky a in
+  Alcotest.(check bool) "LL^T = A" true (Dense.max_diff (Dense.mul_lt l) a < 1e-9)
+
+let test_dense_solve () =
+  let a = Csc.to_dense (Spd_gen.banded ~n:15 ~bandwidth:3 ~fill:0.8 ~seed:5) in
+  let l = Dense.cholesky a in
+  let x_true = Array.init 15 (fun i -> float_of_int (i + 1)) in
+  let b =
+    Array.init 15 (fun i ->
+        let s = ref 0.0 in
+        for j = 0 to 14 do
+          s := !s +. (a.(i).(j) *. x_true.(j))
+        done;
+        !s)
+  in
+  let y = Dense.solve_lower l b in
+  let x = Dense.solve_upper_t l y in
+  Array.iteri
+    (fun i xi ->
+      Alcotest.(check (float 1e-6)) (Printf.sprintf "x(%d)" i) x_true.(i) xi)
+    x
+
+let qcheck t = QCheck_alcotest.to_alcotest t
+
+let () =
+  Alcotest.run "jade_sparse"
+    [
+      ( "csc",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_csc_roundtrip;
+          Alcotest.test_case "matvec" `Quick test_csc_mul_vec;
+        ] );
+      ( "spd_gen",
+        [
+          Alcotest.test_case "symmetric" `Quick test_laplacian_symmetric;
+          Alcotest.test_case "positive definite" `Quick test_laplacian_posdef;
+          qcheck banded_spd_prop;
+        ] );
+      ( "etree",
+        [
+          Alcotest.test_case "parents above" `Quick test_etree_parent_above;
+          Alcotest.test_case "postorder" `Quick test_etree_postorder;
+        ] );
+      ( "symbolic",
+        [
+          Alcotest.test_case "covers numeric" `Quick test_symbolic_covers_numeric;
+          Alcotest.test_case "fill grows" `Quick test_symbolic_fill_grows;
+        ] );
+      ( "panel",
+        [
+          Alcotest.test_case "partition" `Quick test_panels_partition;
+          Alcotest.test_case "updates ordered" `Quick test_panel_updates_ordered;
+        ] );
+      ( "dense",
+        [
+          Alcotest.test_case "cholesky roundtrip" `Quick test_dense_cholesky_roundtrip;
+          Alcotest.test_case "solve" `Quick test_dense_solve;
+        ] );
+    ]

@@ -1,0 +1,264 @@
+(* Unit and property tests for the queue-based synchronizer: readiness
+   rules, version assignment, serial-order preservation, the
+   replication-off read serialization. These drive the synchronizer
+   directly (no runtime), playing the role of the scheduler/dispatcher. *)
+
+module A = Jade.Access
+module M = Jade.Meta
+module T = Jade.Taskrec
+module S = Jade.Synchronizer
+
+let make_meta ?(nprocs = 4) id =
+  M.create ~id ~name:(Printf.sprintf "o%d" id) ~size:64 ~home:0 ~nprocs
+
+let make_task ~tid spec =
+  T.create ~tid ~tname:(Printf.sprintf "t%d" tid) ~spec:(Array.of_list spec)
+    ~body:(fun _ _ -> ())
+    ~work:1.0 ~placement:None ~now:0.0
+
+(* A little harness: tracks enabled order; completing a task requires it to
+   have been enabled. *)
+type harness = {
+  sync : S.t;
+  mutable enabled : T.t list;  (** most recent first *)
+}
+
+let harness ?(replication = true) () =
+  let h = ref None in
+  let sync =
+    S.create ~replication
+      ~on_enable:(fun task ->
+        let h = Option.get !h in
+        h.enabled <- task :: h.enabled)
+      ~on_write_commit:(fun _ _ -> ())
+  in
+  let v = { sync; enabled = [] } in
+  h := Some v;
+  v
+
+let is_enabled h task = List.memq task h.enabled
+
+let complete h ?(proc = 0) task =
+  task.T.ran_on <- proc;
+  S.complete h.sync task
+
+let test_independent_tasks_enable_immediately () =
+  let h = harness () in
+  let o1 = make_meta 1 and o2 = make_meta 2 in
+  let t1 = make_task ~tid:1 [ (o1, A.Write) ] in
+  let t2 = make_task ~tid:2 [ (o2, A.Write) ] in
+  S.add_task h.sync t1;
+  S.add_task h.sync t2;
+  Alcotest.(check bool) "t1 enabled" true (is_enabled h t1);
+  Alcotest.(check bool) "t2 enabled" true (is_enabled h t2)
+
+let test_writer_blocks_writer () =
+  let h = harness () in
+  let o = make_meta 1 in
+  let t1 = make_task ~tid:1 [ (o, A.Write) ] in
+  let t2 = make_task ~tid:2 [ (o, A.Write) ] in
+  S.add_task h.sync t1;
+  S.add_task h.sync t2;
+  Alcotest.(check bool) "t2 blocked" false (is_enabled h t2);
+  complete h t1;
+  Alcotest.(check bool) "t2 enabled after t1" true (is_enabled h t2)
+
+let test_readers_share () =
+  let h = harness () in
+  let o = make_meta 1 in
+  let readers = List.init 5 (fun i -> make_task ~tid:i [ (o, A.Read) ]) in
+  List.iter (S.add_task h.sync) readers;
+  List.iter
+    (fun t -> Alcotest.(check bool) "reader enabled" true (is_enabled h t))
+    readers
+
+let test_writer_waits_for_all_readers () =
+  let h = harness () in
+  let o = make_meta 1 in
+  let r1 = make_task ~tid:1 [ (o, A.Read) ] in
+  let r2 = make_task ~tid:2 [ (o, A.Read) ] in
+  let w = make_task ~tid:3 [ (o, A.Write) ] in
+  S.add_task h.sync r1;
+  S.add_task h.sync r2;
+  S.add_task h.sync w;
+  Alcotest.(check bool) "writer blocked" false (is_enabled h w);
+  complete h r1;
+  Alcotest.(check bool) "still blocked by r2" false (is_enabled h w);
+  complete h r2;
+  Alcotest.(check bool) "enabled after both readers" true (is_enabled h w)
+
+let test_reader_after_writer_blocked () =
+  let h = harness () in
+  let o = make_meta 1 in
+  let w = make_task ~tid:1 [ (o, A.Write) ] in
+  let r = make_task ~tid:2 [ (o, A.Read) ] in
+  S.add_task h.sync w;
+  S.add_task h.sync r;
+  Alcotest.(check bool) "reader blocked by writer" false (is_enabled h r);
+  complete h w;
+  Alcotest.(check bool) "reader enabled" true (is_enabled h r)
+
+let test_versions_assigned_in_serial_order () =
+  let h = harness () in
+  let o = make_meta 1 in
+  let w1 = make_task ~tid:1 [ (o, A.Write) ] in
+  let r1 = make_task ~tid:2 [ (o, A.Read) ] in
+  let w2 = make_task ~tid:3 [ (o, A.Read_write) ] in
+  let r2 = make_task ~tid:4 [ (o, A.Read) ] in
+  List.iter (S.add_task h.sync) [ w1; r1; w2; r2 ];
+  Alcotest.(check int) "w1 produces v1" 1 w1.T.produces.(0);
+  Alcotest.(check int) "r1 requires v1" 1 r1.T.required.(0);
+  Alcotest.(check int) "w2 requires v1" 1 w2.T.required.(0);
+  Alcotest.(check int) "w2 produces v2" 2 w2.T.produces.(0);
+  Alcotest.(check int) "r2 requires v2" 2 r2.T.required.(0)
+
+let test_commit_updates_ownership () =
+  let h = harness () in
+  let o = make_meta 1 in
+  let w = make_task ~tid:1 [ (o, A.Write) ] in
+  S.add_task h.sync w;
+  complete h ~proc:3 w;
+  Alcotest.(check int) "owner moved" 3 o.M.owner;
+  Alcotest.(check int) "version committed" 1 o.M.committed;
+  Alcotest.(check int) "writer holds copy" 1 o.M.copies.(3)
+
+let test_duplicate_spec_rejected () =
+  let h = harness () in
+  let o = make_meta 1 in
+  let t = make_task ~tid:1 [ (o, A.Read); (o, A.Write) ] in
+  Alcotest.check_raises "duplicate declaration"
+    (Invalid_argument "Synchronizer.add_task: object o1 declared twice")
+    (fun () -> S.add_task h.sync t)
+
+let test_replication_off_serializes_readers () =
+  let h = harness ~replication:false () in
+  let o = make_meta 1 in
+  let r1 = make_task ~tid:1 [ (o, A.Read) ] in
+  let r2 = make_task ~tid:2 [ (o, A.Read) ] in
+  S.add_task h.sync r1;
+  S.add_task h.sync r2;
+  Alcotest.(check bool) "r1 enabled" true (is_enabled h r1);
+  Alcotest.(check bool) "r2 serialized" false (is_enabled h r2);
+  complete h r1;
+  Alcotest.(check bool) "r2 enabled after r1" true (is_enabled h r2)
+
+let test_outstanding_accounting () =
+  let h = harness () in
+  let o1 = make_meta 1 and o2 = make_meta 2 in
+  let t = make_task ~tid:1 [ (o1, A.Write); (o2, A.Read) ] in
+  S.add_task h.sync t;
+  Alcotest.(check int) "two entries" 2 (S.outstanding h.sync);
+  complete h t;
+  Alcotest.(check int) "drained" 0 (S.outstanding h.sync)
+
+(* Property: for random task sets, executing tasks greedily (any enabled
+   task, in a shuffled order) preserves the serial order of every
+   conflicting pair, and object versions end at their writer counts. *)
+let conflict_order_prop =
+  QCheck.Test.make ~name:"conflicting pairs execute in creation order" ~count:120
+    QCheck.(pair (int_range 1 6) (pair small_int (int_range 2 25)))
+    (fun (nobjs, (seed, ntasks)) ->
+      let g = Jade_sim.Srandom.create seed in
+      let objs = Array.init nobjs (fun i -> make_meta (i + 1)) in
+      let h = harness () in
+      let tasks =
+        List.init ntasks (fun tid ->
+            (* Random spec over distinct objects. *)
+            let count = 1 + Jade_sim.Srandom.int g (min 3 nobjs) in
+            let order = Array.init nobjs Fun.id in
+            Jade_sim.Srandom.shuffle g order;
+            let spec =
+              List.init count (fun k ->
+                  let mode =
+                    match Jade_sim.Srandom.int g 3 with
+                    | 0 -> A.Read
+                    | 1 -> A.Write
+                    | _ -> A.Read_write
+                  in
+                  (objs.(order.(k)), mode))
+            in
+            make_task ~tid spec)
+      in
+      List.iter (S.add_task h.sync) tasks;
+      (* Greedy random execution. *)
+      let executed = ref [] in
+      let done_set = Hashtbl.create 16 in
+      let rec run () =
+        let ready =
+          List.filter
+            (fun t -> is_enabled h t && not (Hashtbl.mem done_set t.T.tid))
+            tasks
+        in
+        match ready with
+        | [] -> ()
+        | _ ->
+            let arr = Array.of_list ready in
+            Jade_sim.Srandom.shuffle g arr;
+            let t = arr.(0) in
+            Hashtbl.add done_set t.T.tid ();
+            executed := t :: !executed;
+            complete h t;
+            run ()
+      in
+      run ();
+      let order = List.rev !executed in
+      (* All tasks ran. *)
+      List.length order = ntasks
+      &&
+      (* Conflicting pairs respect creation order. *)
+      let pos = Hashtbl.create 16 in
+      List.iteri (fun i t -> Hashtbl.add pos t.T.tid i) order;
+      let conflict t1 t2 =
+        Array.exists
+          (fun (o1, m1) ->
+            Array.exists
+              (fun (o2, m2) -> o1 == o2 && A.conflicts m1 m2)
+              t2.T.spec)
+          t1.T.spec
+      in
+      List.for_all
+        (fun t1 ->
+          List.for_all
+            (fun t2 ->
+              if t1.T.tid < t2.T.tid && conflict t1 t2 then
+                Hashtbl.find pos t1.T.tid < Hashtbl.find pos t2.T.tid
+              else true)
+            tasks)
+        tasks
+      &&
+      (* Final committed versions equal writer counts. *)
+      Array.for_all
+        (fun (o : M.t) -> o.M.committed = o.M.writers_created)
+        objs)
+
+let qcheck t = QCheck_alcotest.to_alcotest t
+
+let () =
+  Alcotest.run "synchronizer"
+    [
+      ( "readiness",
+        [
+          Alcotest.test_case "independent enable" `Quick
+            test_independent_tasks_enable_immediately;
+          Alcotest.test_case "writer blocks writer" `Quick test_writer_blocks_writer;
+          Alcotest.test_case "readers share" `Quick test_readers_share;
+          Alcotest.test_case "writer waits for readers" `Quick
+            test_writer_waits_for_all_readers;
+          Alcotest.test_case "reader after writer" `Quick
+            test_reader_after_writer_blocked;
+        ] );
+      ( "versions",
+        [
+          Alcotest.test_case "serial order versions" `Quick
+            test_versions_assigned_in_serial_order;
+          Alcotest.test_case "commit ownership" `Quick test_commit_updates_ownership;
+        ] );
+      ( "edge cases",
+        [
+          Alcotest.test_case "duplicate spec" `Quick test_duplicate_spec_rejected;
+          Alcotest.test_case "replication off" `Quick
+            test_replication_off_serializes_readers;
+          Alcotest.test_case "outstanding" `Quick test_outstanding_accounting;
+        ] );
+      ("properties", [ qcheck conflict_order_prop ]);
+    ]

@@ -1,0 +1,205 @@
+(* Tests for the hypercube topology and the message fabric. *)
+
+open Jade_sim
+open Jade_net
+open Jade_machines
+
+let popcount x =
+  let rec go acc x = if x = 0 then acc else go (acc + (x land 1)) (x lsr 1) in
+  go 0 x
+
+let test_dimension () =
+  List.iter
+    (fun (n, d) ->
+      Alcotest.(check int)
+        (Printf.sprintf "dim of %d nodes" n)
+        d
+        (Topology.dimension (Topology.hypercube n)))
+    [ (1, 0); (2, 1); (3, 2); (4, 2); (8, 3); (24, 5); (32, 5) ]
+
+let hops_prop =
+  QCheck.Test.make ~name:"hops = Hamming distance" ~count:200
+    QCheck.(triple (int_range 1 64) small_int small_int)
+    (fun (n, a, b) ->
+      let t = Topology.hypercube n in
+      let a = a mod n and b = b mod n in
+      Topology.hops t a b = popcount (a lxor b))
+
+let route_prop =
+  QCheck.Test.make ~name:"e-cube route flips one bit per step and ends at dst"
+    ~count:200
+    QCheck.(triple (int_range 1 64) small_int small_int)
+    (fun (n, a, b) ->
+      let t = Topology.hypercube n in
+      let a = a mod n and b = b mod n in
+      let route = Topology.route t a b in
+      let ok = ref true in
+      let cur = ref a in
+      List.iter
+        (fun next ->
+          if popcount (!cur lxor next) <> 1 then ok := false;
+          cur := next)
+        route;
+      !ok && !cur = b && List.length route = Topology.hops t a b)
+
+let test_neighbors () =
+  let t = Topology.hypercube 8 in
+  Alcotest.(check (list int)) "neighbors of 0" [ 1; 2; 4 ] (Topology.neighbors t 0);
+  Alcotest.(check (list int)) "neighbors of 5" [ 4; 7; 1 ] (Topology.neighbors t 5)
+
+let broadcast_schedule_prop =
+  QCheck.Test.make ~name:"broadcast schedule doubles coverage per round"
+    ~count:100
+    QCheck.(pair (int_range 1 64) small_int)
+    (fun (n, root) ->
+      let t = Topology.hypercube n in
+      let root = root mod n in
+      let rounds = Topology.broadcast_schedule t ~root in
+      let max_round = Array.fold_left max 0 rounds in
+      rounds.(root) = 0
+      && max_round <= Topology.broadcast_rounds t
+      &&
+      (* At most 2^(r-1) nodes are first reached in round r. *)
+      let per_round = Array.make (max_round + 1) 0 in
+      Array.iteri (fun p r -> if p <> root then per_round.(r) <- per_round.(r) + 1) rounds;
+      let ok = ref true in
+      for r = 1 to max_round do
+        if per_round.(r) > 1 lsl (r - 1) then ok := false
+      done;
+      !ok)
+
+(* ---------------- Fabric ---------------- *)
+
+let make_fabric ?(n = 4) eng =
+  let nodes = Array.init n (Mnode.create eng) in
+  let fab =
+    Fabric.create eng ~nodes ~topology:(Topology.hypercube n) ~startup:1e-3
+      ~bandwidth:1e6 ~hop_latency:1e-4
+  in
+  (nodes, fab)
+
+let test_fabric_send_occupies_sender () =
+  let eng = Engine.create () in
+  let nodes, fab = make_fabric eng in
+  let arrived = ref (-1.0) in
+  Fabric.set_handler fab 1 (fun _ -> arrived := Engine.now eng);
+  Engine.spawn eng (fun () ->
+      Fabric.send fab ~src:0 ~dst:1 ~size:1000 ~tag:"t" ();
+      (* startup 1ms + 1000B/1MBps = 1ms -> sender occupied 2ms *)
+      Alcotest.(check (float 1e-9)) "sender blocked" 2e-3 (Engine.now eng));
+  ignore (Engine.run eng);
+  (* Delivery after one hop of wire latency. *)
+  Alcotest.(check (float 1e-9)) "delivery time" (2e-3 +. 1e-4) !arrived;
+  Alcotest.(check (float 1e-9)) "node busy" 2e-3 (Mnode.busy_time nodes.(0))
+
+let test_fabric_post_does_not_block () =
+  let eng = Engine.create () in
+  let _nodes, fab = make_fabric eng in
+  let arrived = ref (-1.0) in
+  Fabric.set_handler fab 2 (fun _ -> arrived := Engine.now eng);
+  Engine.spawn eng (fun () ->
+      Fabric.post fab ~src:0 ~dst:2 ~size:1000 ~tag:"t" ();
+      Alcotest.(check (float 0.0)) "caller not blocked" 0.0 (Engine.now eng));
+  ignore (Engine.run eng);
+  Alcotest.(check (float 1e-9)) "delivery after occupancy+wire" (2e-3 +. 1e-4)
+    !arrived
+
+let test_fabric_serial_sends_queue () =
+  (* Two posts from the same node queue behind each other on the sender. *)
+  let eng = Engine.create () in
+  let _nodes, fab = make_fabric eng in
+  let arrivals = ref [] in
+  Fabric.set_handler fab 1 (fun m -> arrivals := (m.Fabric.tag, Engine.now eng) :: !arrivals);
+  Engine.spawn eng (fun () ->
+      Fabric.post fab ~src:0 ~dst:1 ~size:1000 ~tag:"a" ();
+      Fabric.post fab ~src:0 ~dst:1 ~size:1000 ~tag:"b" ());
+  ignore (Engine.run eng);
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "second message delayed by first's occupancy"
+    [ ("a", 2.1e-3); ("b", 4.1e-3) ]
+    (List.rev !arrivals)
+
+let test_fabric_self_send_immediate () =
+  let eng = Engine.create () in
+  let _nodes, fab = make_fabric eng in
+  let got = ref false in
+  Fabric.set_handler fab 0 (fun _ ->
+      got := true;
+      Alcotest.(check (float 0.0)) "no delay" 0.0 (Engine.now eng));
+  Engine.spawn eng (fun () -> Fabric.send fab ~src:0 ~dst:0 ~size:500 ~tag:"t" ());
+  ignore (Engine.run eng);
+  Alcotest.(check bool) "delivered" true !got
+
+let test_fabric_broadcast_reaches_all () =
+  let eng = Engine.create () in
+  let _nodes, fab = make_fabric ~n:8 eng in
+  let got = Array.make 8 (-1.0) in
+  for p = 0 to 7 do
+    Fabric.set_handler fab p (fun _ -> got.(p) <- Engine.now eng)
+  done;
+  Engine.spawn eng (fun () ->
+      Fabric.broadcast fab ~src:3 ~size:1000 ~tag:"b" (fun _ -> ()));
+  ignore (Engine.run eng);
+  for p = 0 to 7 do
+    if p <> 3 then
+      Alcotest.(check bool) (Printf.sprintf "node %d reached" p) true (got.(p) > 0.0)
+  done;
+  Alcotest.(check (float 0.0)) "source not self-delivered" (-1.0) got.(3);
+  (* Last delivery within rounds * (occupancy + hop). *)
+  let max_t = Array.fold_left Float.max 0.0 got in
+  Alcotest.(check bool) "bounded by binomial rounds" true
+    (max_t <= 3.0 *. (2e-3 +. 1e-4) +. 1e-12)
+
+let test_fabric_stats () =
+  let eng = Engine.create () in
+  let _nodes, fab = make_fabric eng in
+  Fabric.set_handler fab 1 (fun _ -> ());
+  Engine.spawn eng (fun () ->
+      Fabric.send fab ~src:0 ~dst:1 ~size:100 ~tag:"x" ();
+      Fabric.send fab ~src:0 ~dst:1 ~size:200 ~tag:"y" ();
+      Fabric.send fab ~src:0 ~dst:1 ~size:300 ~tag:"x" ());
+  ignore (Engine.run eng);
+  Alcotest.(check int) "messages" 3 (Fabric.message_count fab);
+  Alcotest.(check int) "bytes" 600 (Fabric.byte_count fab);
+  Alcotest.(check int) "bytes x" 400 (Fabric.bytes_with_tag fab "x");
+  Alcotest.(check int) "count x" 2 (Fabric.count_with_tag fab "x");
+  Alcotest.(check int) "count absent" 0 (Fabric.count_with_tag fab "z")
+
+let test_mnode_ledger () =
+  let eng = Engine.create () in
+  let node = Mnode.create eng 0 in
+  Engine.spawn eng (fun () ->
+      Mnode.occupy node 1.0;
+      Alcotest.(check (float 1e-9)) "after occupy" 1.0 (Engine.now eng);
+      let fin = Mnode.charge node 0.5 in
+      Alcotest.(check (float 1e-9)) "charge appends" 1.5 fin;
+      Mnode.occupy node 1.0;
+      (* waits for the interrupt work then its own duration *)
+      Alcotest.(check (float 1e-9)) "queued behind charge" 2.5 (Engine.now eng));
+  ignore (Engine.run eng);
+  Alcotest.(check (float 1e-9)) "busy total" 2.5 (Mnode.busy_time node)
+
+let qcheck t = QCheck_alcotest.to_alcotest t
+
+let () =
+  Alcotest.run "jade_net"
+    [
+      ( "topology",
+        [
+          Alcotest.test_case "dimension" `Quick test_dimension;
+          Alcotest.test_case "neighbors" `Quick test_neighbors;
+          qcheck hops_prop;
+          qcheck route_prop;
+          qcheck broadcast_schedule_prop;
+        ] );
+      ( "fabric",
+        [
+          Alcotest.test_case "send occupies sender" `Quick test_fabric_send_occupies_sender;
+          Alcotest.test_case "post is asynchronous" `Quick test_fabric_post_does_not_block;
+          Alcotest.test_case "sends serialize on sender" `Quick test_fabric_serial_sends_queue;
+          Alcotest.test_case "self-send immediate" `Quick test_fabric_self_send_immediate;
+          Alcotest.test_case "broadcast reaches all" `Quick test_fabric_broadcast_reaches_all;
+          Alcotest.test_case "stats by tag" `Quick test_fabric_stats;
+        ] );
+      ("mnode", [ Alcotest.test_case "busy ledger" `Quick test_mnode_ledger ]);
+    ]
