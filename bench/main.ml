@@ -10,10 +10,14 @@
 
    2. Regeneration of every table, figure and analysis at bench scale,
       printed next to the paper's reported numbers — the actual
-      reproduction output (same as `repro all`).
+      reproduction output (same as `repro all`), timed per kernel and
+      fanned out across [--jobs] domains. A machine-readable summary
+      (per-kernel ms, events/sec, allocation per event, speedup vs
+      --jobs 1) is written to BENCH_repro.json.
 
-   Run with:  dune exec bench/main.exe
-   (pass --quick to skip the Bechamel pass) *)
+   Run with:  dune exec bench/main.exe -- [--quick] [--jobs N] [--no-baseline]
+   (--quick skips the Bechamel pass; --no-baseline skips the sequential
+   reference regeneration used to compute the speedup) *)
 
 open Bechamel
 open Toolkit
@@ -112,28 +116,164 @@ let run_bechamel () =
     rows;
   print_newline ()
 
-let regenerate () =
-  let r = Rn.create Rn.Bench in
+(* ------------------------------------------------------------------ *)
+(* Regeneration pass: every kernel (table / figure / analysis) timed
+   individually. [emit] controls whether rendered output is printed (the
+   sequential baseline pass regenerates silently). *)
+
+type regen_stats = {
+  wall_s : float;
+  kernel_ms : (string * float) list;
+  events : int;
+  minor_words : float;  (** main-domain minor words; meaningful at jobs=1 *)
+}
+
+let regenerate ~jobs ~emit () =
+  let r = Rn.create ~jobs Rn.Bench in
+  let kernel_ms = ref [] in
+  let timed name f =
+    let t0 = Unix.gettimeofday () in
+    let out = f () in
+    let ms = 1e3 *. (Unix.gettimeofday () -. t0) in
+    kernel_ms := (name, ms) :: !kernel_ms;
+    if emit then begin
+      print_string out;
+      print_newline ()
+    end
+  in
+  let minor0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
   List.iter
     (fun n ->
-      print_string
-        (Jade_experiments.Report.render_comparison
-           ~ours:(Jade_experiments.Tables.table r n)
-           ~paper:(Jade_experiments.Paper_data.table n));
-      print_newline ())
+      timed (Printf.sprintf "table%02d" n) (fun () ->
+          Jade_experiments.Report.render_comparison
+            ~ours:(Jade_experiments.Tables.table r n)
+            ~paper:(Jade_experiments.Paper_data.table n)))
     (List.init 14 (fun i -> i + 1));
   List.iter
-    (fun t ->
-      print_string (Jade_experiments.Report.render t);
-      print_newline ())
-    (Jade_experiments.Figures.all r);
-  List.iter
-    (fun t ->
-      print_string (Jade_experiments.Report.render t);
-      print_newline ())
-    (Jade_experiments.Analyses.all r)
+    (fun n ->
+      timed (Printf.sprintf "figure%02d" n) (fun () ->
+          Jade_experiments.Report.render (Jade_experiments.Figures.figure r n)))
+    (List.init 20 (fun i -> i + 2));
+  List.iteri
+    (fun i analysis ->
+      timed (Printf.sprintf "analysis%02d" (i + 1)) (fun () ->
+          Jade_experiments.Report.render (analysis r)))
+    [
+      (fun r -> Jade_experiments.Analyses.replication r ~app:Rn.Water);
+      Jade_experiments.Analyses.broadcast_breakdown;
+      Jade_experiments.Analyses.latency_hiding;
+      Jade_experiments.Analyses.concurrent_fetch;
+      Jade_experiments.Analyses.eager_transfer;
+      Jade_experiments.Analyses.ablation_steal_patience;
+      Jade_experiments.Analyses.portability;
+    ];
+  {
+    wall_s = Unix.gettimeofday () -. t0;
+    kernel_ms = List.rev !kernel_ms;
+    events = Rn.events_simulated r;
+    minor_words = Gc.minor_words () -. minor0;
+  }
+
+(* Minimal JSON writer (numbers, strings, null) — keeps the bench free of
+   extra dependencies. *)
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json path ~jobs ~(par : regen_stats) ~(baseline : regen_stats option)
+    =
+  let oc = open_out path in
+  let opt_float = function
+    | Some v -> Printf.sprintf "%.6f" v
+    | None -> "null"
+  in
+  let events_per_sec =
+    if par.wall_s > 0.0 then float_of_int par.events /. par.wall_s else 0.0
+  in
+  (* Minor-word accounting is per-domain, so allocation per simulated
+     event is only meaningful from a single-domain regeneration. *)
+  let seq = if jobs = 1 then Some par else baseline in
+  let minor_words_per_event =
+    match seq with
+    | Some s when s.events > 0 -> Some (s.minor_words /. float_of_int s.events)
+    | _ -> None
+  in
+  let speedup =
+    match baseline with
+    | Some b when par.wall_s > 0.0 -> Some (b.wall_s /. par.wall_s)
+    | _ -> None
+  in
+  Printf.fprintf oc "{\n";
+  Printf.fprintf oc "  \"bench\": \"repro_regeneration\",\n";
+  Printf.fprintf oc "  \"size\": \"bench\",\n";
+  Printf.fprintf oc "  \"jobs\": %d,\n" jobs;
+  Printf.fprintf oc "  \"wall_s\": %.6f,\n" par.wall_s;
+  Printf.fprintf oc "  \"events\": %d,\n" par.events;
+  Printf.fprintf oc "  \"events_per_sec\": %.1f,\n" events_per_sec;
+  Printf.fprintf oc "  \"minor_words_per_event\": %s,\n"
+    (opt_float minor_words_per_event);
+  Printf.fprintf oc "  \"baseline_jobs1_wall_s\": %s,\n"
+    (opt_float (Option.map (fun b -> b.wall_s) baseline));
+  Printf.fprintf oc "  \"speedup_vs_jobs1\": %s,\n" (opt_float speedup);
+  Printf.fprintf oc "  \"kernels\": [\n";
+  let n = List.length par.kernel_ms in
+  List.iteri
+    (fun i (name, ms) ->
+      Printf.fprintf oc "    {\"name\": \"%s\", \"ms\": %.3f}%s\n"
+        (json_escape name) ms
+        (if i = n - 1 then "" else ","))
+    par.kernel_ms;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc
 
 let () =
   let quick = Array.exists (( = ) "--quick") Sys.argv in
+  let no_baseline = Array.exists (( = ) "--no-baseline") Sys.argv in
+  let jobs =
+    let rec find i =
+      if i >= Array.length Sys.argv - 1 then Jade_experiments.Pool.default_jobs ()
+      else if Sys.argv.(i) = "--jobs" then
+        match int_of_string_opt Sys.argv.(i + 1) with
+        | Some j when j >= 1 -> j
+        | _ -> failwith "bench: --jobs expects a positive integer"
+      else find (i + 1)
+    in
+    find 1
+  in
   if not quick then run_bechamel ();
-  regenerate ()
+  Printf.printf "Regenerating all tables, figures and analyses (--jobs %d)\n\n"
+    jobs;
+  let par = regenerate ~jobs ~emit:true () in
+  (* Sequential reference for the speedup (and, when jobs > 1, for the
+     per-event allocation figure, which needs single-domain GC counters). *)
+  let baseline =
+    if jobs > 1 && not no_baseline then begin
+      Printf.printf
+        "Regenerating again with --jobs 1 for the speedup baseline...\n";
+      Some (regenerate ~jobs:1 ~emit:false ())
+    end
+    else None
+  in
+  Printf.printf "\nRegeneration: %.2f s wall, %d simulated events (%.0f events/s)\n"
+    par.wall_s par.events
+    (if par.wall_s > 0.0 then float_of_int par.events /. par.wall_s else 0.0);
+  (match if jobs = 1 then Some par else baseline with
+  | Some s when s.events > 0 ->
+      Printf.printf "Minor allocation: %.1f words per simulated event (jobs=1)\n"
+        (s.minor_words /. float_of_int s.events)
+  | _ -> ());
+  (match baseline with
+  | Some b ->
+      Printf.printf "Speedup vs --jobs 1: %.2fx (%.2f s -> %.2f s)\n"
+        (b.wall_s /. par.wall_s) b.wall_s par.wall_s
+  | None -> ());
+  write_json "BENCH_repro.json" ~jobs ~par ~baseline;
+  Printf.printf "Wrote BENCH_repro.json\n"

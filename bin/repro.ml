@@ -16,6 +16,16 @@ let size_arg =
     & info [ "size" ] ~docv:"SIZE"
         ~doc:"Problem scale: test, bench (default) or paper (full data sets).")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Jade_experiments.Pool.default_jobs ())
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains to fan independent simulations across (default: \
+           the machine's recommended domain count). Output is identical \
+           at any value.")
+
 let print_table ?paper t =
   print_string (Report.render_comparison ~ours:t ~paper);
   print_newline ()
@@ -27,41 +37,41 @@ let table_cmd =
   let n_arg =
     Arg.(required & pos 0 (some int) None & info [] ~docv:"N" ~doc:"Table number (1-14).")
   in
-  let run n size csv =
-    let r = Runner.create size in
+  let run n size csv jobs =
+    let r = Runner.create ~jobs size in
     let t = Tables.table r n in
     if csv then print_string (Report.to_csv t)
     else print_table ?paper:(Paper_data.table n) t
   in
   Cmd.v
     (Cmd.info "table" ~doc:"Regenerate one of the paper's tables (1-14).")
-    Term.(const run $ n_arg $ size_arg $ csv_arg)
+    Term.(const run $ n_arg $ size_arg $ csv_arg $ jobs_arg)
 
 let figure_cmd =
   let n_arg =
     Arg.(required & pos 0 (some int) None & info [] ~docv:"N" ~doc:"Figure number (2-21).")
   in
-  let run n size csv =
-    let r = Runner.create size in
+  let run n size csv jobs =
+    let r = Runner.create ~jobs size in
     let t = Figures.figure r n in
     if csv then print_string (Report.to_csv t) else print_table t
   in
   Cmd.v
     (Cmd.info "figure" ~doc:"Regenerate one of the paper's figures (2-21).")
-    Term.(const run $ n_arg $ size_arg $ csv_arg)
+    Term.(const run $ n_arg $ size_arg $ csv_arg $ jobs_arg)
 
 let analyses_cmd =
-  let run size =
-    let r = Runner.create size in
+  let run size jobs =
+    let r = Runner.create ~jobs size in
     List.iter print_table (Analyses.all r)
   in
   Cmd.v
     (Cmd.info "analyses" ~doc:"Run the §5.1-§5.5 analyses.")
-    Term.(const run $ size_arg)
+    Term.(const run $ size_arg $ jobs_arg)
 
 let all_cmd =
-  let run size =
-    let r = Runner.create size in
+  let run size jobs =
+    let r = Runner.create ~jobs size in
     List.iter
       (fun n -> print_table ?paper:(Paper_data.table n) (Tables.table r n))
       (List.init 14 (fun i -> i + 1));
@@ -70,7 +80,7 @@ let all_cmd =
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Regenerate every table, figure and analysis.")
-    Term.(const run $ size_arg)
+    Term.(const run $ size_arg $ jobs_arg)
 
 let app_conv =
   Arg.enum

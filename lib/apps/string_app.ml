@@ -35,9 +35,22 @@ let cell_flops = 60.0
 
 let relax = 0.7
 
+(* What a traversal does with each (cell, segment-length) pair. The array
+   modes exist so the hot callers accumulate straight into float arrays:
+   calling a [Cell_fn] closure boxes the segment length on every step
+   (without flambda), and with tens of millions of steps per simulated
+   run that boxing dominated the whole simulator's minor allocation. *)
+type trace_acc =
+  | Time_only
+  | Ray_len of float array  (** segment lengths summed into slot 0 *)
+  | Backproject of float array * int * float
+      (** [(acc, ncells, per_len)]: [per_len *. seg] into [acc.(c)],
+          [seg] into [acc.(ncells + c)] *)
+  | Cell_fn of (int -> float -> unit)
+
 (* Grid traversal (Amanatides & Woo). Cells are unit squares; cell (ix,iz)
    is indexed ix + iz*nx. *)
-let trace_ray ~nx ~nz ~slowness ~x0 ~z0 ~x1 ~z1 ~cell =
+let trace_ray_acc ~nx ~nz ~slowness ~x0 ~z0 ~x1 ~z1 acc =
   let dx = x1 -. x0 and dz = z1 -. z0 in
   let len = sqrt ((dx *. dx) +. (dz *. dz)) in
   if len <= 0.0 then 0.0
@@ -66,11 +79,21 @@ let trace_ray ~nx ~nz ~slowness ~x0 ~z0 ~x1 ~z1 ~cell =
     let time = ref 0.0 in
     let finished = ref false in
     while not !finished do
-      let t_next = Float.min (Float.min !t_max_x !t_max_z) 1.0 in
+      (* [Float.min] expanded by hand: without flambda each call boxes
+         its result, and this per-cell stepping loop is String's hottest
+         path. (Neither operand is ever NaN here.) *)
+      let m = if !t_max_x < !t_max_z then !t_max_x else !t_max_z in
+      let t_next = if m < 1.0 then m else 1.0 in
       let seg = (t_next -. !t) *. len in
       if seg > 0.0 then begin
         let c = !ix + (!iz * nx) in
-        cell c seg;
+        (match acc with
+        | Time_only -> ()
+        | Ray_len a -> a.(0) <- a.(0) +. seg
+        | Backproject (a, ncells, per_len) ->
+            a.(c) <- a.(c) +. (per_len *. seg);
+            a.(ncells + c) <- a.(ncells + c) +. seg
+        | Cell_fn f -> f c seg);
         time := !time +. (seg *. slowness.(c))
       end;
       t := t_next;
@@ -89,6 +112,9 @@ let trace_ray ~nx ~nz ~slowness ~x0 ~z0 ~x1 ~z1 ~cell =
     !time
   end
 
+let trace_ray ~nx ~nz ~slowness ~x0 ~z0 ~x1 ~z1 ~cell =
+  trace_ray_acc ~nx ~nz ~slowness ~x0 ~z0 ~x1 ~z1 (Cell_fn cell)
+
 (* ------------------------------------------------------------------ *)
 (* Bent rays: the production String bends rays through the velocity
    field; we model that as the shortest-travel-time path on the grid
@@ -104,7 +130,7 @@ let dijkstra_from ~nx ~nz ~slowness src =
   let dist = Array.make ncells infinity in
   let prev = Array.make ncells (-1) in
   let settled = Array.make ncells false in
-  let heap = Jade_sim.Heap.create () in
+  let heap = Jade_sim.Heap.create ~dummy:0 () in
   let seq = ref 0 in
   dist.(src) <- 0.0;
   Jade_sim.Heap.push heap ~time:0.0 ~seq:0 src;
@@ -221,8 +247,8 @@ let observed_times p =
   | Straight ->
       Array.init p.nrays (fun r ->
           let x0, z0, x1, z1 = ray_endpoints p r in
-          trace_ray ~nx:p.nx ~nz:p.nz ~slowness:truth ~x0 ~z0 ~x1 ~z1
-            ~cell:(fun _ _ -> ()))
+          trace_ray_acc ~nx:p.nx ~nz:p.nz ~slowness:truth ~x0 ~z0 ~x1 ~z1
+            Time_only)
   | Bent ->
       let times = trace_times_bent p truth ~lo:0 ~hi:p.nrays in
       Array.init p.nrays (fun r -> Hashtbl.find times r)
@@ -231,22 +257,21 @@ let observed_times p =
    residuals into [acc] (layout: num[cells] ++ den[cells] ++ [sq_misfit]).
    Backprojection is linear along the path, as in the paper. *)
 let trace_block_straight p observed model acc ~lo ~hi =
+  let len_buf = Array.make 1 0.0 in
   for r = lo to hi - 1 do
     let x0, z0, x1, z1 = ray_endpoints p r in
     (* First pass: travel time and ray length in the current model. *)
-    let ray_len = ref 0.0 in
+    len_buf.(0) <- 0.0;
     let simulated =
-      trace_ray ~nx:p.nx ~nz:p.nz ~slowness:model ~x0 ~z0 ~x1 ~z1
-        ~cell:(fun _ seg -> ray_len := !ray_len +. seg)
+      trace_ray_acc ~nx:p.nx ~nz:p.nz ~slowness:model ~x0 ~z0 ~x1 ~z1
+        (Ray_len len_buf)
     in
     let delta = observed.(r) -. simulated in
-    if !ray_len > 0.0 then begin
-      let per_len = delta /. !ray_len in
+    if len_buf.(0) > 0.0 then begin
+      let per_len = delta /. len_buf.(0) in
       ignore
-        (trace_ray ~nx:p.nx ~nz:p.nz ~slowness:model ~x0 ~z0 ~x1 ~z1
-           ~cell:(fun c seg ->
-             acc.(c) <- acc.(c) +. (per_len *. seg);
-             acc.(cells p + c) <- acc.(cells p + c) +. seg))
+        (trace_ray_acc ~nx:p.nx ~nz:p.nz ~slowness:model ~x0 ~z0 ~x1 ~z1
+           (Backproject (acc, cells p, per_len)))
     end;
     acc.((2 * cells p)) <- acc.(2 * cells p) +. (delta *. delta)
   done

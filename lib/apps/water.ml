@@ -102,33 +102,45 @@ let init_velocities p =
   let g = Jade_sim.Srandom.create (p.seed + 1) in
   Array.init (p.n * site_coords) (fun _ -> Jade_sim.Srandom.float g 0.02 -. 0.01)
 
-let min_image box d =
-  if d > box /. 2.0 then d -. box
-  else if d < -.(box /. 2.0) then d +. box
-  else d
-
 let site_pos state m s k = state.((m * mol_stride) + (s * 3) + k)
 
 (* Inter-molecular forces for molecules i = offset, offset + stride, ...
    against all j > i (gated by the O-O cutoff), accumulated into [f]
-   (length n * 9). *)
+   (length n * 9).
+
+   [site_pos], [min_image] and [Float.max] are expanded by hand in this
+   loop and in [pair_energy]: without flambda every such call boxes its
+   float result, and these O(n^2) site-pair loops dominate the whole
+   simulator's minor-heap allocation. *)
 let pair_forces p state f ~stride ~offset =
   let rc2 = p.cutoff *. p.cutoff in
+  let box = p.box in
+  let half = box /. 2.0 in
   let i = ref offset in
   while !i < p.n do
+    let ib = !i * mol_stride in
     for j = !i + 1 to p.n - 1 do
-      let dox = min_image p.box (site_pos state !i 0 0 -. site_pos state j 0 0) in
-      let doy = min_image p.box (site_pos state !i 0 1 -. site_pos state j 0 1) in
-      let doz = min_image p.box (site_pos state !i 0 2 -. site_pos state j 0 2) in
+      let jb = j * mol_stride in
+      let d = state.(ib) -. state.(jb) in
+      let dox = if d > half then d -. box else if d < -.half then d +. box else d in
+      let d = state.(ib + 1) -. state.(jb + 1) in
+      let doy = if d > half then d -. box else if d < -.half then d +. box else d in
+      let d = state.(ib + 2) -. state.(jb + 2) in
+      let doz = if d > half then d -. box else if d < -.half then d +. box else d in
       let ro2 = (dox *. dox) +. (doy *. doy) +. (doz *. doz) in
       if ro2 < rc2 then begin
         (* Coulomb on all nine site pairs. *)
         for a = 0 to sites - 1 do
           for b = 0 to sites - 1 do
-            let dx = min_image p.box (site_pos state !i a 0 -. site_pos state j b 0) in
-            let dy = min_image p.box (site_pos state !i a 1 -. site_pos state j b 1) in
-            let dz = min_image p.box (site_pos state !i a 2 -. site_pos state j b 2) in
-            let r2 = Float.max min_r2 ((dx *. dx) +. (dy *. dy) +. (dz *. dz)) in
+            let sa = ib + (a * 3) and sb = jb + (b * 3) in
+            let d = state.(sa) -. state.(sb) in
+            let dx = if d > half then d -. box else if d < -.half then d +. box else d in
+            let d = state.(sa + 1) -. state.(sb + 1) in
+            let dy = if d > half then d -. box else if d < -.half then d +. box else d in
+            let d = state.(sa + 2) -. state.(sb + 2) in
+            let dz = if d > half then d -. box else if d < -.half then d +. box else d in
+            let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) in
+            let r2 = if r2 > min_r2 then r2 else min_r2 in
             let r = sqrt r2 in
             let coef = coulomb_k *. charge.(a) *. charge.(b) /. (r2 *. r) in
             let fi = ((!i * sites) + a) * 3 and fj = ((j * sites) + b) * 3 in
@@ -141,7 +153,7 @@ let pair_forces p state f ~stride ~offset =
           done
         done;
         (* Lennard-Jones on the O-O pair. *)
-        let r2 = Float.max min_r2 ro2 in
+        let r2 = if ro2 > min_r2 then ro2 else min_r2 in
         let s2 = lj_sigma *. lj_sigma /. r2 in
         let s6 = s2 *. s2 *. s2 in
         let coef = 24.0 *. lj_epsilon /. r2 *. s6 *. ((2.0 *. s6) -. 1.0) in
@@ -186,25 +198,37 @@ let intra_forces p state f ~stride ~offset =
    same striping. *)
 let pair_energy p state e ~stride ~offset =
   let rc2 = p.cutoff *. p.cutoff in
+  let box = p.box in
+  let half = box /. 2.0 in
   let i = ref offset in
   while !i < p.n do
+    let ib = !i * mol_stride in
     for j = !i + 1 to p.n - 1 do
-      let dox = min_image p.box (site_pos state !i 0 0 -. site_pos state j 0 0) in
-      let doy = min_image p.box (site_pos state !i 0 1 -. site_pos state j 0 1) in
-      let doz = min_image p.box (site_pos state !i 0 2 -. site_pos state j 0 2) in
+      let jb = j * mol_stride in
+      let d = state.(ib) -. state.(jb) in
+      let dox = if d > half then d -. box else if d < -.half then d +. box else d in
+      let d = state.(ib + 1) -. state.(jb + 1) in
+      let doy = if d > half then d -. box else if d < -.half then d +. box else d in
+      let d = state.(ib + 2) -. state.(jb + 2) in
+      let doz = if d > half then d -. box else if d < -.half then d +. box else d in
       let ro2 = (dox *. dox) +. (doy *. doy) +. (doz *. doz) in
       if ro2 < rc2 then begin
         let pot = ref 0.0 in
         for a = 0 to sites - 1 do
           for b = 0 to sites - 1 do
-            let dx = min_image p.box (site_pos state !i a 0 -. site_pos state j b 0) in
-            let dy = min_image p.box (site_pos state !i a 1 -. site_pos state j b 1) in
-            let dz = min_image p.box (site_pos state !i a 2 -. site_pos state j b 2) in
-            let r2 = Float.max min_r2 ((dx *. dx) +. (dy *. dy) +. (dz *. dz)) in
+            let sa = ib + (a * 3) and sb = jb + (b * 3) in
+            let d = state.(sa) -. state.(sb) in
+            let dx = if d > half then d -. box else if d < -.half then d +. box else d in
+            let d = state.(sa + 1) -. state.(sb + 1) in
+            let dy = if d > half then d -. box else if d < -.half then d +. box else d in
+            let d = state.(sa + 2) -. state.(sb + 2) in
+            let dz = if d > half then d -. box else if d < -.half then d +. box else d in
+            let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) in
+            let r2 = if r2 > min_r2 then r2 else min_r2 in
             pot := !pot +. (coulomb_k *. charge.(a) *. charge.(b) /. sqrt r2)
           done
         done;
-        let r2 = Float.max min_r2 ro2 in
+        let r2 = if ro2 > min_r2 then ro2 else min_r2 in
         let s2 = lj_sigma *. lj_sigma /. r2 in
         let s6 = s2 *. s2 *. s2 in
         pot := !pot +. (4.0 *. lj_epsilon *. s6 *. (s6 -. 1.0));

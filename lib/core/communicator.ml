@@ -3,7 +3,7 @@ open Jade_machines
 open Jade_net
 
 type pending = {
-  version : int;
+  mutable version : int;
   ivar : unit Ivar.t;
   mutable arrived_at : float;  (** -1 until the copy is installed *)
 }
@@ -28,7 +28,10 @@ let create eng ~cfg ~costs ~nodes ~fabric ~metrics =
     fabric;
     metrics;
     nprocs = Array.length nodes;
-    pending = Hashtbl.create 64;
+    (* Pending fetches peak around (objects in flight x processors):
+       pre-size with the processor count so steady-state operation never
+       rehashes. *)
+    pending = Hashtbl.create (max 64 (16 * Array.length nodes));
   }
 
 let key (meta : Meta.t) proc = (meta.Meta.id, proc)
@@ -37,17 +40,32 @@ let key (meta : Meta.t) proc = (meta.Meta.id, proc)
    against an in-flight fetch of the same (or newer) version. Returns the
    pending record to wait on. *)
 let issue t (meta : Meta.t) ~version ~proc =
+  let send_request () =
+    t.metrics.Metrics.object_fetches <- t.metrics.Metrics.object_fetches + 1;
+    meta.Meta.fetch_count <- meta.Meta.fetch_count + 1;
+    let now = Engine.now t.eng in
+    Fabric.post t.fabric ~src:proc ~dst:meta.Meta.owner
+      ~size:t.costs.Costs.small_msg ~tag:"request"
+      (Protocol.Request { meta; version; requester = proc; sent_at = now })
+  in
   match Hashtbl.find_opt t.pending (key meta proc) with
   | Some p when p.version >= version -> p
+  | Some p when not (Ivar.is_full p.ivar) ->
+      (* A newer version supersedes an in-flight fetch. Bump the existing
+         record in place (keeping its ivar) so processes already waiting on
+         the superseded fetch are woken when the newer version arrives —
+         replacing the record would orphan them forever. Reusing the
+         record also keeps this path allocation free. *)
+      p.version <- version;
+      p.arrived_at <- -1.0;
+      send_request ();
+      p
   | _ ->
+      (* No pending fetch, or the previous one completed (its waiters have
+         all been released): start a fresh one. *)
       let p = { version; ivar = Ivar.create (); arrived_at = -1.0 } in
       Hashtbl.replace t.pending (key meta proc) p;
-      t.metrics.Metrics.object_fetches <- t.metrics.Metrics.object_fetches + 1;
-      meta.Meta.fetch_count <- meta.Meta.fetch_count + 1;
-      let now = Engine.now t.eng in
-      Fabric.post t.fabric ~src:proc ~dst:meta.Meta.owner
-        ~size:t.costs.Costs.small_msg ~tag:"request"
-        (Protocol.Request { meta; version; requester = proc; sent_at = now });
+      send_request ();
       p
 
 (* A copy of [version] is now present on [proc] (reply or broadcast). *)
@@ -94,13 +112,20 @@ let remote_slots (task : Taskrec.t) ~proc =
     task.Taskrec.spec;
   List.rev !acc
 
+(* Interrupt context: no yields between the checks and the issues, so
+   iterating the spec directly is equivalent to snapshotting it first —
+   and allocates no intermediate list. *)
 let prefetch t (task : Taskrec.t) ~proc =
-  if (not t.cfg.Config.work_free) && t.cfg.Config.concurrent_fetch then begin
-    let remote = remote_slots task ~proc in
-    if remote <> [] && task.Taskrec.fetch_start < 0.0 then
-      task.Taskrec.fetch_start <- Engine.now t.eng;
-    List.iter (fun (meta, version) -> ignore (issue t meta ~version ~proc)) remote
-  end
+  if (not t.cfg.Config.work_free) && t.cfg.Config.concurrent_fetch then
+    Array.iteri
+      (fun slot ((meta : Meta.t), _) ->
+        let version = task.Taskrec.required.(slot) in
+        if not (Meta.holds_version meta ~proc ~version) then begin
+          if task.Taskrec.fetch_start < 0.0 then
+            task.Taskrec.fetch_start <- Engine.now t.eng;
+          ignore (issue t meta ~version ~proc)
+        end)
+      task.Taskrec.spec
 
 let ensure_local t (task : Taskrec.t) ~proc =
   if not t.cfg.Config.work_free then begin

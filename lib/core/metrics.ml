@@ -26,6 +26,7 @@ type t = {
   mutable eager_transfers : int;
   mutable steals : int;
   mutable elapsed : float;  (** virtual completion time of the run *)
+  mutable events : int;  (** engine events processed during the run *)
 }
 
 let create () =
@@ -47,6 +48,7 @@ let create () =
     eager_transfers = 0;
     steals = 0;
     elapsed = 0.0;
+    events = 0;
   }
 
 type summary = {
@@ -66,6 +68,7 @@ type summary = {
   broadcast_count : int;
   eager_count : int;
   steal_count : int;
+  event_count : int;  (** discrete-event engine events the run processed *)
 }
 
 let summary m =
@@ -97,6 +100,7 @@ let summary m =
     broadcast_count = m.broadcasts;
     eager_count = m.eager_transfers;
     steal_count = m.steals;
+    event_count = m.events;
   }
 
 let pp_summary fmt s =

@@ -66,7 +66,10 @@ let get_sync t =
 (* Construction *)
 
 let make_runtime ?trace cfg machine nprocs =
-  let eng = Engine.create () in
+  (* Event-queue population scales with the processor count (dispatchers,
+     mailboxes, in-flight fabric messages): pre-size the heap so large
+     runs never pay the growth-doubling cascade. *)
+  let eng = Engine.create ~events_hint:(256 * nprocs) () in
   let nodes = Array.init nprocs (Mnode.create eng) in
   let metrics = Metrics.create () in
   let is_mp = match machine with Ipsc _ | Lan _ -> true | Dash _ -> false in
@@ -503,6 +506,7 @@ let run_with ?(config = Config.default) ?trace ~machine ~nprocs main ~inspect =
          t.outstanding
          (Engine.live_processes t.eng));
   t.metrics.Metrics.elapsed <- t.finish_time;
+  t.metrics.Metrics.events <- Engine.events_processed t.eng;
   (match t.fabric with
   | Some f -> t.metrics.Metrics.messages <- Fabric.message_count f
   | None -> ());

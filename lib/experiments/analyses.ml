@@ -2,7 +2,7 @@ open Runner
 
 let procs_cols = List.map string_of_int Runner.procs
 
-let replication r ~app =
+let replication_seq r ~app =
   let base = config_of_level Loc in
   let row label config =
     ( label,
@@ -53,7 +53,7 @@ let broadcast_breakdown r =
     unit_label = "paper-scale object sizes, iPSC/860 link parameters";
   }
 
-let latency_hiding r =
+let latency_hiding_seq r =
   let base = config_of_level Tp in
   let row label config =
     ( label,
@@ -77,7 +77,7 @@ let latency_hiding r =
     unit_label = "seconds";
   }
 
-let concurrent_fetch r =
+let concurrent_fetch_seq r =
   {
     Report.id = "Analysis 5.5";
     title =
@@ -106,7 +106,7 @@ let concurrent_fetch r =
    repetitive communication patterns, but degraded the performance of
    other applications by generating an excessive amount of
    communication". *)
-let eager_transfer r =
+let eager_transfer_seq r =
   let rows =
     List.concat_map
       (fun app ->
@@ -141,28 +141,42 @@ let eager_transfer r =
    off its target processor). Longer patience widens the window in which
    an idle processor misses wake-ups and then steals on its own, so task
    locality *degrades* as patience grows — the locality comes from giving
-   the target processor the first wake-up, not from waiting. *)
+   the target processor the first wake-up, not from waiting.
+
+   These runs use modified machine-cost records, so they bypass the
+   runner's (app x machine x config) cache; the cell grid fans out over a
+   {!Pool} directly instead, and rows are assembled in fixed grid order. *)
 let ablation_steal_patience r =
-  ignore r;
   let patience_values = [ 0.0; 100e-6; 400e-6; 2e-3 ] in
+  let cols = [ 4; 8; 16; 32 ] in
   let params = { Jade_apps.Ocean.paper_params with Jade_apps.Ocean.iters = 30 } in
-  let rows =
-    List.map
-      (fun patience ->
+  let cells =
+    List.concat_map
+      (fun patience -> List.map (fun nprocs -> (patience, nprocs)) cols)
+      patience_values
+  in
+  let results =
+    Pool.map ~jobs:(Runner.jobs r)
+      (fun (patience, nprocs) ->
         let machine =
           Jade.Runtime.Dash
             { Jade_machines.Costs.dash with Jade_machines.Costs.steal_patience = patience }
         in
+        let program, _ =
+          Jade_apps.Ocean.make params ~kind:Jade_apps.App_common.Shm
+            ~placed:false ~nprocs
+        in
+        let s = Jade.Runtime.run ~machine ~nprocs program in
+        s.Jade.Metrics.locality_pct)
+      cells
+    |> Array.of_list
+  in
+  let ncols = List.length cols in
+  let rows =
+    List.mapi
+      (fun i patience ->
         ( Printf.sprintf "patience %.0f us" (patience *. 1e6),
-          List.map
-            (fun nprocs ->
-              let program, _ =
-                Jade_apps.Ocean.make params ~kind:Jade_apps.App_common.Shm
-                  ~placed:false ~nprocs
-              in
-              let s = Jade.Runtime.run ~machine ~nprocs program in
-              Some s.Jade.Metrics.locality_pct)
-            [ 4; 8; 16; 32 ] ))
+          List.mapi (fun j _ -> Some results.((i * ncols) + j)) cols ))
       patience_values
   in
   {
@@ -179,7 +193,6 @@ let ablation_steal_patience r =
    the paper's measured platforms: the same four applications on a
    simulated Ethernet-class LAN of workstations. *)
 let portability r =
-  ignore r;
   let machines =
     [ ("DASH", Jade.Runtime.dash); ("iPSC/860", Jade.Runtime.ipsc860);
       ("LAN", Jade.Runtime.lan) ]
@@ -209,15 +222,27 @@ let portability r =
     ]
   in
   let nprocs = 8 in
-  let rows =
-    List.map
+  (* Direct runs on a bespoke machine list (the LAN has no runner cache
+     entry): parallelize the app x machine grid over a {!Pool}. *)
+  let cells =
+    List.concat_map
       (fun (app_label, make) ->
-        ( app_label,
-          List.map
-            (fun (_, machine) ->
-              let s = Jade.Runtime.run ~machine ~nprocs (make nprocs) in
-              Some s.Jade.Metrics.elapsed_s)
-            machines ))
+        List.map (fun (_, machine) -> (app_label, make, machine)) machines)
+      apps
+  in
+  let results =
+    Pool.map ~jobs:(Runner.jobs r)
+      (fun (_, make, machine) ->
+        let s = Jade.Runtime.run ~machine ~nprocs (make nprocs) in
+        s.Jade.Metrics.elapsed_s)
+      cells
+    |> Array.of_list
+  in
+  let nm = List.length machines in
+  let rows =
+    List.mapi
+      (fun i (app_label, _) ->
+        (app_label, List.mapi (fun j _ -> Some results.((i * nm) + j)) machines))
       apps
   in
   {
@@ -229,13 +254,24 @@ let portability r =
     unit_label = "seconds";
   }
 
+(* Runner-backed analyses fan their simulations out via
+   {!Runner.parallel}; the two bespoke-machine analyses above carry their
+   own pool fan-out. *)
+let replication r ~app = Runner.parallel r (fun () -> replication_seq r ~app)
+
+let latency_hiding r = Runner.parallel r (fun () -> latency_hiding_seq r)
+
+let concurrent_fetch r = Runner.parallel r (fun () -> concurrent_fetch_seq r)
+
+let eager_transfer r = Runner.parallel r (fun () -> eager_transfer_seq r)
+
 let all r =
-  [
-    replication r ~app:Water;
-    broadcast_breakdown r;
-    latency_hiding r;
-    concurrent_fetch r;
-    eager_transfer r;
-    ablation_steal_patience r;
-    portability r;
-  ]
+  Runner.parallel r (fun () ->
+      [
+        replication_seq r ~app:Water;
+        broadcast_breakdown r;
+        latency_hiding_seq r;
+        concurrent_fetch_seq r;
+        eager_transfer_seq r;
+      ])
+  @ [ ablation_steal_patience r; portability r ]

@@ -63,7 +63,7 @@ let mgmt_pct r ~app ~machine ~id =
     unit_label = "% of execution time spent managing tasks";
   }
 
-let figure r n =
+let figure_seq r n =
   match n with
   | 2 -> locality_pct r ~app:Water ~machine:Dash ~id:"Figure 2"
   | 3 -> locality_pct r ~app:String_ ~machine:Dash ~id:"Figure 3"
@@ -87,4 +87,10 @@ let figure r n =
   | 21 -> mgmt_pct r ~app:Cholesky ~machine:Ipsc ~id:"Figure 21"
   | _ -> invalid_arg "Figures.figure: the paper has figures 2-21"
 
-let all r = List.map (figure r) (List.init 20 (fun i -> i + 2))
+(* Same parallel-evaluation shape as {!Tables}: plan, warm across domains,
+   replay from the cache. *)
+let figure r n = Runner.parallel r (fun () -> figure_seq r n)
+
+let all r =
+  Runner.parallel r (fun () ->
+      List.map (figure_seq r) (List.init 20 (fun i -> i + 2)))

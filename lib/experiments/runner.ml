@@ -67,22 +67,42 @@ type key = {
   k_placed : bool;
 }
 
+(* A unit of cacheable work discovered during a planning pass. *)
+type work = Sim of key | Serial_flops of app | Total_flops of app
+
 type t = {
   sz : size;
+  jobs : int;
+  lock : Mutex.t;  (** guards every mutable field below *)
   cache : (key, Jade.Metrics.summary) Hashtbl.t;
   serial_flops : (app, float) Hashtbl.t;
   total_flops : (app, float) Hashtbl.t;
+  mutable plan : work list option;
+      (** [Some acc] while a {!parallel} planning pass records the runs a
+          computation needs (reversed); [None] during normal execution *)
+  mutable events : int;  (** engine events across every simulation executed *)
 }
 
-let create sz =
+let create ?jobs sz =
+  let jobs = match jobs with Some j -> max 1 j | None -> Pool.default_jobs () in
   {
     sz;
+    jobs;
+    lock = Mutex.create ();
     cache = Hashtbl.create 64;
     serial_flops = Hashtbl.create 8;
     total_flops = Hashtbl.create 8;
+    plan = None;
+    events = 0;
   }
 
 let size t = t.sz
+
+let jobs t = t.jobs
+
+let locked t f = Mutex.protect t.lock f
+
+let events_simulated t = locked t (fun () -> t.events)
 
 let jade_machine = function Dash -> Jade.Runtime.dash | Ipsc -> Jade.Runtime.ipsc860
 
@@ -101,59 +121,126 @@ let make_program t app ~kind ~placed ~nprocs =
   | Cholesky ->
       fst (Jade_apps.Cholesky.make (cholesky_params t.sz) ~kind ~placed ~nprocs)
 
+(* ------------------------------------------------------------------ *)
+(* Raw (cache-free) computation of each work unit. These are what pool
+   workers execute: they touch only immutable runner state, so they can
+   run on any domain. *)
+
+let compute_sim t { k_app; k_machine; k_nprocs; k_config; k_placed } =
+  let program =
+    make_program t k_app ~kind:(kind_of k_machine) ~placed:k_placed
+      ~nprocs:k_nprocs
+  in
+  Jade.Runtime.run ~config:k_config ~machine:(jade_machine k_machine)
+    ~nprocs:k_nprocs program
+
+let compute_serial_flops t app =
+  match app with
+  | Water -> snd (Jade_apps.Water.serial (water_params t.sz))
+  | String_ -> snd (String_app.serial (string_params t.sz))
+  | Ocean -> snd (Jade_apps.Ocean.serial (ocean_params t.sz) ~nprocs:32)
+  | Cholesky -> snd (Jade_apps.Cholesky.serial (cholesky_params t.sz))
+
+let compute_total_flops t app =
+  match app with
+  | Water -> Jade_apps.Water.total_work (water_params t.sz) ~nprocs:1
+  | String_ -> String_app.total_work (string_params t.sz) ~nprocs:1
+  | Ocean -> Jade_apps.Ocean.total_work (ocean_params t.sz) ~nprocs:32
+  | Cholesky -> Jade_apps.Cholesky.total_work (cholesky_params t.sz) ~nprocs:1
+
+(* ------------------------------------------------------------------ *)
+(* Cache (domain-safe: results computed off the main domain are merged
+   under the lock, keyed and deduplicated, so cache contents — and the
+   tables rendered from them — are independent of completion order). *)
+
+let cache_add_sim t key s =
+  locked t (fun () ->
+      if not (Hashtbl.mem t.cache key) then begin
+        Hashtbl.add t.cache key s;
+        t.events <- t.events + s.Jade.Metrics.event_count
+      end)
+
+(* Placeholder returned while planning: the values are never rendered (the
+   replay pass recomputes against the warm cache); they only need to keep
+   arithmetic on the planning pass well-behaved. *)
+let planning_summary =
+  {
+    Jade.Metrics.tasks = 0;
+    elapsed_s = 1.0;
+    locality_pct = 0.0;
+    task_time_s = 1.0;
+    compute_time_s = 1.0;
+    comm_time_s = 0.0;
+    comm_mbytes = 0.0;
+    comm_to_comp = 0.0;
+    msg_count = 0;
+    fetches = 0;
+    object_latency_s = 0.0;
+    task_latency_s = 1.0;
+    latency_ratio = 1.0;
+    broadcast_count = 0;
+    eager_count = 0;
+    steal_count = 0;
+    event_count = 0;
+  }
+
+let record t w =
+  match t.plan with
+  | Some acc -> t.plan <- Some (w :: acc)
+  | None -> assert false
+
 let run t ~app ~machine ~nprocs ~config ~placed =
   let key =
     { k_app = app; k_machine = machine; k_nprocs = nprocs; k_config = config;
       k_placed = placed }
   in
-  match Hashtbl.find_opt t.cache key with
+  match locked t (fun () -> Hashtbl.find_opt t.cache key) with
   | Some s -> s
   | None ->
-      let program =
-        make_program t app ~kind:(kind_of machine) ~placed ~nprocs
-      in
-      let s =
-        Jade.Runtime.run ~config ~machine:(jade_machine machine) ~nprocs program
-      in
-      Hashtbl.add t.cache key s;
-      s
+      if t.plan <> None then begin
+        record t (Sim key);
+        planning_summary
+      end
+      else begin
+        let s = compute_sim t key in
+        cache_add_sim t key s;
+        s
+      end
 
 (* A traced run bypasses the cache: tracing mutates external state. *)
 let run_traced t ~trace ~app ~machine ~nprocs ~config ~placed =
   let program = make_program t app ~kind:(kind_of machine) ~placed ~nprocs in
-  Jade.Runtime.run ~config ~trace ~machine:(jade_machine machine) ~nprocs program
+  let s =
+    Jade.Runtime.run ~config ~trace ~machine:(jade_machine machine) ~nprocs
+      program
+  in
+  locked t (fun () -> t.events <- t.events + s.Jade.Metrics.event_count);
+  s
 
 let run_level t ~app ~machine ~nprocs ~level =
   let placed = level = Tp in
   run t ~app ~machine ~nprocs ~config:(config_of_level level) ~placed
 
-let serial_flops t app =
-  match Hashtbl.find_opt t.serial_flops app with
+let flops_memo t table compute_it work_of app =
+  match locked t (fun () -> Hashtbl.find_opt table app) with
   | Some f -> f
   | None ->
-      let f =
-        match app with
-        | Water -> snd (Jade_apps.Water.serial (water_params t.sz))
-        | String_ -> snd (String_app.serial (string_params t.sz))
-        | Ocean -> snd (Jade_apps.Ocean.serial (ocean_params t.sz) ~nprocs:32)
-        | Cholesky -> snd (Jade_apps.Cholesky.serial (cholesky_params t.sz))
-      in
-      Hashtbl.add t.serial_flops app f;
-      f
+      if t.plan <> None then begin
+        record t (work_of app);
+        1.0
+      end
+      else begin
+        let f = compute_it t app in
+        locked t (fun () ->
+            if not (Hashtbl.mem table app) then Hashtbl.add table app f);
+        f
+      end
+
+let serial_flops t app =
+  flops_memo t t.serial_flops compute_serial_flops (fun a -> Serial_flops a) app
 
 let total_flops t app =
-  match Hashtbl.find_opt t.total_flops app with
-  | Some f -> f
-  | None ->
-      let f =
-        match app with
-        | Water -> Jade_apps.Water.total_work (water_params t.sz) ~nprocs:1
-        | String_ -> String_app.total_work (string_params t.sz) ~nprocs:1
-        | Ocean -> Jade_apps.Ocean.total_work (ocean_params t.sz) ~nprocs:32
-        | Cholesky -> Jade_apps.Cholesky.total_work (cholesky_params t.sz) ~nprocs:1
-      in
-      Hashtbl.add t.total_flops app f;
-      f
+  flops_memo t t.total_flops compute_total_flops (fun a -> Total_flops a) app
 
 let serial_time t ~app ~machine = serial_flops t app /. flops_of machine
 
@@ -167,3 +254,66 @@ let task_management_pct t ~app ~machine ~nprocs ~level =
   let wf = run t ~app ~machine ~nprocs ~config:wf_config ~placed in
   if orig.Jade.Metrics.elapsed_s <= 0.0 then 0.0
   else 100.0 *. wf.Jade.Metrics.elapsed_s /. orig.Jade.Metrics.elapsed_s
+
+(* ------------------------------------------------------------------ *)
+(* Parallel evaluation: plan, warm, replay. *)
+
+type warm_result = W_sim of Jade.Metrics.summary | W_flops of float
+
+let not_cached t = function
+  | Sim key -> locked t (fun () -> not (Hashtbl.mem t.cache key))
+  | Serial_flops app -> locked t (fun () -> not (Hashtbl.mem t.serial_flops app))
+  | Total_flops app -> locked t (fun () -> not (Hashtbl.mem t.total_flops app))
+
+let warm t works =
+  let works = List.sort_uniq compare works in
+  let works = List.filter (not_cached t) works in
+  let thunks =
+    List.map
+      (fun w () ->
+        match w with
+        | Sim key -> W_sim (compute_sim t key)
+        | Serial_flops app -> W_flops (compute_serial_flops t app)
+        | Total_flops app -> W_flops (compute_total_flops t app))
+      works
+  in
+  let results = Pool.run ~jobs:t.jobs thunks in
+  List.iter2
+    (fun w r ->
+      match (w, r) with
+      | Sim key, W_sim s -> cache_add_sim t key s
+      | Serial_flops app, W_flops f ->
+          locked t (fun () ->
+              if not (Hashtbl.mem t.serial_flops app) then
+                Hashtbl.add t.serial_flops app f)
+      | Total_flops app, W_flops f ->
+          locked t (fun () ->
+              if not (Hashtbl.mem t.total_flops app) then
+                Hashtbl.add t.total_flops app f)
+      | _ -> assert false)
+    works results
+
+let parallel t f =
+  match t.plan with
+  | Some _ ->
+      (* Nested inside an enclosing planning pass: keep recording; the
+         outermost [parallel] performs the warming. *)
+      f ()
+  | None ->
+      (* Pass 1 — plan: execute [f] against the cache, recording every
+         uncached run it asks for (cheap placeholders are returned instead
+         of simulating). A planning-pass exception just truncates the
+         plan; the replay pass re-raises it for real. *)
+      t.plan <- Some [];
+      (try ignore (f ()) with _ -> ());
+      let works =
+        match t.plan with Some acc -> List.rev acc | None -> assert false
+      in
+      t.plan <- None;
+      (* Pass 2 — warm: run the recorded work across domains and merge the
+         results into the cache, keyed and deduplicated. *)
+      warm t works;
+      (* Pass 3 — replay [f] against the warm cache: pure cache hits, in
+         [f]'s own sequential order, so the result is byte-identical to a
+         fully sequential evaluation whatever [jobs] is. *)
+      f ()

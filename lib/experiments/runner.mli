@@ -30,9 +30,29 @@ val config_of_level : level -> Jade.Config.t
 
 type t
 
-val create : size -> t
+(** [create ?jobs size] makes a runner whose result cache is domain-safe.
+    [jobs] (default {!Pool.default_jobs}, clamped to at least 1) is the
+    number of domains {!parallel} fans uncached simulations out across. *)
+val create : ?jobs:int -> size -> t
 
 val size : t -> size
+
+(** Worker-domain count this runner uses for {!parallel} evaluation. *)
+val jobs : t -> int
+
+(** Total discrete-event engine events across every simulation this runner
+    has executed (cache misses and traced runs). *)
+val events_simulated : t -> int
+
+(** [parallel t f] evaluates [f ()] with its uncached simulations fanned
+    out across [jobs t] domains. Three passes: a planning pass records the
+    runs [f] needs (returning placeholders instead of simulating), the
+    recorded runs execute on a {!Pool} and are merged into the cache keyed
+    and deduplicated, and [f] is replayed against the warm cache. The
+    result is byte-for-byte identical to a plain sequential [f ()]
+    whatever the jobs count or completion order. Nested calls are safe:
+    inner [parallel]s inside a planning pass just keep recording. *)
+val parallel : t -> (unit -> 'a) -> 'a
 
 (** [run t ~app ~machine ~nprocs ~config ~placed] executes one simulation
     (memoized on all parameters). [placed] selects the program variant with

@@ -11,8 +11,16 @@ type t = {
 
 type _ Effect.t += Await : (('a -> unit) -> unit) -> 'a Effect.t
 
-let create () =
-  { events = Heap.create (); clock = 0.0; seq = 0; live = 0; processed = 0 }
+let nop () = ()
+
+let create ?(events_hint = 16) () =
+  {
+    events = Heap.create ~capacity:events_hint ~dummy:nop ();
+    clock = 0.0;
+    seq = 0;
+    live = 0;
+    processed = 0;
+  }
 
 let now t = t.clock
 

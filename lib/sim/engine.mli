@@ -16,7 +16,12 @@
 
 type t
 
-val create : unit -> t
+(** [create ?events_hint ()] makes an engine. [events_hint] pre-sizes the
+    event queue (number of simultaneously scheduled events it can hold
+    before growing); callers that know the simulation's fan-out — e.g. the
+    Jade runtime, which scales it with the processor count — pass it to
+    skip the doubling cascade on large runs. *)
+val create : ?events_hint:int -> unit -> t
 
 (** Current virtual time in seconds. *)
 val now : t -> float

@@ -1,68 +1,106 @@
-type 'a entry = { time : float; seq : int; value : 'a }
+(* Parallel-array binary min-heap. Keys live in an unboxed [float array]
+   (times) and an [int array] (seqs); only the payload array holds
+   pointers. Compared to the earlier boxed-record layout this allocates
+   nothing per [push]: an entry is three stores instead of a fresh
+   6-word record + boxed float, which removes the dominant per-event
+   allocation of the discrete-event engine. *)
 
-type 'a t = { mutable data : 'a entry array; mutable size : int }
+type 'a t = {
+  mutable times : float array;
+  mutable seqs : int array;
+  mutable values : 'a array;
+  mutable size : int;
+  dummy : 'a;  (** fills vacated payload slots so the heap never pins dead values *)
+}
 
-let dummy = { time = 0.0; seq = 0; value = Obj.magic 0 }
-
-let create () = { data = Array.make 16 dummy; size = 0 }
+let create ?(capacity = 16) ~dummy () =
+  let capacity = max capacity 1 in
+  {
+    times = Array.make capacity 0.0;
+    seqs = Array.make capacity 0;
+    values = Array.make capacity dummy;
+    size = 0;
+    dummy;
+  }
 
 let length t = t.size
 
 let is_empty t = t.size = 0
 
-let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
-
 let grow t =
-  let n = Array.length t.data in
-  let data = Array.make (2 * n) dummy in
-  Array.blit t.data 0 data 0 n;
-  t.data <- data
+  let n = Array.length t.times in
+  let n' = 2 * n in
+  let times = Array.make n' 0.0 in
+  let seqs = Array.make n' 0 in
+  let values = Array.make n' t.dummy in
+  Array.blit t.times 0 times 0 n;
+  Array.blit t.seqs 0 seqs 0 n;
+  Array.blit t.values 0 values 0 n;
+  t.times <- times;
+  t.seqs <- seqs;
+  t.values <- values
 
 let push t ~time ~seq value =
-  if t.size = Array.length t.data then grow t;
-  let e = { time; seq; value } in
-  (* Sift up. *)
+  if t.size = Array.length t.times then grow t;
+  let times = t.times and seqs = t.seqs and values = t.values in
+  (* Sift up with a hole: move larger parents down, then place the new
+     entry once — no intermediate swaps. *)
   let i = ref t.size in
   t.size <- t.size + 1;
-  t.data.(!i) <- e;
   let continue = ref true in
   while !continue && !i > 0 do
     let parent = (!i - 1) / 2 in
-    if less e t.data.(parent) then begin
-      t.data.(!i) <- t.data.(parent);
-      t.data.(parent) <- e;
+    let pt = times.(parent) in
+    if time < pt || (time = pt && seq < seqs.(parent)) then begin
+      times.(!i) <- pt;
+      seqs.(!i) <- seqs.(parent);
+      values.(!i) <- values.(parent);
       i := parent
     end
     else continue := false
-  done
-
-let sift_down t =
-  let e = t.data.(0) in
-  let i = ref 0 in
-  let continue = ref true in
-  while !continue do
-    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-    let smallest = ref !i in
-    if l < t.size && less t.data.(l) t.data.(!smallest) then smallest := l;
-    if r < t.size && less t.data.(r) t.data.(!smallest) then smallest := r;
-    if !smallest <> !i then begin
-      t.data.(!i) <- t.data.(!smallest);
-      t.data.(!smallest) <- e;
-      i := !smallest
-    end
-    else continue := false
-  done
+  done;
+  times.(!i) <- time;
+  seqs.(!i) <- seq;
+  values.(!i) <- value
 
 let pop_min t =
   if t.size = 0 then raise Not_found;
-  let e = t.data.(0) in
-  t.size <- t.size - 1;
-  t.data.(0) <- t.data.(t.size);
-  t.data.(t.size) <- dummy;
-  if t.size > 0 then sift_down t;
-  (e.time, e.seq, e.value)
+  let time = t.times.(0) and seq = t.seqs.(0) and v = t.values.(0) in
+  let n = t.size - 1 in
+  t.size <- n;
+  if n = 0 then t.values.(0) <- t.dummy
+  else begin
+    let times = t.times and seqs = t.seqs and values = t.values in
+    (* Sift the last entry down from the root, again with a hole. *)
+    let lt = times.(n) and ls = seqs.(n) and lv = values.(n) in
+    values.(n) <- t.dummy;
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let best = ref (-1) and bt = ref lt and bs = ref ls in
+      if l < n && (times.(l) < !bt || (times.(l) = !bt && seqs.(l) < !bs))
+      then begin
+        best := l;
+        bt := times.(l);
+        bs := seqs.(l)
+      end;
+      if r < n && (times.(r) < !bt || (times.(r) = !bt && seqs.(r) < !bs))
+      then best := r;
+      if !best >= 0 then begin
+        times.(!i) <- times.(!best);
+        seqs.(!i) <- seqs.(!best);
+        values.(!i) <- values.(!best);
+        i := !best
+      end
+      else continue := false
+    done;
+    times.(!i) <- lt;
+    seqs.(!i) <- ls;
+    values.(!i) <- lv
+  end;
+  (time, seq, v)
 
 let peek_min t =
   if t.size = 0 then raise Not_found;
-  let e = t.data.(0) in
-  (e.time, e.seq, e.value)
+  (t.times.(0), t.seqs.(0), t.values.(0))

@@ -1,10 +1,19 @@
 (** Binary min-heap keyed by [(time, seq)], used as the event queue of the
     discrete-event engine. Ties on [time] are broken by insertion sequence,
-    which makes simulations deterministic. *)
+    which makes simulations deterministic.
+
+    The heap stores keys in unboxed parallel arrays, so [push]/[pop_min]
+    allocate nothing — the engine's per-event hot path is allocation
+    free. *)
 
 type 'a t
 
-val create : unit -> 'a t
+(** [create ?capacity ~dummy ()] makes an empty heap. [dummy] is an inert
+    value of the element type used to blank vacated payload slots (so the
+    heap never retains popped elements); it is never returned. [capacity]
+    pre-sizes the backing arrays — a heap that stays within it never
+    reallocates. *)
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
 
 val length : 'a t -> int
 

@@ -198,6 +198,64 @@ let test_locality_pct_metric () =
   in
   Alcotest.(check (float 0.0)) "100%% locality" 100.0 s.Jade.Metrics.locality_pct
 
+(* Regression: a newer-version fetch superseding an in-flight pending
+   record must not orphan processes already waiting on it. Task 1 blocks
+   in [ensure_local] fetching x@v1; before the reply arrives, a prefetch
+   for x@v2 supersedes the pending record. The waiter must be woken when
+   the newer version arrives (previously the record — and its ivar — was
+   replaced outright, leaving the waiter blocked forever). The test drives
+   the communicator directly to pin the interleaving. *)
+let test_superseded_fetch_wakes_waiter () =
+  let module E = Jade_sim.Engine in
+  let module C = Jade_machines.Costs in
+  let eng = E.create () in
+  let nodes = Array.init 2 (Jade_machines.Mnode.create eng) in
+  let costs = C.ipsc860 in
+  let fabric =
+    Jade_net.Fabric.create eng ~nodes
+      ~topology:(Jade_net.Topology.hypercube 2)
+      ~startup:costs.C.msg_startup ~bandwidth:costs.C.bandwidth
+      ~hop_latency:costs.C.hop_latency
+  in
+  let metrics = Jade.Metrics.create () in
+  let comm =
+    Jade.Communicator.create eng ~cfg:Jade.Config.default ~costs ~nodes
+      ~fabric ~metrics
+  in
+  for p = 0 to 1 do
+    Jade_net.Fabric.set_handler fabric p (fun msg ->
+        Jade.Communicator.handle comm msg)
+  done;
+  let meta = Jade.Meta.create ~id:1 ~name:"x" ~size:4096 ~home:0 ~nprocs:2 in
+  Jade.Meta.commit_write meta ~proc:0 ~version:1;
+  let mk_task tid version =
+    let t =
+      Jade.Taskrec.create ~tid ~tname:(Printf.sprintf "t%d" tid)
+        ~spec:[| (meta, Jade.Access.Read) |]
+        ~body:(fun _ _ -> ())
+        ~work:0.0 ~placement:None ~now:0.0
+    in
+    t.Jade.Taskrec.required.(0) <- version;
+    t
+  in
+  let task1 = mk_task 1 1 in
+  let task2 = mk_task 2 2 in
+  let resumed = ref false in
+  E.spawn eng (fun () ->
+      Jade.Communicator.ensure_local comm task1 ~proc:1;
+      resumed := true);
+  (* Well before task1's reply can arrive (message latency is tens of
+     microseconds), a writer commits v2 and an assignment for task2
+     triggers a concurrent prefetch on the same processor. *)
+  E.schedule eng ~delay:1e-7 (fun () ->
+      Jade.Meta.commit_write meta ~proc:0 ~version:2;
+      Jade.Communicator.prefetch comm task2 ~proc:1);
+  ignore (E.run eng);
+  Alcotest.(check bool) "waiter resumed" true !resumed;
+  Alcotest.(check int) "no orphaned process" 0 (E.live_processes eng);
+  Alcotest.(check int) "both versions were requested" 2
+    metrics.Jade.Metrics.object_fetches
+
 let () =
   Alcotest.run "communication"
     [
@@ -224,6 +282,11 @@ let () =
         [
           Alcotest.test_case "concurrent fetch parallelizes" `Quick
             test_concurrent_fetch_parallelizes;
+        ] );
+      ( "superseding",
+        [
+          Alcotest.test_case "superseded fetch wakes waiter" `Quick
+            test_superseded_fetch_wakes_waiter;
         ] );
       ( "modes",
         [

@@ -1,0 +1,111 @@
+(* Tests for the domain-parallel experiment executor: the [Pool] work
+   queue itself (ordering, exception propagation, empty input) and the
+   end-to-end determinism guarantee — the same tables, figures and
+   analyses rendered with jobs=1 and jobs=4 must be byte-identical. *)
+
+open Jade_experiments
+
+let test_empty () =
+  Alcotest.(check (list int)) "empty input" [] (Pool.run ~jobs:4 [])
+
+let test_ordering () =
+  let n = 100 in
+  let expected = List.init n (fun i -> i * i) in
+  Alcotest.(check (list int))
+    "results in submission order" expected
+    (Pool.map ~jobs:4 (fun i -> i * i) (List.init n Fun.id));
+  Alcotest.(check (list int))
+    "jobs=1 inline path agrees" expected
+    (Pool.map ~jobs:1 (fun i -> i * i) (List.init n Fun.id))
+
+let test_jobs_clamped () =
+  (* Degenerate jobs values fall back to sequential execution. *)
+  Alcotest.(check (list int))
+    "jobs=0 clamped" [ 1; 2; 3 ]
+    (Pool.map ~jobs:0 Fun.id [ 1; 2; 3 ]);
+  (* More workers than tasks is fine too. *)
+  Alcotest.(check (list int))
+    "more jobs than tasks" [ 7 ]
+    (Pool.map ~jobs:16 Fun.id [ 7 ])
+
+exception Boom of int
+
+let test_exception_propagates () =
+  let f i = if i mod 3 = 2 then raise (Boom i) else i in
+  match Pool.map ~jobs:4 f (List.init 10 Fun.id) with
+  | _ -> Alcotest.fail "expected Boom"
+  | exception Boom i ->
+      (* Tasks 2, 5 and 8 all raise; the lowest submission index wins
+         regardless of which domain finished first. *)
+      Alcotest.(check int) "lowest-index failure surfaces" 2 i
+
+let test_exception_does_not_cancel () =
+  let ran = Array.make 8 false in
+  (try
+     ignore
+       (Pool.run ~jobs:4
+          (List.init 8 (fun i () ->
+               ran.(i) <- true;
+               if i = 0 then failwith "boom")))
+   with Failure _ -> ());
+  Alcotest.(check bool)
+    "every task still ran" true
+    (Array.for_all Fun.id ran)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism of parallel regeneration. *)
+
+let render_all ~jobs =
+  let r = Runner.create ~jobs Runner.Test in
+  let tables = List.map (Tables.table r) [ 1; 2; 7; 13 ] in
+  let figures = List.map (Figures.figure r) [ 6; 14; 20 ] in
+  let analyses = [ Analyses.latency_hiding r; Analyses.concurrent_fetch r ] in
+  String.concat "\n" (List.map Report.render (tables @ figures @ analyses))
+
+let test_jobs_byte_identical () =
+  let seq = render_all ~jobs:1 in
+  let par = render_all ~jobs:4 in
+  Alcotest.(check string) "jobs=1 and jobs=4 render identically" seq par
+
+let test_parallel_same_as_direct () =
+  (* [Runner.parallel]'s plan/warm/replay must agree with plain memoized
+     execution on a fresh runner. *)
+  let direct =
+    let r = Runner.create ~jobs:1 Runner.Test in
+    Report.render (Tables.table r 7)
+  in
+  let parallel =
+    let r = Runner.create ~jobs:3 Runner.Test in
+    Report.render (Runner.parallel r (fun () -> Tables.table r 7))
+  in
+  Alcotest.(check string) "parallel evaluation matches direct" direct parallel
+
+let test_events_counted () =
+  let r = Runner.create ~jobs:2 Runner.Test in
+  ignore (Tables.table r 7);
+  Alcotest.(check bool)
+    "simulated events accumulated" true
+    (Runner.events_simulated r > 0)
+
+let () =
+  Alcotest.run "pool"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "empty queue" `Quick test_empty;
+          Alcotest.test_case "ordering" `Quick test_ordering;
+          Alcotest.test_case "jobs clamped" `Quick test_jobs_clamped;
+          Alcotest.test_case "exception propagation" `Quick
+            test_exception_propagates;
+          Alcotest.test_case "no cancellation on failure" `Quick
+            test_exception_does_not_cancel;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "jobs=1 vs jobs=4 byte-identical" `Slow
+            test_jobs_byte_identical;
+          Alcotest.test_case "parallel matches direct" `Quick
+            test_parallel_same_as_direct;
+          Alcotest.test_case "event accounting" `Quick test_events_counted;
+        ] );
+    ]

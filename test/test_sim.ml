@@ -4,7 +4,7 @@
 open Jade_sim
 
 let test_heap_order () =
-  let h = Heap.create () in
+  let h = Heap.create ~dummy:"" () in
   Heap.push h ~time:3.0 ~seq:1 "c";
   Heap.push h ~time:1.0 ~seq:2 "a";
   Heap.push h ~time:2.0 ~seq:3 "b";
@@ -14,7 +14,7 @@ let test_heap_order () =
   Alcotest.(check (list string)) "sorted" [ "a"; "b"; "c" ] [ a; b; c ]
 
 let test_heap_fifo_ties () =
-  let h = Heap.create () in
+  let h = Heap.create ~dummy:(-1) () in
   for i = 0 to 9 do
     Heap.push h ~time:1.0 ~seq:i i
   done;
@@ -25,7 +25,7 @@ let heap_sorted_prop =
   QCheck.Test.make ~name:"heap pops in nondecreasing time order" ~count:200
     QCheck.(list (pair (float_bound_exclusive 1000.0) small_int))
     (fun entries ->
-      let h = Heap.create () in
+      let h = Heap.create ~dummy:(-1) () in
       List.iteri (fun i (t, v) -> Heap.push h ~time:t ~seq:i v) entries;
       let rec drain last ok =
         if Heap.is_empty h then ok
