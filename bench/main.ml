@@ -16,8 +16,10 @@
       --jobs 1) is written to BENCH_repro.json.
 
    Run with:  dune exec bench/main.exe -- [--quick] [--jobs N] [--no-baseline]
+                [--fault-seed S] [--drop-rate R] [--dup-rate R] [--jitter SEC]
    (--quick skips the Bechamel pass; --no-baseline skips the sequential
-   reference regeneration used to compute the speedup) *)
+   reference regeneration used to compute the speedup; the --fault-* flags
+   regenerate under a deterministic chaos plan — see Jade_net.Fault) *)
 
 open Bechamel
 open Toolkit
@@ -128,8 +130,8 @@ type regen_stats = {
   minor_words : float;  (** main-domain minor words; meaningful at jobs=1 *)
 }
 
-let regenerate ~jobs ~emit () =
-  let r = Rn.create ~jobs Rn.Bench in
+let regenerate ~jobs ?fault ~emit () =
+  let r = Rn.create ~jobs ?fault Rn.Bench in
   let kernel_ms = ref [] in
   let timed name f =
     let t0 = Unix.gettimeofday () in
@@ -237,28 +239,57 @@ let write_json path ~jobs ~(par : regen_stats) ~(baseline : regen_stats option)
 let () =
   let quick = Array.exists (( = ) "--quick") Sys.argv in
   let no_baseline = Array.exists (( = ) "--no-baseline") Sys.argv in
-  let jobs =
+  let flag_value name of_string =
     let rec find i =
-      if i >= Array.length Sys.argv - 1 then Jade_experiments.Pool.default_jobs ()
-      else if Sys.argv.(i) = "--jobs" then
-        match int_of_string_opt Sys.argv.(i + 1) with
-        | Some j when j >= 1 -> j
-        | _ -> failwith "bench: --jobs expects a positive integer"
+      if i >= Array.length Sys.argv - 1 then None
+      else if Sys.argv.(i) = name then
+        match of_string Sys.argv.(i + 1) with
+        | Some v -> Some v
+        | None -> failwith (Printf.sprintf "bench: bad value for %s" name)
       else find (i + 1)
     in
     find 1
   in
+  let jobs =
+    match
+      flag_value "--jobs" (fun s ->
+          match int_of_string_opt s with
+          | Some j when j >= 1 -> Some j
+          | _ -> None)
+    with
+    | Some j -> j
+    | None -> Jade_experiments.Pool.default_jobs ()
+  in
+  let fault =
+    let seed = flag_value "--fault-seed" int_of_string_opt in
+    let rate name = flag_value name float_of_string_opt in
+    let drop_rate = rate "--drop-rate" and dup_rate = rate "--dup-rate" in
+    let jitter = rate "--jitter" in
+    if seed = None && drop_rate = None && dup_rate = None && jitter = None then
+      None
+    else
+      Some
+        (Jade_net.Fault.spec
+           ~seed:(Option.value seed ~default:1)
+           ~drop_rate:(Option.value drop_rate ~default:0.0)
+           ~dup_rate:(Option.value dup_rate ~default:0.0)
+           ~jitter:(Option.value jitter ~default:0.0)
+           ())
+  in
   if not quick then run_bechamel ();
-  Printf.printf "Regenerating all tables, figures and analyses (--jobs %d)\n\n"
-    jobs;
-  let par = regenerate ~jobs ~emit:true () in
+  Printf.printf "Regenerating all tables, figures and analyses (--jobs %d)%s\n\n"
+    jobs
+    (match fault with
+    | None -> ""
+    | Some f -> Format.asprintf " under %a" Jade_net.Fault.pp_spec f);
+  let par = regenerate ~jobs ?fault ~emit:true () in
   (* Sequential reference for the speedup (and, when jobs > 1, for the
      per-event allocation figure, which needs single-domain GC counters). *)
   let baseline =
     if jobs > 1 && not no_baseline then begin
       Printf.printf
         "Regenerating again with --jobs 1 for the speedup baseline...\n";
-      Some (regenerate ~jobs:1 ~emit:false ())
+      Some (regenerate ~jobs:1 ?fault ~emit:false ())
     end
     else None
   in

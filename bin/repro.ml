@@ -26,6 +26,46 @@ let jobs_arg =
            the machine's recommended domain count). Output is identical \
            at any value.")
 
+(* Chaos mode: --fault-seed/--drop-rate/--dup-rate/--jitter build a
+   deterministic fault plan injected into every message-passing run.
+   Omitting all four disables the machinery entirely. *)
+let fault_term =
+  let seed_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fault-seed" ] ~docv:"S"
+          ~doc:
+            "Seed of the deterministic fault plan (chaos mode). The same \
+             seed and rates reproduce exactly the same faults.")
+  in
+  let drop_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "drop-rate" ] ~docv:"R"
+          ~doc:"Probability in [0,1] that a fabric message is lost.")
+  in
+  let dup_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "dup-rate" ] ~docv:"R"
+          ~doc:"Probability in [0,1] that a fabric message is duplicated.")
+  in
+  let jitter_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "jitter" ] ~docv:"SEC"
+          ~doc:"Maximum extra delivery latency, in virtual seconds.")
+  in
+  let make seed drop_rate dup_rate jitter =
+    match (seed, drop_rate, dup_rate, jitter) with
+    | None, 0.0, 0.0, 0.0 -> None
+    | _ ->
+        let seed = Option.value seed ~default:1 in
+        Some (Jade_net.Fault.spec ~seed ~drop_rate ~dup_rate ~jitter ())
+  in
+  Term.(const make $ seed_arg $ drop_arg $ dup_arg $ jitter_arg)
+
 let print_table ?paper t =
   print_string (Report.render_comparison ~ours:t ~paper);
   print_newline ()
@@ -37,41 +77,41 @@ let table_cmd =
   let n_arg =
     Arg.(required & pos 0 (some int) None & info [] ~docv:"N" ~doc:"Table number (1-14).")
   in
-  let run n size csv jobs =
-    let r = Runner.create ~jobs size in
+  let run n size csv jobs fault =
+    let r = Runner.create ~jobs ?fault size in
     let t = Tables.table r n in
     if csv then print_string (Report.to_csv t)
     else print_table ?paper:(Paper_data.table n) t
   in
   Cmd.v
     (Cmd.info "table" ~doc:"Regenerate one of the paper's tables (1-14).")
-    Term.(const run $ n_arg $ size_arg $ csv_arg $ jobs_arg)
+    Term.(const run $ n_arg $ size_arg $ csv_arg $ jobs_arg $ fault_term)
 
 let figure_cmd =
   let n_arg =
     Arg.(required & pos 0 (some int) None & info [] ~docv:"N" ~doc:"Figure number (2-21).")
   in
-  let run n size csv jobs =
-    let r = Runner.create ~jobs size in
+  let run n size csv jobs fault =
+    let r = Runner.create ~jobs ?fault size in
     let t = Figures.figure r n in
     if csv then print_string (Report.to_csv t) else print_table t
   in
   Cmd.v
     (Cmd.info "figure" ~doc:"Regenerate one of the paper's figures (2-21).")
-    Term.(const run $ n_arg $ size_arg $ csv_arg $ jobs_arg)
+    Term.(const run $ n_arg $ size_arg $ csv_arg $ jobs_arg $ fault_term)
 
 let analyses_cmd =
-  let run size jobs =
-    let r = Runner.create ~jobs size in
+  let run size jobs fault =
+    let r = Runner.create ~jobs ?fault size in
     List.iter print_table (Analyses.all r)
   in
   Cmd.v
     (Cmd.info "analyses" ~doc:"Run the §5.1-§5.5 analyses.")
-    Term.(const run $ size_arg $ jobs_arg)
+    Term.(const run $ size_arg $ jobs_arg $ fault_term)
 
 let all_cmd =
-  let run size jobs =
-    let r = Runner.create ~jobs size in
+  let run size jobs fault =
+    let r = Runner.create ~jobs ?fault size in
     List.iter
       (fun n -> print_table ?paper:(Paper_data.table n) (Tables.table r n))
       (List.init 14 (fun i -> i + 1));
@@ -80,7 +120,7 @@ let all_cmd =
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Regenerate every table, figure and analysis.")
-    Term.(const run $ size_arg $ jobs_arg)
+    Term.(const run $ size_arg $ jobs_arg $ fault_term)
 
 let app_conv =
   Arg.enum
@@ -141,8 +181,9 @@ let run_cmd =
       & info [ "trace" ] ~docv:"FILE"
           ~doc:"Write a Chrome trace-event JSON of the task schedule to FILE.")
   in
-  let run app machine nprocs level no_bcast no_fetch no_repl target size trace =
-    let r = Runner.create size in
+  let run app machine nprocs level no_bcast no_fetch no_repl target size trace
+      fault =
+    let r = Runner.create ?fault size in
     let config =
       {
         (Runner.config_of_level level) with
@@ -172,13 +213,24 @@ let run_cmd =
       (Runner.machine_name machine)
       nprocs
       (Runner.level_name level);
-    Format.printf "  %a@." Jade.Metrics.pp_summary s
+    Format.printf "  %a@." Jade.Metrics.pp_summary s;
+    match fault with
+    | Some spec ->
+        Format.printf "  chaos: %a@." Jade_net.Fault.pp_spec spec;
+        Format.printf
+          "  chaos: dropped=%d duplicated=%d retransmits=%d acks=%d \
+           give-ups=%d@."
+          s.Jade.Metrics.dropped_count s.Jade.Metrics.duplicated_count
+          s.Jade.Metrics.retransmit_count s.Jade.Metrics.ack_count
+          s.Jade.Metrics.give_up_count
+    | None -> ()
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one application/machine/configuration and print metrics.")
     Term.(
       const run $ app_arg $ machine_arg $ procs_arg $ level_arg $ broadcast_arg
-      $ fetch_arg $ replication_arg $ target_arg $ size_arg $ trace_arg)
+      $ fetch_arg $ replication_arg $ target_arg $ size_arg $ trace_arg
+      $ fault_term)
 
 let factor_cmd =
   let matrix_arg =

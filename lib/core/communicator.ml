@@ -8,6 +8,17 @@ type pending = {
   mutable arrived_at : float;  (** -1 until the copy is installed *)
 }
 
+(* A pushed copy (broadcast or eager transfer) the owner is waiting to see
+   acknowledged; only tracked when the reliable-delivery protocol is on. *)
+type push = {
+  push_src : int;
+  push_dst : int;
+  push_size : int;
+  push_tag : string;
+  push_body : Protocol.t;
+  mutable push_attempt : int;
+}
+
 type t = {
   eng : Engine.t;
   cfg : Config.t;
@@ -17,6 +28,13 @@ type t = {
   metrics : Metrics.t;
   nprocs : int;
   pending : (int * int, pending) Hashtbl.t;  (** (object id, proc) -> fetch *)
+  reliable : Fault.spec option;
+      (** Some = run the ack/retransmit protocol with these parameters.
+          Only set when the fault plan can actually lose or delay messages,
+          so clean runs carry zero protocol overhead (and stay bit-identical
+          to builds without this machinery). *)
+  pushes : (int * int * int, push) Hashtbl.t;
+      (** (object id, version, dst) -> unacknowledged push *)
 }
 
 let create eng ~cfg ~costs ~nodes ~fabric ~metrics =
@@ -32,21 +50,56 @@ let create eng ~cfg ~costs ~nodes ~fabric ~metrics =
        pre-size with the processor count so steady-state operation never
        rehashes. *)
     pending = Hashtbl.create (max 64 (16 * Array.length nodes));
+    reliable =
+      (match cfg.Config.fault with
+      | Some s when Fault.reliable s -> Some s
+      | _ -> None);
+    pushes = Hashtbl.create 64;
   }
 
 let key (meta : Meta.t) proc = (meta.Meta.id, proc)
+
+let post_request t (meta : Meta.t) ~version ~proc =
+  let now = Engine.now t.eng in
+  Fabric.post t.fabric ~src:proc ~dst:meta.Meta.owner
+    ~size:t.costs.Costs.small_msg ~tag:"request"
+    (Protocol.Request { meta; version; requester = proc; sent_at = now })
+
+(* Requester-driven reliability for fetches: after [timeout] of silence,
+   re-post the request (to the object's *current* owner — ownership may
+   have moved) and re-arm with exponential backoff, up to the retry cap.
+   The timer dies silently when the fetch completed or was superseded by a
+   newer version (which armed its own timer). *)
+let rec arm_fetch_timer t (meta : Meta.t) p ~version ~proc ~attempt ~timeout =
+  Engine.schedule t.eng ~delay:timeout (fun () ->
+      if (not (Ivar.is_full p.ivar)) && p.version = version then
+        match t.reliable with
+        | None -> ()
+        | Some s ->
+            if attempt >= s.Fault.max_retries then
+              t.metrics.Metrics.fetch_give_ups <-
+                t.metrics.Metrics.fetch_give_ups + 1
+            else begin
+              t.metrics.Metrics.retransmits <-
+                t.metrics.Metrics.retransmits + 1;
+              post_request t meta ~version ~proc;
+              arm_fetch_timer t meta p ~version ~proc ~attempt:(attempt + 1)
+                ~timeout:(timeout *. 2.0)
+            end)
 
 (* Issue a request message for (meta, version) on behalf of [proc]; dedups
    against an in-flight fetch of the same (or newer) version. Returns the
    pending record to wait on. *)
 let issue t (meta : Meta.t) ~version ~proc =
-  let send_request () =
+  let send_request p =
     t.metrics.Metrics.object_fetches <- t.metrics.Metrics.object_fetches + 1;
     meta.Meta.fetch_count <- meta.Meta.fetch_count + 1;
-    let now = Engine.now t.eng in
-    Fabric.post t.fabric ~src:proc ~dst:meta.Meta.owner
-      ~size:t.costs.Costs.small_msg ~tag:"request"
-      (Protocol.Request { meta; version; requester = proc; sent_at = now })
+    post_request t meta ~version ~proc;
+    match t.reliable with
+    | Some s ->
+        arm_fetch_timer t meta p ~version ~proc ~attempt:0
+          ~timeout:s.Fault.retry_timeout
+    | None -> ()
   in
   match Hashtbl.find_opt t.pending (key meta proc) with
   | Some p when p.version >= version -> p
@@ -58,17 +111,27 @@ let issue t (meta : Meta.t) ~version ~proc =
          record also keeps this path allocation free. *)
       p.version <- version;
       p.arrived_at <- -1.0;
-      send_request ();
+      send_request p;
       p
   | _ ->
       (* No pending fetch, or the previous one completed (its waiters have
          all been released): start a fresh one. *)
-      let p = { version; ivar = Ivar.create (); arrived_at = -1.0 } in
+      let p =
+        {
+          version;
+          ivar = Ivar.create ~name:(Printf.sprintf "fetch:%s@v%d->p%d"
+                                      meta.Meta.name version proc) ();
+          arrived_at = -1.0;
+        }
+      in
       Hashtbl.replace t.pending (key meta proc) p;
-      send_request ();
+      send_request p;
       p
 
-(* A copy of [version] is now present on [proc] (reply or broadcast). *)
+(* A copy of [version] is now present on [proc] (reply or broadcast).
+   Idempotent by construction: [install_copy] only upgrades, and the ivar
+   is filled at most once — a duplicated or stale reply (version below the
+   pending fetch's) falls through without touching either. *)
 let installed t (meta : Meta.t) ~version ~proc =
   Meta.install_copy meta ~proc ~version;
   match Hashtbl.find_opt t.pending (key meta proc) with
@@ -79,11 +142,55 @@ let installed t (meta : Meta.t) ~version ~proc =
       end
   | _ -> ()
 
+let push_key (pu : push) =
+  match pu.push_body with
+  | Protocol.Bcast { meta; version } | Protocol.Eager { meta; version } ->
+      (meta.Meta.id, version, pu.push_dst)
+  | _ -> invalid_arg "Communicator.push_key: not a push body"
+
+(* Owner-driven reliability for pushes: keep re-posting an unacknowledged
+   broadcast/eager copy with exponential backoff until the receiver's ack
+   removes it (or the retry cap is hit). Receivers install idempotently, so
+   a push whose ack — not the push itself — was lost is harmless. *)
+let rec arm_push_timer t pu ~timeout =
+  match t.reliable with
+  | None -> ()
+  | Some s ->
+      Engine.schedule t.eng ~delay:timeout (fun () ->
+          match Hashtbl.find_opt t.pushes (push_key pu) with
+          | Some live when live == pu ->
+              if pu.push_attempt >= s.Fault.max_retries then begin
+                t.metrics.Metrics.fetch_give_ups <-
+                  t.metrics.Metrics.fetch_give_ups + 1;
+                Hashtbl.remove t.pushes (push_key pu)
+              end
+              else begin
+                pu.push_attempt <- pu.push_attempt + 1;
+                t.metrics.Metrics.retransmits <-
+                  t.metrics.Metrics.retransmits + 1;
+                Fabric.post t.fabric ~src:pu.push_src ~dst:pu.push_dst
+                  ~size:pu.push_size ~tag:pu.push_tag pu.push_body;
+                arm_push_timer t pu ~timeout:(timeout *. 2.0)
+              end
+          | _ -> ())
+
+let track_push t ~src ~dst ~size ~tag body =
+  match t.reliable with
+  | None -> ()
+  | Some s ->
+      let pu =
+        { push_src = src; push_dst = dst; push_size = size; push_tag = tag;
+          push_body = body; push_attempt = 0 }
+      in
+      Hashtbl.replace t.pushes (push_key pu) pu;
+      arm_push_timer t pu ~timeout:s.Fault.retry_timeout
+
 let handle t (msg : Protocol.t Fabric.msg) =
   match msg.Fabric.body with
   | Protocol.Request { meta; version; requester; sent_at } ->
       (* We are the owner: record the requester for the adaptive-broadcast
-         detector and reply with the object. *)
+         detector and reply with the object. A duplicated request just
+         produces a second (idempotently installed) reply. *)
       if Meta.note_access meta requester && t.cfg.Config.adaptive_broadcast
       then meta.Meta.broadcast_mode <- true;
       Fabric.post t.fabric ~src:msg.Fabric.dst ~dst:requester
@@ -98,7 +205,21 @@ let handle t (msg : Protocol.t Fabric.msg) =
   | Protocol.Bcast { meta; version } | Protocol.Eager { meta; version } ->
       t.metrics.Metrics.comm_bytes <-
         t.metrics.Metrics.comm_bytes +. float_of_int meta.Meta.size;
-      installed t meta ~version ~proc:msg.Fabric.dst
+      installed t meta ~version ~proc:msg.Fabric.dst;
+      (* Under the reliable protocol, confirm the pushed copy landed so the
+         owner can stop retransmitting it. Duplicated pushes re-ack — the
+         owner treats surplus acks as no-ops. *)
+      if t.reliable <> None && msg.Fabric.src <> msg.Fabric.dst then
+        Fabric.post t.fabric ~src:msg.Fabric.dst ~dst:msg.Fabric.src
+          ~size:t.costs.Costs.small_msg ~tag:"ack"
+          (Protocol.Ack
+             { id = meta.Meta.id; version; from = msg.Fabric.dst })
+  | Protocol.Ack { id; version; from } -> (
+      match Hashtbl.find_opt t.pushes (id, version, from) with
+      | Some _ ->
+          t.metrics.Metrics.acks <- t.metrics.Metrics.acks + 1;
+          Hashtbl.remove t.pushes (id, version, from)
+      | None -> () (* duplicate or post-give-up ack: already settled *))
   | Protocol.Assign _ | Protocol.Done _ ->
       invalid_arg "Communicator.handle: not a communicator message"
 
@@ -151,6 +272,19 @@ let ensure_local t (task : Taskrec.t) ~proc =
        we only wait; without it, [wait_one] issues each request and awaits
        its arrival before moving to the next object — serial fetches. *)
     List.iter wait_one remote;
+    (* Retire completed fetch records. Without this the table only ever
+       grows: objects fetched once and never refetched leave an entry for
+       the whole run, and a long simulation carries every fetch it ever
+       made. A record whose ivar is full has released all its waiters, so
+       removing it cannot orphan anyone; records still in flight (e.g.
+       superseded by a newer version another task wants) stay. *)
+    List.iter
+      (fun ((meta : Meta.t), _) ->
+        let k = key meta proc in
+        match Hashtbl.find_opt t.pending k with
+        | Some p when Ivar.is_full p.ivar -> Hashtbl.remove t.pending k
+        | _ -> ())
+      remote;
     if task.Taskrec.fetch_start >= 0.0 then begin
       task.Taskrec.fetch_end <-
         (if !last_arrival >= 0.0 then !last_arrival else Engine.now t.eng);
@@ -199,9 +333,11 @@ let eager_push t (meta : Meta.t) =
       then begin
         t.metrics.Metrics.eager_transfers <-
           t.metrics.Metrics.eager_transfers + 1;
+        let body = Protocol.Eager { meta; version } in
         Fabric.post t.fabric ~src:meta.Meta.owner ~dst:q ~size:meta.Meta.size
-          ~tag:"eager"
-          (Protocol.Eager { meta; version })
+          ~tag:"eager" body;
+        track_push t ~src:meta.Meta.owner ~dst:q ~size:meta.Meta.size
+          ~tag:"eager" body
       end)
     meta.Meta.prev_accessed
 
@@ -232,5 +368,12 @@ let on_write_commit t (meta : Meta.t) (task : Taskrec.t) =
       (Mnode.charge t.nodes.(meta.Meta.owner)
          (t.costs.Costs.broadcast_setup +. marshal));
     Fabric.broadcast t.fabric ~src:meta.Meta.owner ~size:meta.Meta.size
-      ~tag:"bcast" (fun _dst -> Protocol.Bcast { meta; version })
+      ~tag:"bcast" (fun _dst -> Protocol.Bcast { meta; version });
+    if t.reliable <> None then
+      for q = 0 to t.nprocs - 1 do
+        if q <> meta.Meta.owner then
+          track_push t ~src:meta.Meta.owner ~dst:q ~size:meta.Meta.size
+            ~tag:"bcast"
+            (Protocol.Bcast { meta; version })
+      done
   end

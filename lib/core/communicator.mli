@@ -16,8 +16,12 @@ val create :
   metrics:Metrics.t ->
   t
 
-(** Handle a [Request], [Obj] or [Bcast] message (interrupt context).
-    Raises on other message kinds. *)
+(** Handle a [Request], [Obj], [Bcast], [Eager] or [Ack] message
+    (interrupt context). Raises on [Assign]/[Done]. Handling is idempotent:
+    duplicated replies and pushes never double-fill a fetch ivar or regress
+    an installed copy version, and surplus acks are no-ops — the invariants
+    the reliable-delivery protocol (chaos mode, {!Jade_net.Fault}) leans
+    on. *)
 val handle : t -> Protocol.t Jade_net.Fabric.msg -> unit
 
 (** Issue requests for all of the task's remote objects (interrupt

@@ -8,6 +8,7 @@ type t = {
   replication : bool;
   work_free : bool;
   eager_transfer : bool;
+  fault : Jade_net.Fault.spec option;
 }
 
 let default =
@@ -19,6 +20,7 @@ let default =
     replication = true;
     work_free = false;
     eager_transfer = false;
+    fault = None;
   }
 
 let locality_to_string = function
@@ -29,7 +31,11 @@ let locality_to_string = function
 let pp fmt t =
   Format.fprintf fmt
     "{locality=%s; broadcast=%b; concurrent-fetch=%b; target-tasks=%d; \
-     replication=%b; work-free=%b; eager=%b}"
+     replication=%b; work-free=%b; eager=%b%a}"
     (locality_to_string t.locality)
     t.adaptive_broadcast t.concurrent_fetch t.target_tasks t.replication
     t.work_free t.eager_transfer
+    (fun fmt -> function
+      | None -> ()
+      | Some f -> Format.fprintf fmt "; %a" Jade_net.Fault.pp_spec f)
+    t.fault

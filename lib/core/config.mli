@@ -25,6 +25,12 @@ type t = {
           the new version to the processors that accessed the previous one.
           Helps regular, repetitive communication patterns; can generate
           excess communication elsewhere *)
+  fault : Jade_net.Fault.spec option;
+      (** chaos mode: a deterministic fault plan injected into the message
+          fabric, plus the reliable-delivery (ack/retransmit) parameters
+          that let the communicator survive it. [None] (and any plan with
+          all rates zero) leaves the simulation bit-identical to the
+          fault-free baseline. Only meaningful on message-passing machines. *)
 }
 
 (** All optimizations on, no latency hiding ([target_tasks = 1]) — the

@@ -27,6 +27,14 @@ type t = {
   mutable steals : int;
   mutable elapsed : float;  (** virtual completion time of the run *)
   mutable events : int;  (** engine events processed during the run *)
+  mutable retransmits : int;
+      (** chaos mode: requests/pushes re-sent after a delivery timeout *)
+  mutable acks : int;  (** chaos mode: push acknowledgements received *)
+  mutable fetch_give_ups : int;
+      (** chaos mode: retransmit loops that hit the retry cap *)
+  mutable dropped_messages : int;  (** messages the fault plan dropped *)
+  mutable duplicated_messages : int;
+      (** messages the fault plan duplicated *)
 }
 
 let create () =
@@ -49,6 +57,11 @@ let create () =
     steals = 0;
     elapsed = 0.0;
     events = 0;
+    retransmits = 0;
+    acks = 0;
+    fetch_give_ups = 0;
+    dropped_messages = 0;
+    duplicated_messages = 0;
   }
 
 type summary = {
@@ -69,6 +82,11 @@ type summary = {
   eager_count : int;
   steal_count : int;
   event_count : int;  (** discrete-event engine events the run processed *)
+  retransmit_count : int;  (** chaos mode: timed-out sends re-posted *)
+  ack_count : int;  (** chaos mode: push acknowledgements received *)
+  give_up_count : int;  (** chaos mode: retransmit loops that hit the cap *)
+  dropped_count : int;  (** messages the fault plan dropped *)
+  duplicated_count : int;  (** messages the fault plan duplicated *)
 }
 
 let summary m =
@@ -101,6 +119,11 @@ let summary m =
     eager_count = m.eager_transfers;
     steal_count = m.steals;
     event_count = m.events;
+    retransmit_count = m.retransmits;
+    ack_count = m.acks;
+    give_up_count = m.fetch_give_ups;
+    dropped_count = m.dropped_messages;
+    duplicated_count = m.duplicated_messages;
   }
 
 let pp_summary fmt s =

@@ -13,6 +13,10 @@ type t =
       (** owner -> previous consumers: eager update-protocol transfer *)
   | Done of { task : Taskrec.t; proc : int }
       (** executor -> main: completion notification *)
+  | Ack of { id : int; version : int; from : int }
+      (** receiver -> owner: confirms a pushed copy ([Bcast]/[Eager]) of
+          object [id] at [version] landed on [from]; only flows when the
+          reliable-delivery protocol is engaged (chaos mode) *)
 
 let tag = function
   | Assign _ -> "assign"
@@ -21,3 +25,4 @@ let tag = function
   | Bcast _ -> "bcast"
   | Eager _ -> "eager"
   | Done _ -> "done"
+  | Ack _ -> "ack"

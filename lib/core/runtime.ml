@@ -12,6 +12,35 @@ let lan = Lan Costs.workstation_lan
 
 exception Access_violation of string
 
+type deadlock_report = {
+  dl_outstanding : int;  (** tasks created but never completed *)
+  dl_live : int;  (** simulation processes that never terminated *)
+  dl_blocked : (string * string) list;
+      (** (process, what it is blocked on), in blocking order *)
+}
+
+exception Deadlock of deadlock_report
+
+let deadlock_to_string r =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "Jade runtime: deadlock (%d tasks outstanding, %d live processes)"
+       r.dl_outstanding r.dl_live);
+  if r.dl_blocked = [] then
+    Buffer.add_string b "; no registered waiters (lost wakeup outside ivars?)"
+  else
+    List.iter
+      (fun (who, what) ->
+        Buffer.add_string b (Printf.sprintf "\n  %s blocked on %s" who what))
+      r.dl_blocked;
+  Buffer.contents b
+
+let () =
+  Printexc.register_printer (function
+    | Deadlock r -> Some (deadlock_to_string r)
+    | _ -> None)
+
 type sched_event =
   | Enabled of Taskrec.t
   | Completed of int * Taskrec.t
@@ -46,6 +75,8 @@ type t = {
   (* Message-passing machine. *)
   mp_sched : Scheduler_mp.t option;
   fabric : Protocol.t Fabric.t option;
+  fault_inj : Fault.t option;
+      (** the fabric's chaos plan, kept for end-of-run accounting *)
   mutable comm : Communicator.t option;
   sched_events : sched_event Mailbox.t;
   dispatch_boxes : dispatch_item Mailbox.t array;
@@ -73,6 +104,9 @@ let make_runtime ?trace cfg machine nprocs =
   let nodes = Array.init nprocs (Mnode.create eng) in
   let metrics = Metrics.create () in
   let is_mp = match machine with Ipsc _ | Lan _ -> true | Dash _ -> false in
+  let fault_inj =
+    if is_mp then Option.map Fault.create cfg.Config.fault else None
+  in
   let fabric =
     if is_mp then
       let topo = Topology.hypercube nprocs in
@@ -81,7 +115,7 @@ let make_runtime ?trace cfg machine nprocs =
         if c.Costs.shared_bus then Some (Mnode.create eng (-1)) else None
       in
       Some
-        (Fabric.create ?bus eng ~nodes ~topology:topo
+        (Fabric.create ?bus ?fault:fault_inj eng ~nodes ~topology:topo
            ~startup:c.Costs.msg_startup ~bandwidth:c.Costs.bandwidth
            ~hop_latency:c.Costs.hop_latency)
     else None
@@ -117,9 +151,12 @@ let make_runtime ?trace cfg machine nprocs =
     idle_wakers = Array.make nprocs None;
     mp_sched = (if is_mp then Some (Scheduler_mp.create cfg ~nprocs) else None);
     fabric;
+    fault_inj;
     comm = None;
-    sched_events = Mailbox.create ();
-    dispatch_boxes = Array.init nprocs (fun _ -> Mailbox.create ());
+    sched_events = Mailbox.create ~name:"sched-events" ();
+    dispatch_boxes =
+      Array.init nprocs (fun p ->
+          Mailbox.create ~name:(Printf.sprintf "dispatch-box-%d" p) ());
   }
 
 (* ------------------------------------------------------------------ *)
@@ -253,7 +290,7 @@ let shm_dispatcher t proc =
                 loop ()
             | None ->
                 if not t.stopped then begin
-                  Engine.await t.eng (fun resume ->
+                  Engine.await ~on:"task-queue" t.eng (fun resume ->
                       t.idle_wakers.(proc) <- Some (fun () -> resume ()));
                   loop ()
                 end
@@ -361,7 +398,8 @@ let mp_handler t proc (msg : Protocol.t Fabric.msg) =
       Mailbox.send t.eng t.dispatch_boxes.(proc) (Exec task)
   | Protocol.Done { task; proc = executor } ->
       Mailbox.send t.eng t.sched_events (Completed (executor, task))
-  | Protocol.Request _ | Protocol.Obj _ | Protocol.Bcast _ | Protocol.Eager _ ->
+  | Protocol.Request _ | Protocol.Obj _ | Protocol.Bcast _ | Protocol.Eager _
+  | Protocol.Ack _ ->
       Communicator.handle (get_comm t) msg
 
 let mp_on_enable t (task : Taskrec.t) =
@@ -451,7 +489,7 @@ let node_busy t p = Mnode.busy_time t.nodes.(p)
 let drain t =
   if t.outstanding > 0 then begin
     t.main_blocked <- true;
-    Engine.await t.eng (fun resume ->
+    Engine.await ~on:"drain" t.eng (fun resume ->
         t.drain_waiters <- (fun () -> resume ()) :: t.drain_waiters);
     t.main_blocked <- false
   end
@@ -486,29 +524,42 @@ let run_with ?(config = Config.default) ?trace ~machine ~nprocs main ~inspect =
       for p = 0 to nprocs - 1 do
         Fabric.set_handler (get_fabric t) p (mp_handler t p)
       done;
-      Engine.spawn t.eng (fun () -> mp_scheduler_process t);
+      Engine.spawn ~name:"mp-scheduler" t.eng (fun () ->
+          mp_scheduler_process t);
       for p = 0 to nprocs - 1 do
-        Engine.spawn t.eng (fun () -> mp_dispatcher t p)
+        Engine.spawn ~name:(Printf.sprintf "dispatcher-%d" p) t.eng (fun () ->
+            mp_dispatcher t p)
       done
   | Dash _ ->
       for p = 0 to nprocs - 1 do
-        Engine.spawn t.eng (fun () -> shm_dispatcher t p)
+        Engine.spawn ~name:(Printf.sprintf "dispatcher-%d" p) t.eng (fun () ->
+            shm_dispatcher t p)
       done);
-  Engine.spawn t.eng (fun () ->
+  Engine.spawn ~name:"main" t.eng (fun () ->
       main t;
       t.main_done <- true;
       maybe_finish t);
   ignore (Engine.run t.eng);
   if t.outstanding > 0 || Engine.live_processes t.eng > 0 then
-    failwith
-      (Printf.sprintf
-         "Jade runtime: deadlock (%d tasks outstanding, %d live processes)"
-         t.outstanding
-         (Engine.live_processes t.eng));
+    (* The heap drained with work still pending: a lost wakeup. Name the
+       stuck processes and what each is blocked on instead of leaving the
+       user to guess from bare counts. *)
+    raise
+      (Deadlock
+         {
+           dl_outstanding = t.outstanding;
+           dl_live = Engine.live_processes t.eng;
+           dl_blocked = Engine.blocked_report t.eng;
+         });
   t.metrics.Metrics.elapsed <- t.finish_time;
   t.metrics.Metrics.events <- Engine.events_processed t.eng;
   (match t.fabric with
   | Some f -> t.metrics.Metrics.messages <- Fabric.message_count f
+  | None -> ());
+  (match t.fault_inj with
+  | Some f ->
+      t.metrics.Metrics.dropped_messages <- Fault.dropped f;
+      t.metrics.Metrics.duplicated_messages <- Fault.duplicated f
   | None -> ());
   (match t.shm_sched with
   | Some s -> t.metrics.Metrics.steals <- Scheduler_shm.steals s

@@ -34,10 +34,31 @@ type env
 
 exception Access_violation of string
 
+(** What the watchdog saw when the simulation's event heap drained with
+    work still pending. *)
+type deadlock_report = {
+  dl_outstanding : int;  (** tasks created but never completed *)
+  dl_live : int;  (** simulation processes that never terminated *)
+  dl_blocked : (string * string) list;
+      (** (process, what it is blocked on — an ivar, mailbox, or resource
+          name), in blocking order *)
+}
+
+(** Raised by {!run} on deadlock. A printer is registered, so an uncaught
+    [Deadlock] prints each stuck process and the synchronization object it
+    is blocked on. *)
+exception Deadlock of deadlock_report
+
+(** Human-readable rendering of a deadlock report (what the registered
+    exception printer shows). *)
+val deadlock_to_string : deadlock_report -> string
+
 (** [run ?config ?trace ~machine ~nprocs main] executes the Jade program
     [main]. Returns the metrics summary of the run. [trace], when given,
-    collects per-task lifecycle events (see {!Tracing}). Raises [Failure]
-    if the program deadlocks (some task can never be enabled). *)
+    collects per-task lifecycle events (see {!Tracing}). Raises
+    {!Deadlock} if the program hangs (some task can never be enabled, or —
+    under an unreliable chaos configuration — a message needed to make
+    progress was lost and never retransmitted). *)
 val run :
   ?config:Config.t ->
   ?trace:Tracing.t ->

@@ -61,7 +61,7 @@ let create ~tid ~tname ~spec ~body ~work ~placement ~now =
     fetch_end = -1.0;
     released = Array.make n false;
     charged = 0.0;
-    done_ivar = Jade_sim.Ivar.create ();
+    done_ivar = Jade_sim.Ivar.create ~name:("done:" ^ tname) ();
   }
 
 let locality_object t =

@@ -73,6 +73,9 @@ type work = Sim of key | Serial_flops of app | Total_flops of app
 type t = {
   sz : size;
   jobs : int;
+  fault : Jade_net.Fault.spec option;
+      (** chaos plan folded into every run's config (before the memo key is
+          built, so chaos results never alias fault-free ones) *)
   lock : Mutex.t;  (** guards every mutable field below *)
   cache : (key, Jade.Metrics.summary) Hashtbl.t;
   serial_flops : (app, float) Hashtbl.t;
@@ -83,11 +86,12 @@ type t = {
   mutable events : int;  (** engine events across every simulation executed *)
 }
 
-let create ?jobs sz =
+let create ?jobs ?fault sz =
   let jobs = match jobs with Some j -> max 1 j | None -> Pool.default_jobs () in
   {
     sz;
     jobs;
+    fault;
     lock = Mutex.create ();
     cache = Hashtbl.create 64;
     serial_flops = Hashtbl.create 8;
@@ -182,6 +186,11 @@ let planning_summary =
     eager_count = 0;
     steal_count = 0;
     event_count = 0;
+    retransmit_count = 0;
+    ack_count = 0;
+    give_up_count = 0;
+    dropped_count = 0;
+    duplicated_count = 0;
   }
 
 let record t w =
@@ -189,7 +198,13 @@ let record t w =
   | Some acc -> t.plan <- Some (w :: acc)
   | None -> assert false
 
+let with_fault t (config : Jade.Config.t) =
+  match t.fault with
+  | None -> config
+  | Some f -> { config with Jade.Config.fault = Some f }
+
 let run t ~app ~machine ~nprocs ~config ~placed =
+  let config = with_fault t config in
   let key =
     { k_app = app; k_machine = machine; k_nprocs = nprocs; k_config = config;
       k_placed = placed }
@@ -209,6 +224,7 @@ let run t ~app ~machine ~nprocs ~config ~placed =
 
 (* A traced run bypasses the cache: tracing mutates external state. *)
 let run_traced t ~trace ~app ~machine ~nprocs ~config ~placed =
+  let config = with_fault t config in
   let program = make_program t app ~kind:(kind_of machine) ~placed ~nprocs in
   let s =
     Jade.Runtime.run ~config ~trace ~machine:(jade_machine machine) ~nprocs

@@ -30,10 +30,14 @@ val config_of_level : level -> Jade.Config.t
 
 type t
 
-(** [create ?jobs size] makes a runner whose result cache is domain-safe.
-    [jobs] (default {!Pool.default_jobs}, clamped to at least 1) is the
-    number of domains {!parallel} fans uncached simulations out across. *)
-val create : ?jobs:int -> size -> t
+(** [create ?jobs ?fault size] makes a runner whose result cache is
+    domain-safe. [jobs] (default {!Pool.default_jobs}, clamped to at least
+    1) is the number of domains {!parallel} fans uncached simulations out
+    across. [fault], when given, is a deterministic chaos plan
+    ({!Jade_net.Fault}) folded into the configuration of every run this
+    runner executes — it participates in the memo key, so chaos results
+    never alias fault-free ones. *)
+val create : ?jobs:int -> ?fault:Jade_net.Fault.spec -> size -> t
 
 val size : t -> size
 

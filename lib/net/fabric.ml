@@ -11,13 +11,14 @@ type 'a t = {
   bandwidth : float;
   hop_latency : float;
   bus : Mnode.t option;  (** shared medium all transfers serialize through *)
+  fault : Fault.t option;  (** chaos plan for interrupt-context traffic *)
   handlers : ('a msg -> unit) option array;
   by_tag : (string, int ref * int ref) Hashtbl.t;
   mutable msgs : int;
   mutable bytes : int;
 }
 
-let create ?bus eng ~nodes ~topology ~startup ~bandwidth ~hop_latency =
+let create ?bus ?fault eng ~nodes ~topology ~startup ~bandwidth ~hop_latency =
   if Array.length nodes <> Topology.nodes topology then
     invalid_arg "Fabric.create: node/topology size mismatch";
   {
@@ -28,6 +29,7 @@ let create ?bus eng ~nodes ~topology ~startup ~bandwidth ~hop_latency =
     bandwidth;
     hop_latency;
     bus;
+    fault;
     handlers = Array.make (Array.length nodes) None;
     by_tag = Hashtbl.create 16;
     msgs = 0;
@@ -55,13 +57,31 @@ let record t msg =
 let deliver t msg =
   match t.handlers.(msg.dst) with
   | Some f -> f msg
-  | None -> invalid_arg (Printf.sprintf "Fabric: no handler on node %d" msg.dst)
+  | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Fabric: no handler on node %d (tag %S, src %d, %d bytes)" msg.dst
+           msg.tag msg.src msg.size)
 
 let deliver_at t time msg =
   record t msg;
   let now = Engine.now t.eng in
   let d = if time > now then time -. now else 0.0 in
   Engine.schedule t.eng ~delay:d (fun () -> deliver t msg)
+
+(* Faultable delivery: interrupt-context traffic and broadcast copies go
+   through the chaos plan (when one is installed). Dropped messages vanish
+   without reaching the per-tag ledgers; duplicates are delivered — and
+   counted — twice, like a network that really carried two copies. *)
+let deliver_at_faulted t time msg =
+  match t.fault with
+  | None -> deliver_at t time msg
+  | Some f ->
+      let d = Fault.next_decision f ~src:msg.src ~dst:msg.dst ~tag:msg.tag in
+      if not d.Fault.drop then begin
+        deliver_at t (time +. d.Fault.delay) msg;
+        if d.Fault.duplicate then deliver_at t (time +. d.Fault.dup_delay) msg
+      end
 
 let wire t ~src ~dst = float_of_int (Topology.hops t.topo src dst) *. t.hop_latency
 
@@ -89,7 +109,7 @@ let post t ~src ~dst ~size ~tag body =
   else
     let done_at = Mnode.charge t.nodes.(src) (send_occupancy t ~size) in
     let earliest = done_at +. wire t ~src ~dst in
-    deliver_at t (bus_time t ~size ~earliest) msg
+    deliver_at_faulted t (bus_time t ~size ~earliest) msg
 
 let broadcast t ~src ~size ~tag body_of_node =
   let n = Array.length t.nodes in
@@ -103,7 +123,7 @@ let broadcast t ~src ~size ~tag body_of_node =
       if dst <> src then begin
         let r = float_of_int rounds.(dst) in
         let time = base +. (r *. (per_round +. t.hop_latency)) in
-        deliver_at t (bus_time t ~size ~earliest:time)
+        deliver_at_faulted t (bus_time t ~size ~earliest:time)
           { src; dst; size; tag; body = body_of_node dst }
       end
     done

@@ -17,6 +17,7 @@ type 'a t
 
 val create :
   ?bus:Jade_machines.Mnode.t ->
+  ?fault:Fault.t ->
   Jade_sim.Engine.t ->
   nodes:Jade_machines.Mnode.t array ->
   topology:Topology.t ->
@@ -25,7 +26,11 @@ val create :
   hop_latency:float ->
   'a t
 (** [bus], when given, is a shared-medium ledger (an Ethernet-class LAN):
-    every transfer additionally serializes through it. *)
+    every transfer additionally serializes through it. [fault], when given,
+    is a chaos plan ({!Fault}): every {!post} to another node and every
+    broadcast copy consults it and may be dropped, duplicated, or delayed.
+    {!send} and node-local deliveries are never faulted. An inactive plan
+    ([Fault.active] false) leaves the trajectory identical to no plan. *)
 
 (** [set_handler t p f] installs the message handler for node [p]. [f] runs
     as a plain callback at delivery time (interrupt context). *)

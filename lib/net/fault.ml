@@ -1,0 +1,167 @@
+open Jade_sim
+
+type spec = {
+  seed : int;
+  drop_rate : float;
+  dup_rate : float;
+  jitter : float;
+  degrade : float;
+  retry_timeout : float;
+  max_retries : int;
+  drop_tagged : (string * int) list;
+}
+
+let default_spec =
+  {
+    seed = 1;
+    drop_rate = 0.0;
+    dup_rate = 0.0;
+    jitter = 0.0;
+    degrade = 0.0;
+    retry_timeout = 0.05;
+    max_retries = 10;
+    drop_tagged = [];
+  }
+
+let spec ?(seed = 1) ?(drop_rate = 0.0) ?(dup_rate = 0.0) ?(jitter = 0.0)
+    ?(degrade = 0.0) ?(retry_timeout = default_spec.retry_timeout)
+    ?(max_retries = default_spec.max_retries) ?(drop_tagged = []) () =
+  if drop_rate < 0.0 || drop_rate > 1.0 then
+    invalid_arg "Fault.spec: drop_rate outside [0,1]";
+  if dup_rate < 0.0 || dup_rate > 1.0 then
+    invalid_arg "Fault.spec: dup_rate outside [0,1]";
+  if jitter < 0.0 then invalid_arg "Fault.spec: negative jitter";
+  if degrade < 0.0 then invalid_arg "Fault.spec: negative degrade";
+  { seed; drop_rate; dup_rate; jitter; degrade; retry_timeout; max_retries;
+    drop_tagged }
+
+let active s =
+  s.drop_rate > 0.0 || s.dup_rate > 0.0 || s.jitter > 0.0 || s.degrade > 0.0
+  || s.drop_tagged <> []
+
+let reliable s = active s && s.max_retries > 0 && s.retry_timeout > 0.0
+
+let pp_spec ppf s =
+  Format.fprintf ppf
+    "fault(seed=%d drop=%g dup=%g jitter=%g degrade=%g timeout=%g retries=%d%s)"
+    s.seed s.drop_rate s.dup_rate s.jitter s.degrade s.retry_timeout
+    s.max_retries
+    (if s.drop_tagged = [] then ""
+     else
+       " scripted="
+       ^ String.concat ","
+           (List.map (fun (tag, i) -> Printf.sprintf "%s#%d" tag i)
+              s.drop_tagged))
+
+type decision = {
+  drop : bool;
+  duplicate : bool;
+  delay : float;  (** extra delivery latency, seconds *)
+  dup_delay : float;  (** extra latency of the duplicate copy *)
+}
+
+let pass = { drop = false; duplicate = false; delay = 0.0; dup_delay = 0.0 }
+
+let dropped_decision = { pass with drop = true }
+
+(* Per-link degradation factor: a pure hash of (seed, src, dst), so the same
+   link is consistently slow across the whole run. *)
+let link_factor s ~src ~dst =
+  if s.degrade <= 0.0 then 1.0
+  else
+    let g = Srandom.create ((s.seed * 48271) lxor (((src + 1) * 7919) + dst) ) in
+    1.0 +. (s.degrade *. Srandom.float g 1.0)
+
+(* The decision for global message [index] is a pure function of
+   (spec, index, src, dst): replaying the same plan over the same message
+   sequence reproduces the same faults exactly. *)
+let decision_at s ~index ~src ~dst =
+  if not (active s) then pass
+  else begin
+    let g = Srandom.create ((s.seed * 1_000_003) lxor (index * 8191)) in
+    let u_drop = Srandom.float g 1.0 in
+    let u_dup = Srandom.float g 1.0 in
+    let u_delay = Srandom.float g 1.0 in
+    let u_dup_delay = Srandom.float g 1.0 in
+    if s.drop_rate > 0.0 && u_drop < s.drop_rate then dropped_decision
+    else begin
+      let scale = link_factor s ~src ~dst in
+      let delay =
+        if s.jitter > 0.0 then scale *. s.jitter *. u_delay else 0.0
+      in
+      let duplicate = s.dup_rate > 0.0 && u_dup < s.dup_rate in
+      let dup_delay =
+        if duplicate && s.jitter > 0.0 then scale *. s.jitter *. u_dup_delay
+        else delay
+      in
+      { drop = false; duplicate; delay; dup_delay }
+    end
+  end
+
+type t = {
+  fspec : spec;
+  mutable index : int;  (** global message index, pre-incremented per draw *)
+  seen_by_tag : (string, int ref) Hashtbl.t;
+  drops_by_tag : (string, int ref) Hashtbl.t;
+  dups_by_tag : (string, int ref) Hashtbl.t;
+  mutable dropped : int;
+  mutable duplicated : int;
+}
+
+let create fspec =
+  {
+    fspec;
+    index = 0;
+    seen_by_tag = Hashtbl.create 8;
+    drops_by_tag = Hashtbl.create 8;
+    dups_by_tag = Hashtbl.create 8;
+    dropped = 0;
+    duplicated = 0;
+  }
+
+let get_spec t = t.fspec
+
+let counter tbl tag =
+  match Hashtbl.find_opt tbl tag with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add tbl tag r;
+      r
+
+let next_decision t ~src ~dst ~tag =
+  let index = t.index in
+  t.index <- index + 1;
+  let seen = counter t.seen_by_tag tag in
+  let nth = !seen in
+  incr seen;
+  let d = decision_at t.fspec ~index ~src ~dst in
+  let scripted =
+    List.exists
+      (fun (tg, i) -> String.equal tg tag && i = nth)
+      t.fspec.drop_tagged
+  in
+  let d = if scripted then dropped_decision else d in
+  if d.drop then begin
+    t.dropped <- t.dropped + 1;
+    incr (counter t.drops_by_tag tag)
+  end
+  else if d.duplicate then begin
+    t.duplicated <- t.duplicated + 1;
+    incr (counter t.dups_by_tag tag)
+  end;
+  d
+
+let messages_seen t = t.index
+
+let dropped t = t.dropped
+
+let duplicated t = t.duplicated
+
+let read_tag tbl tag = match Hashtbl.find_opt tbl tag with
+  | Some r -> !r
+  | None -> 0
+
+let dropped_with_tag t tag = read_tag t.drops_by_tag tag
+
+let duplicated_with_tag t tag = read_tag t.dups_by_tag tag

@@ -1,0 +1,101 @@
+(** Deterministic fault injection for the message fabric.
+
+    A {!spec} is a seeded *fault plan*: per-message drop / duplicate /
+    extra-delay decisions plus per-link degradation, all pure functions of
+    [(seed, message index)] (and the link endpoints for degradation). Two
+    runs that present the same message sequence to the same plan see
+    exactly the same faults, so chaos runs are as reproducible as clean
+    ones.
+
+    Faults apply to interrupt-context traffic ({!Fabric.post} — object
+    requests, replies, eager pushes) and to broadcasts. Process-context
+    {!Fabric.send} (task assignment and completion, the runtime's control
+    channel) and node-local deliveries are never faulted.
+
+    A {!t} wraps a spec with the run's mutable message index and
+    per-tag drop/duplicate accounting. *)
+
+type spec = {
+  seed : int;  (** root of every pseudo-random fault decision *)
+  drop_rate : float;  (** probability a message is lost, in [0,1] *)
+  dup_rate : float;  (** probability a surviving message is duplicated *)
+  jitter : float;  (** max extra delivery latency, seconds *)
+  degrade : float;
+      (** per-link slowdown: each (src,dst) link scales its jitter by a
+          fixed factor in [1, 1+degrade] *)
+  retry_timeout : float;
+      (** virtual seconds before the communicator retransmits an unanswered
+          request (doubled per retry) *)
+  max_retries : int;  (** retransmit cap before giving up *)
+  drop_tagged : (string * int) list;
+      (** scripted drops: [(tag, n)] unconditionally drops the [n]-th
+          (0-based) faultable message carrying [tag] — for deterministic
+          lost-message tests *)
+}
+
+val default_spec : spec
+(** Zero rates, [retry_timeout = 0.05], [max_retries = 10]. *)
+
+val spec :
+  ?seed:int ->
+  ?drop_rate:float ->
+  ?dup_rate:float ->
+  ?jitter:float ->
+  ?degrade:float ->
+  ?retry_timeout:float ->
+  ?max_retries:int ->
+  ?drop_tagged:(string * int) list ->
+  unit ->
+  spec
+(** {!default_spec} with overrides; validates the rates. *)
+
+val active : spec -> bool
+(** True when the plan can actually perturb delivery (some rate positive or
+    a scripted drop present). An inactive plan is guaranteed to leave the
+    simulation trajectory bit-for-bit identical to running with no plan at
+    all. *)
+
+val reliable : spec -> bool
+(** True when the communicator should run its ack/retransmit machinery:
+    the plan is {!active} and retries are enabled. *)
+
+val pp_spec : Format.formatter -> spec -> unit
+
+type decision = {
+  drop : bool;
+  duplicate : bool;
+  delay : float;  (** extra delivery latency, seconds *)
+  dup_delay : float;  (** extra latency of the duplicate copy *)
+}
+
+val pass : decision
+(** The no-fault decision (deliver once, on time). *)
+
+val decision_at : spec -> index:int -> src:int -> dst:int -> decision
+(** The pure per-message decision for global message [index] on link
+    [src->dst]. Ignores [drop_tagged] (which needs per-tag counting; see
+    {!next_decision}). *)
+
+val link_factor : spec -> src:int -> dst:int -> float
+(** The fixed degradation factor of one link, in [1, 1+degrade]. *)
+
+type t
+
+val create : spec -> t
+
+val get_spec : t -> spec
+
+val next_decision : t -> src:int -> dst:int -> tag:string -> decision
+(** Consume the next message index and return its decision, applying
+    scripted [drop_tagged] entries and updating the drop/duplicate
+    counters. *)
+
+val messages_seen : t -> int
+
+val dropped : t -> int
+
+val duplicated : t -> int
+
+val dropped_with_tag : t -> string -> int
+
+val duplicated_with_tag : t -> string -> int

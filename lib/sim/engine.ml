@@ -7,6 +7,12 @@ type t = {
   mutable seq : int;
   mutable live : int;
   mutable processed : int;
+  mutable current : string;  (** name of the running process; "" outside any *)
+  mutable spawned : int;
+  mutable block_seq : int;
+  blocked : (int, string * string) Hashtbl.t;
+      (** token -> (process name, what it is blocked on); the watchdog's
+          registry of suspended waiters *)
 }
 
 type _ Effect.t += Await : (('a -> unit) -> unit) -> 'a Effect.t
@@ -20,6 +26,10 @@ let create ?(events_hint = 16) () =
     seq = 0;
     live = 0;
     processed = 0;
+    current = "";
+    spawned = 0;
+    block_seq = 0;
+    blocked = Hashtbl.create 16;
   }
 
 let now t = t.clock
@@ -29,31 +39,68 @@ let schedule t ?(delay = 0.0) f =
   t.seq <- t.seq + 1;
   Heap.push t.events ~time:(t.clock +. delay) ~seq:t.seq f
 
-let run_process t f =
-  match_with f ()
-    {
-      retc = (fun () -> t.live <- t.live - 1);
-      exnc = raise;
-      effc =
-        (fun (type a) (eff : a Effect.t) ->
-          match eff with
-          | Await register ->
-              Some
-                (fun (k : (a, unit) continuation) ->
-                  let resumed = ref false in
-                  register (fun v ->
-                      if !resumed then
-                        invalid_arg "Engine.await: resumed twice";
-                      resumed := true;
-                      continue k v))
-          | _ -> None);
-    }
+let run_process t ~name f =
+  let prev = t.current in
+  t.current <- name;
+  Fun.protect
+    ~finally:(fun () -> t.current <- prev)
+    (fun () ->
+      match_with f ()
+        {
+          retc = (fun () -> t.live <- t.live - 1);
+          exnc = raise;
+          effc =
+            (fun (type a) (eff : a Effect.t) ->
+              match eff with
+              | Await register ->
+                  Some
+                    (fun (k : (a, unit) continuation) ->
+                      let resumed = ref false in
+                      register (fun v ->
+                          if !resumed then
+                            invalid_arg "Engine.await: resumed twice";
+                          resumed := true;
+                          (* Restore this process's identity for the span of
+                             its execution so blocked-waiter registrations
+                             made while it runs carry the right name. *)
+                          let prev = t.current in
+                          t.current <- name;
+                          Fun.protect
+                            ~finally:(fun () -> t.current <- prev)
+                            (fun () -> continue k v)))
+              | _ -> None);
+        })
 
-let spawn t f =
+let spawn ?name t f =
   t.live <- t.live + 1;
-  schedule t (fun () -> run_process t f)
+  t.spawned <- t.spawned + 1;
+  let name =
+    match name with
+    | Some n -> n
+    | None -> Printf.sprintf "process-%d" t.spawned
+  in
+  schedule t (fun () -> run_process t ~name f)
 
-let await _t register = perform (Await register)
+let current_name t = t.current
+
+let await ?on t register =
+  match on with
+  | None -> perform (Await register)
+  | Some what ->
+      let name = t.current in
+      perform
+        (Await
+           (fun resume ->
+             let tok = t.block_seq in
+             t.block_seq <- tok + 1;
+             Hashtbl.replace t.blocked tok (name, what);
+             register (fun v ->
+                 Hashtbl.remove t.blocked tok;
+                 resume v)))
+
+let blocked_report t =
+  Hashtbl.fold (fun tok entry acc -> (tok, entry) :: acc) t.blocked []
+  |> List.sort compare |> List.map snd
 
 let delay t d =
   if d < 0.0 then invalid_arg "Engine.delay: negative delay";

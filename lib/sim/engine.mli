@@ -31,19 +31,32 @@ val now : t -> float
     that. [delay] must be non-negative. *)
 val schedule : t -> ?delay:float -> (unit -> unit) -> unit
 
-(** [spawn t f] starts [f] as a simulation process at the current time.
-    [f] may perform {!delay} / {!await}. *)
-val spawn : t -> (unit -> unit) -> unit
+(** [spawn ?name t f] starts [f] as a simulation process at the current
+    time. [f] may perform {!delay} / {!await}. [name] identifies the
+    process in deadlock reports ({!blocked_report}); unnamed processes get
+    ["process-<n>"] in spawn order. *)
+val spawn : ?name:string -> t -> (unit -> unit) -> unit
+
+(** Name of the currently executing process, or [""] outside any. *)
+val current_name : t -> string
 
 (** [delay t d] suspends the calling process for [d] seconds of virtual
     time. Must be called from within a process. [d] must be non-negative. *)
 val delay : t -> float -> unit
 
-(** [await t register] suspends the calling process; [register] receives a
-    resume function that must eventually be called exactly once with the
-    result. The resumption runs at the virtual time at which the resume
-    function is invoked. *)
-val await : t -> (('a -> unit) -> unit) -> 'a
+(** [await ?on t register] suspends the calling process; [register]
+    receives a resume function that must eventually be called exactly once
+    with the result. The resumption runs at the virtual time at which the
+    resume function is invoked. When [on] is given, the wait is recorded in
+    the blocked-waiter registry under the calling process's name until it
+    resumes, so a drained heap can report exactly who is stuck on what. *)
+val await : ?on:string -> t -> (('a -> unit) -> unit) -> 'a
+
+(** Currently registered blocked waiters as [(process, waiting-on)] pairs,
+    in the order the waits began. Only waits that passed [?on] to {!await}
+    appear (ivar reads, mailbox receives — not plain delays, which always
+    fire). *)
+val blocked_report : t -> (string * string) list
 
 (** Run until the event queue drains. Returns the number of events
     processed during this call. *)

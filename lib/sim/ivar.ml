@@ -1,12 +1,16 @@
 type 'a state = Empty of ('a -> unit) Queue.t | Full of 'a
 
-type 'a t = { mutable state : 'a state }
+type 'a t = { mutable name : string; mutable state : 'a state }
 
-let create () = { state = Empty (Queue.create ()) }
+let create ?(name = "ivar") () = { name; state = Empty (Queue.create ()) }
+
+let name t = t.name
+
+let set_name t n = t.name <- n
 
 let fill eng t v =
   match t.state with
-  | Full _ -> invalid_arg "Ivar.fill: already filled"
+  | Full _ -> invalid_arg ("Ivar.fill: already filled: " ^ t.name)
   | Empty waiters ->
       t.state <- Full v;
       Queue.iter (fun resume -> Engine.schedule eng (fun () -> resume v)) waiters
@@ -14,7 +18,8 @@ let fill eng t v =
 let read eng t =
   match t.state with
   | Full v -> v
-  | Empty waiters -> Engine.await eng (fun resume -> Queue.add resume waiters)
+  | Empty waiters ->
+      Engine.await ~on:t.name eng (fun resume -> Queue.add resume waiters)
 
 let is_full t = match t.state with Full _ -> true | Empty _ -> false
 

@@ -5,13 +5,21 @@
 
 type 'a t
 
-val create : unit -> 'a t
+(** [create ?name ()] makes an empty ivar. The name (default ["ivar"])
+    identifies it in "already filled" errors and in the engine's
+    blocked-waiter registry while a process is blocked reading it. *)
+val create : ?name:string -> unit -> 'a t
 
-(** Raises [Invalid_argument] if already filled. *)
+val name : 'a t -> string
+
+val set_name : 'a t -> string -> unit
+
+(** Raises [Invalid_argument] (naming the ivar) if already filled. *)
 val fill : Engine.t -> 'a t -> 'a -> unit
 
 (** Blocks the calling process until the ivar is filled. Returns
-    immediately if it already is. *)
+    immediately if it already is. While blocked, the wait is visible in
+    {!Engine.blocked_report} under this ivar's name. *)
 val read : Engine.t -> 'a t -> 'a
 
 val is_full : 'a t -> bool

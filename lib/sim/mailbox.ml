@@ -1,6 +1,13 @@
-type 'a t = { items : 'a Queue.t; waiters : ('a -> unit) Queue.t }
+type 'a t = {
+  name : string;
+  items : 'a Queue.t;
+  waiters : ('a -> unit) Queue.t;
+}
 
-let create () = { items = Queue.create (); waiters = Queue.create () }
+let create ?(name = "mailbox") () =
+  { name; items = Queue.create (); waiters = Queue.create () }
+
+let name t = t.name
 
 let send eng t v =
   match Queue.take_opt t.waiters with
@@ -10,7 +17,8 @@ let send eng t v =
 let recv eng t =
   match Queue.take_opt t.items with
   | Some v -> v
-  | None -> Engine.await eng (fun resume -> Queue.add resume t.waiters)
+  | None ->
+      Engine.await ~on:t.name eng (fun resume -> Queue.add resume t.waiters)
 
 let try_recv t = Queue.take_opt t.items
 

@@ -3,14 +3,21 @@
 
 type 'a t
 
-val create : unit -> 'a t
+(** [create ?name ()] makes an empty mailbox. The name (default
+    ["mailbox"]) identifies it in the engine's blocked-waiter registry
+    while a process is blocked in {!recv}. *)
+val create : ?name:string -> unit -> 'a t
+
+val name : 'a t -> string
 
 (** Never blocks. If a process is blocked in {!recv}, it is woken at the
     current virtual time. *)
 val send : Engine.t -> 'a t -> 'a -> unit
 
 (** Blocks the calling process until a message is available. Messages are
-    delivered in FIFO order; blocked receivers are served in FIFO order. *)
+    delivered in FIFO order; blocked receivers are served in FIFO order.
+    While blocked, the wait is visible in {!Engine.blocked_report} under
+    this mailbox's name. *)
 val recv : Engine.t -> 'a t -> 'a
 
 val try_recv : 'a t -> 'a option

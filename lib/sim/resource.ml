@@ -18,7 +18,8 @@ let acquire t =
     t.held_since <- Engine.now t.eng
   end
   else begin
-    Engine.await t.eng (fun resume -> Queue.add (fun () -> resume ()) t.waiters);
+    Engine.await ~on:("resource:" ^ t.name) t.eng (fun resume ->
+        Queue.add (fun () -> resume ()) t.waiters);
     (* The releaser transferred ownership to us; just stamp the hold start. *)
     t.held_since <- Engine.now t.eng
   end

@@ -39,6 +39,39 @@ let test_exception_propagates () =
          regardless of which domain finished first. *)
       Alcotest.(check int) "lowest-index failure surfaces" 2 i
 
+(* The raise site lives in its own non-inlined function so its frame must
+   appear in the propagated backtrace. *)
+let[@inline never] detonate i = raise (Boom i)
+
+let test_backtrace_preserved () =
+  (* A worker domain's exception must surface with the backtrace captured
+     at the raise site, not a fresh one from the re-raise in [Pool.run] —
+     and at jobs > 1 the lowest submission index must still win even when
+     a later task fails first. *)
+  Printexc.record_backtrace true;
+  let jobs =
+    List.init 6 (fun i () ->
+        if i = 1 then detonate i
+        else if i = 4 then detonate i
+        else i)
+  in
+  match Pool.run ~jobs:4 jobs with
+  | _ -> Alcotest.fail "expected Boom"
+  | exception Boom i ->
+      let bt = Printexc.get_backtrace () in
+      Alcotest.(check int) "lowest-index failure re-raised" 1 i;
+      Alcotest.(check bool)
+        "worker backtrace preserved across domains" true
+        (String.length bt > 0);
+      let mentions_raise_site =
+        let needle = "test_pool" and n = String.length bt in
+        let m = String.length needle in
+        let rec go j = j + m <= n && (String.sub bt j m = needle || go (j + 1)) in
+        go 0
+      in
+      Alcotest.(check bool)
+        "backtrace points at the raise site" true mentions_raise_site
+
 let test_exception_does_not_cancel () =
   let ran = Array.make 8 false in
   (try
@@ -97,6 +130,8 @@ let () =
           Alcotest.test_case "jobs clamped" `Quick test_jobs_clamped;
           Alcotest.test_case "exception propagation" `Quick
             test_exception_propagates;
+          Alcotest.test_case "backtrace preserved" `Quick
+            test_backtrace_preserved;
           Alcotest.test_case "no cancellation on failure" `Quick
             test_exception_does_not_cancel;
         ] );

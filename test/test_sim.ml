@@ -109,8 +109,14 @@ let test_ivar_double_fill () =
   let iv = Ivar.create () in
   Ivar.fill eng iv 1;
   Alcotest.check_raises "double fill"
-    (Invalid_argument "Ivar.fill: already filled") (fun () ->
-      Ivar.fill eng iv 2)
+    (Invalid_argument "Ivar.fill: already filled: ivar") (fun () ->
+      Ivar.fill eng iv 2);
+  (* Named ivars identify themselves in the error. *)
+  let named = Ivar.create ~name:"result-cell" () in
+  Ivar.fill eng named 1;
+  Alcotest.check_raises "named double fill"
+    (Invalid_argument "Ivar.fill: already filled: result-cell") (fun () ->
+      Ivar.fill eng named 2)
 
 let test_ivar_read_after_fill () =
   let eng = Engine.create () in
