@@ -16,10 +16,14 @@
       --jobs 1) is written to BENCH_repro.json.
 
    Run with:  dune exec bench/main.exe -- [--quick] [--jobs N] [--no-baseline]
+                [--size test|bench] [--baseline FILE]
                 [--fault-seed S] [--drop-rate R] [--dup-rate R] [--jitter SEC]
    (--quick skips the Bechamel pass; --no-baseline skips the sequential
-   reference regeneration used to compute the speedup; the --fault-* flags
-   regenerate under a deterministic chaos plan — see Jade_net.Fault) *)
+   reference regeneration used to compute the speedup; --size test runs the
+   small problem sizes for CI smoke checks; --baseline points at a previous
+   jobs=1 BENCH_repro.json to fill the speedup fields without re-running the
+   sequential reference; the --fault-* flags regenerate under a
+   deterministic chaos plan — see Jade_net.Fault) *)
 
 open Bechamel
 open Toolkit
@@ -130,8 +134,8 @@ type regen_stats = {
   minor_words : float;  (** main-domain minor words; meaningful at jobs=1 *)
 }
 
-let regenerate ~jobs ?fault ~emit () =
-  let r = Rn.create ~jobs ?fault Rn.Bench in
+let regenerate ~size ~jobs ?fault ~emit () =
+  let r = Rn.create ~jobs ?fault size in
   let kernel_ms = ref [] in
   let timed name f =
     let t0 = Unix.gettimeofday () in
@@ -190,8 +194,61 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_json path ~jobs ~(par : regen_stats) ~(baseline : regen_stats option)
-    =
+(* Extract a top-level numeric field from a (previously written)
+   BENCH_repro.json — enough JSON for our own output, not a parser. *)
+let json_number_field content key =
+  let needle = Printf.sprintf "\"%s\":" key in
+  let nlen = String.length needle and clen = String.length content in
+  let rec find i =
+    if i + nlen > clen then None
+    else if String.sub content i nlen = needle then Some (i + nlen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start ->
+      let stop = ref start in
+      while
+        !stop < clen
+        && (match content.[!stop] with
+           | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' | ' ' -> true
+           | _ -> false)
+      do
+        incr stop
+      done;
+      float_of_string_opt (String.trim (String.sub content start (!stop - start)))
+
+(* The --jobs 1 reference wall from a previous BENCH_repro.json, for
+   speedup when this run skips the in-process baseline regeneration.
+   Only a jobs=1 file of the same size is an acceptable reference. *)
+let baseline_wall_from_file ~size_name path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let content = really_input_string ic len in
+  close_in ic;
+  let jobs_ok =
+    match json_number_field content "jobs" with Some 1.0 -> true | _ -> false
+  in
+  let size_ok =
+    (* crude but sufficient: the size field we wrote ourselves *)
+    let needle = Printf.sprintf "\"size\": \"%s\"" size_name in
+    let nlen = String.length needle and clen = String.length content in
+    let rec find i =
+      if i + nlen > clen then false
+      else String.sub content i nlen = needle || find (i + 1)
+    in
+    find 0
+  in
+  if not (jobs_ok && size_ok) then begin
+    Printf.eprintf
+      "bench: --baseline %s ignored (not a jobs=1 %s-size BENCH_repro.json)\n"
+      path size_name;
+    None
+  end
+  else json_number_field content "wall_s"
+
+let write_json path ~size_name ~jobs ~(par : regen_stats)
+    ~(baseline : regen_stats option) ~(baseline_file_wall : float option) =
   let oc = open_out path in
   let opt_float = function
     | Some v -> Printf.sprintf "%.6f" v
@@ -208,14 +265,23 @@ let write_json path ~jobs ~(par : regen_stats) ~(baseline : regen_stats option)
     | Some s when s.events > 0 -> Some (s.minor_words /. float_of_int s.events)
     | _ -> None
   in
+  (* A jobs=1 run is its own baseline; otherwise prefer the in-process
+     reference regeneration, falling back to a --baseline file. *)
+  let baseline_jobs1_wall =
+    if jobs = 1 then Some par.wall_s
+    else
+      match baseline with
+      | Some b -> Some b.wall_s
+      | None -> baseline_file_wall
+  in
   let speedup =
-    match baseline with
-    | Some b when par.wall_s > 0.0 -> Some (b.wall_s /. par.wall_s)
+    match baseline_jobs1_wall with
+    | Some w when par.wall_s > 0.0 -> Some (w /. par.wall_s)
     | _ -> None
   in
   Printf.fprintf oc "{\n";
   Printf.fprintf oc "  \"bench\": \"repro_regeneration\",\n";
-  Printf.fprintf oc "  \"size\": \"bench\",\n";
+  Printf.fprintf oc "  \"size\": \"%s\",\n" size_name;
   Printf.fprintf oc "  \"jobs\": %d,\n" jobs;
   Printf.fprintf oc "  \"wall_s\": %.6f,\n" par.wall_s;
   Printf.fprintf oc "  \"events\": %d,\n" par.events;
@@ -223,7 +289,7 @@ let write_json path ~jobs ~(par : regen_stats) ~(baseline : regen_stats option)
   Printf.fprintf oc "  \"minor_words_per_event\": %s,\n"
     (opt_float minor_words_per_event);
   Printf.fprintf oc "  \"baseline_jobs1_wall_s\": %s,\n"
-    (opt_float (Option.map (fun b -> b.wall_s) baseline));
+    (opt_float baseline_jobs1_wall);
   Printf.fprintf oc "  \"speedup_vs_jobs1\": %s,\n" (opt_float speedup);
   Printf.fprintf oc "  \"kernels\": [\n";
   let n = List.length par.kernel_ms in
@@ -260,6 +326,21 @@ let () =
     | Some j -> j
     | None -> Jade_experiments.Pool.default_jobs ()
   in
+  let size, size_name =
+    match
+      flag_value "--size" (function
+        | "test" -> Some (Rn.Test, "test")
+        | "bench" -> Some (Rn.Bench, "bench")
+        | _ -> None)
+    with
+    | Some s -> s
+    | None -> (Rn.Bench, "bench")
+  in
+  let baseline_file_wall =
+    match flag_value "--baseline" (fun s -> Some s) with
+    | None -> None
+    | Some path -> baseline_wall_from_file ~size_name path
+  in
   let fault =
     let seed = flag_value "--fault-seed" int_of_string_opt in
     let rate name = flag_value name float_of_string_opt in
@@ -282,14 +363,14 @@ let () =
     (match fault with
     | None -> ""
     | Some f -> Format.asprintf " under %a" Jade_net.Fault.pp_spec f);
-  let par = regenerate ~jobs ?fault ~emit:true () in
+  let par = regenerate ~size ~jobs ?fault ~emit:true () in
   (* Sequential reference for the speedup (and, when jobs > 1, for the
      per-event allocation figure, which needs single-domain GC counters). *)
   let baseline =
     if jobs > 1 && not no_baseline then begin
       Printf.printf
         "Regenerating again with --jobs 1 for the speedup baseline...\n";
-      Some (regenerate ~jobs:1 ?fault ~emit:false ())
+      Some (regenerate ~size ~jobs:1 ?fault ~emit:false ())
     end
     else None
   in
@@ -301,10 +382,14 @@ let () =
       Printf.printf "Minor allocation: %.1f words per simulated event (jobs=1)\n"
         (s.minor_words /. float_of_int s.events)
   | _ -> ());
-  (match baseline with
-  | Some b ->
+  (match (baseline, baseline_file_wall) with
+  | Some b, _ ->
       Printf.printf "Speedup vs --jobs 1: %.2fx (%.2f s -> %.2f s)\n"
         (b.wall_s /. par.wall_s) b.wall_s par.wall_s
-  | None -> ());
-  write_json "BENCH_repro.json" ~jobs ~par ~baseline;
+  | None, Some w when jobs > 1 ->
+      Printf.printf "Speedup vs --jobs 1 (--baseline file): %.2fx (%.2f s -> %.2f s)\n"
+        (w /. par.wall_s) w par.wall_s
+  | _ -> ());
+  write_json "BENCH_repro.json" ~size_name ~jobs ~par ~baseline
+    ~baseline_file_wall;
   Printf.printf "Wrote BENCH_repro.json\n"

@@ -35,17 +35,30 @@ let cell_flops = 60.0
 
 let relax = 0.7
 
-(* What a traversal does with each (cell, segment-length) pair. The array
-   modes exist so the hot callers accumulate straight into float arrays:
-   calling a [Cell_fn] closure boxes the segment length on every step
-   (without flambda), and with tens of millions of steps per simulated
-   run that boxing dominated the whole simulator's minor allocation. *)
+(* A reusable record of one traversal: the (cell, segment-length) pairs
+   in traversal order. Recording lets the straight-ray update make ONE
+   pass per ray and replay it for the backprojection, where the original
+   code traversed the grid twice (length pass + backprojection pass) —
+   the replay performs the identical float additions in the identical
+   order, so results are bit-equal while the grid stepping cost halves. *)
+type record_buf = {
+  mutable rb_cells : int array;
+  mutable rb_segs : float array;
+  mutable rb_len : int;
+}
+
+let record_buf ~hint = { rb_cells = Array.make hint 0; rb_segs = Array.make hint 0.0; rb_len = 0 }
+
+let rb_grow b =
+  let n = Array.length b.rb_cells in
+  let cells' = Array.make (2 * n) 0 and segs' = Array.make (2 * n) 0.0 in
+  Array.blit b.rb_cells 0 cells' 0 n;
+  Array.blit b.rb_segs 0 segs' 0 n;
+  b.rb_cells <- cells';
+  b.rb_segs <- segs'
+
 type trace_acc =
   | Time_only
-  | Ray_len of float array  (** segment lengths summed into slot 0 *)
-  | Backproject of float array * int * float
-      (** [(acc, ncells, per_len)]: [per_len *. seg] into [acc.(c)],
-          [seg] into [acc.(ncells + c)] *)
   | Cell_fn of (int -> float -> unit)
 
 (* Grid traversal (Amanatides & Woo). Cells are unit squares; cell (ix,iz)
@@ -87,13 +100,7 @@ let trace_ray_acc ~nx ~nz ~slowness ~x0 ~z0 ~x1 ~z1 acc =
       let seg = (t_next -. !t) *. len in
       if seg > 0.0 then begin
         let c = !ix + (!iz * nx) in
-        (match acc with
-        | Time_only -> ()
-        | Ray_len a -> a.(0) <- a.(0) +. seg
-        | Backproject (a, ncells, per_len) ->
-            a.(c) <- a.(c) +. (per_len *. seg);
-            a.(ncells + c) <- a.(ncells + c) +. seg
-        | Cell_fn f -> f c seg);
+        (match acc with Time_only -> () | Cell_fn f -> f c seg);
         time := !time +. (seg *. slowness.(c))
       end;
       t := t_next;
@@ -114,6 +121,70 @@ let trace_ray_acc ~nx ~nz ~slowness ~x0 ~z0 ~x1 ~z1 acc =
 
 let trace_ray ~nx ~nz ~slowness ~x0 ~z0 ~x1 ~z1 ~cell =
   trace_ray_acc ~nx ~nz ~slowness ~x0 ~z0 ~x1 ~z1 (Cell_fn cell)
+
+(* Specialized copy of [trace_ray_acc] for the [Record] mode — the inner
+   loop of every simulated String task. Identical arithmetic in identical
+   order (results are bit-equal); the only difference is that the per-step
+   accumulator dispatch is gone. *)
+let trace_ray_record ~nx ~nz ~slowness ~x0 ~z0 ~x1 ~z1 b =
+  let dx = x1 -. x0 and dz = z1 -. z0 in
+  let len = sqrt ((dx *. dx) +. (dz *. dz)) in
+  if len <= 0.0 then 0.0
+  else begin
+    let clamp v lo hi = if v < lo then lo else if v > hi then hi else v in
+    let ix = ref (clamp (int_of_float (Float.floor x0)) 0 (nx - 1)) in
+    let iz = ref (clamp (int_of_float (Float.floor z0)) 0 (nz - 1)) in
+    let step_x = if dx > 0.0 then 1 else -1 in
+    let step_z = if dz > 0.0 then 1 else -1 in
+    let t_delta_x = if dx = 0.0 then infinity else Float.abs (1.0 /. dx) in
+    let t_delta_z = if dz = 0.0 then infinity else Float.abs (1.0 /. dz) in
+    let t_max_x =
+      if dx = 0.0 then infinity
+      else
+        let next = if dx > 0.0 then float_of_int (!ix + 1) else float_of_int !ix in
+        (next -. x0) /. dx
+    in
+    let t_max_z =
+      if dz = 0.0 then infinity
+      else
+        let next = if dz > 0.0 then float_of_int (!iz + 1) else float_of_int !iz in
+        (next -. z0) /. dz
+    in
+    let t_max_x = ref t_max_x and t_max_z = ref t_max_z in
+    let t = ref 0.0 in
+    let time = ref 0.0 in
+    let finished = ref false in
+    while not !finished do
+      let m = if !t_max_x < !t_max_z then !t_max_x else !t_max_z in
+      let t_next = if m < 1.0 then m else 1.0 in
+      let seg = (t_next -. !t) *. len in
+      if seg > 0.0 then begin
+        (* In-bounds by construction: [ix]/[iz] are clamped on entry and
+           the loop terminates before either steps outside the grid, so
+           [c] < nx * nz = length slowness; [rb_len] is checked against
+           capacity just above each store. *)
+        let c = !ix + (!iz * nx) in
+        if b.rb_len >= Array.length b.rb_cells then rb_grow b;
+        Array.unsafe_set b.rb_cells b.rb_len c;
+        Array.unsafe_set b.rb_segs b.rb_len seg;
+        b.rb_len <- b.rb_len + 1;
+        time := !time +. (seg *. Array.unsafe_get slowness c)
+      end;
+      t := t_next;
+      if t_next >= 1.0 then finished := true
+      else if !t_max_x <= !t_max_z then begin
+        t_max_x := !t_max_x +. t_delta_x;
+        ix := !ix + step_x;
+        if !ix < 0 || !ix >= nx then finished := true
+      end
+      else begin
+        t_max_z := !t_max_z +. t_delta_z;
+        iz := !iz + step_z;
+        if !iz < 0 || !iz >= nz then finished := true
+      end
+    done;
+    !time
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Bent rays: the production String bends rays through the velocity
@@ -241,7 +312,7 @@ let trace_times_bent p slowness ~lo ~hi =
     (rays_by_source p ~lo ~hi);
   times
 
-let observed_times p =
+let observed_times_uncached p =
   let truth = true_model p in
   match p.rays with
   | Straight ->
@@ -253,27 +324,69 @@ let observed_times p =
       let times = trace_times_bent p truth ~lo:0 ~hi:p.nrays in
       Array.init p.nrays (fun r -> Hashtbl.find times r)
 
+(* The observed travel times are a pure function of the params (the truth
+   model is synthetic), and every caller only reads the array — so all
+   runs of one problem size share a single copy instead of re-tracing
+   every ray through the truth model per run. The mutex both guards the
+   table and publishes the immutable array to pool domains. *)
+let observed_cache : (params, float array) Hashtbl.t = Hashtbl.create 4
+
+let observed_lock = Mutex.create ()
+
+let observed_times p =
+  Mutex.protect observed_lock (fun () ->
+      match Hashtbl.find_opt observed_cache p with
+      | Some obs -> obs
+      | None ->
+          let obs = observed_times_uncached p in
+          Hashtbl.add observed_cache p obs;
+          obs)
+
 (* Trace rays [lo, hi) against [model]; accumulate the backprojected
    residuals into [acc] (layout: num[cells] ++ den[cells] ++ [sq_misfit]).
    Backprojection is linear along the path, as in the paper. *)
 let trace_block_straight p observed model acc ~lo ~hi =
-  let len_buf = Array.make 1 0.0 in
+  let ncells = cells p in
+  let buf = record_buf ~hint:(p.nx + p.nz + 4) in
+  (* Ray endpoints inlined from [ray_endpoints]: the tuple return boxed
+     four floats per ray, and this loop runs for every ray of every
+     iteration of every simulated run. *)
+  let ns = max 1 (int_of_float (sqrt (float_of_int p.nrays))) in
+  let nr = (p.nrays + ns - 1) / ns in
+  let fns = float_of_int ns and fnr = float_of_int nr in
+  let fnz = float_of_int p.nz in
+  let x0 = 0.01 and x1 = float_of_int p.nx -. 0.01 in
   for r = lo to hi - 1 do
-    let x0, z0, x1, z1 = ray_endpoints p r in
-    (* First pass: travel time and ray length in the current model. *)
-    len_buf.(0) <- 0.0;
+    let si = r mod ns and ri = r / ns mod nr in
+    let z0 = (float_of_int si +. 0.5) /. fns *. fnz in
+    let z1 = (float_of_int ri +. 0.5) /. fnr *. fnz in
+    (* One traversal records the (cell, seg) sequence; travel time and
+       ray length come out of that same pass, and the backprojection
+       replays the recording — same additions in the same order as the
+       old second traversal, at array-walk cost. *)
+    buf.rb_len <- 0;
     let simulated =
-      trace_ray_acc ~nx:p.nx ~nz:p.nz ~slowness:model ~x0 ~z0 ~x1 ~z1
-        (Ray_len len_buf)
+      trace_ray_record ~nx:p.nx ~nz:p.nz ~slowness:model ~x0 ~z0 ~x1 ~z1 buf
     in
+    (* Replay indices are in-bounds: [i] < rb_len <= capacity, and every
+       recorded [c] came from an in-grid cell, so c < ncells and
+       ncells + c < 2 * ncells < length acc. *)
+    let len = ref 0.0 in
+    for i = 0 to buf.rb_len - 1 do
+      len := !len +. Array.unsafe_get buf.rb_segs i
+    done;
     let delta = observed.(r) -. simulated in
-    if len_buf.(0) > 0.0 then begin
-      let per_len = delta /. len_buf.(0) in
-      ignore
-        (trace_ray_acc ~nx:p.nx ~nz:p.nz ~slowness:model ~x0 ~z0 ~x1 ~z1
-           (Backproject (acc, cells p, per_len)))
+    if !len > 0.0 then begin
+      let per_len = delta /. !len in
+      for i = 0 to buf.rb_len - 1 do
+        let c = Array.unsafe_get buf.rb_cells i
+        and seg = Array.unsafe_get buf.rb_segs i in
+        Array.unsafe_set acc c (Array.unsafe_get acc c +. (per_len *. seg));
+        let nc = ncells + c in
+        Array.unsafe_set acc nc (Array.unsafe_get acc nc +. seg)
+      done
     end;
-    acc.((2 * cells p)) <- acc.(2 * cells p) +. (delta *. delta)
+    acc.(2 * ncells) <- acc.(2 * ncells) +. (delta *. delta)
   done
 
 let trace_block_bent p observed model acc ~lo ~hi =

@@ -129,27 +129,33 @@ let pair_forces p state f ~stride ~offset =
       let doz = if d > half then d -. box else if d < -.half then d +. box else d in
       let ro2 = (dox *. dox) +. (doy *. doy) +. (doz *. doz) in
       if ro2 < rc2 then begin
-        (* Coulomb on all nine site pairs. *)
+        (* Coulomb on all nine site pairs. Unsafe accesses: every index
+           is bounded by construction — sa/sb and fi/fj are at most
+           (n - 1) * 9 + 8 with [state] and [f] of length n * 9, and
+           a/b < sites = length charge. *)
         for a = 0 to sites - 1 do
           for b = 0 to sites - 1 do
             let sa = ib + (a * 3) and sb = jb + (b * 3) in
-            let d = state.(sa) -. state.(sb) in
+            let d = Array.unsafe_get state sa -. Array.unsafe_get state sb in
             let dx = if d > half then d -. box else if d < -.half then d +. box else d in
-            let d = state.(sa + 1) -. state.(sb + 1) in
+            let d = Array.unsafe_get state (sa + 1) -. Array.unsafe_get state (sb + 1) in
             let dy = if d > half then d -. box else if d < -.half then d +. box else d in
-            let d = state.(sa + 2) -. state.(sb + 2) in
+            let d = Array.unsafe_get state (sa + 2) -. Array.unsafe_get state (sb + 2) in
             let dz = if d > half then d -. box else if d < -.half then d +. box else d in
             let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) in
             let r2 = if r2 > min_r2 then r2 else min_r2 in
             let r = sqrt r2 in
-            let coef = coulomb_k *. charge.(a) *. charge.(b) /. (r2 *. r) in
+            let coef =
+              coulomb_k *. Array.unsafe_get charge a *. Array.unsafe_get charge b
+              /. (r2 *. r)
+            in
             let fi = ((!i * sites) + a) * 3 and fj = ((j * sites) + b) * 3 in
-            f.(fi) <- f.(fi) +. (coef *. dx);
-            f.(fi + 1) <- f.(fi + 1) +. (coef *. dy);
-            f.(fi + 2) <- f.(fi + 2) +. (coef *. dz);
-            f.(fj) <- f.(fj) -. (coef *. dx);
-            f.(fj + 1) <- f.(fj + 1) -. (coef *. dy);
-            f.(fj + 2) <- f.(fj + 2) -. (coef *. dz)
+            Array.unsafe_set f fi (Array.unsafe_get f fi +. (coef *. dx));
+            Array.unsafe_set f (fi + 1) (Array.unsafe_get f (fi + 1) +. (coef *. dy));
+            Array.unsafe_set f (fi + 2) (Array.unsafe_get f (fi + 2) +. (coef *. dz));
+            Array.unsafe_set f fj (Array.unsafe_get f fj -. (coef *. dx));
+            Array.unsafe_set f (fj + 1) (Array.unsafe_get f (fj + 1) -. (coef *. dy));
+            Array.unsafe_set f (fj + 2) (Array.unsafe_get f (fj + 2) -. (coef *. dz))
           done
         done;
         (* Lennard-Jones on the O-O pair. *)
@@ -213,19 +219,23 @@ let pair_energy p state e ~stride ~offset =
       let doz = if d > half then d -. box else if d < -.half then d +. box else d in
       let ro2 = (dox *. dox) +. (doy *. doy) +. (doz *. doz) in
       if ro2 < rc2 then begin
+        (* Same bounded-index argument as in [pair_forces]. *)
         let pot = ref 0.0 in
         for a = 0 to sites - 1 do
           for b = 0 to sites - 1 do
             let sa = ib + (a * 3) and sb = jb + (b * 3) in
-            let d = state.(sa) -. state.(sb) in
+            let d = Array.unsafe_get state sa -. Array.unsafe_get state sb in
             let dx = if d > half then d -. box else if d < -.half then d +. box else d in
-            let d = state.(sa + 1) -. state.(sb + 1) in
+            let d = Array.unsafe_get state (sa + 1) -. Array.unsafe_get state (sb + 1) in
             let dy = if d > half then d -. box else if d < -.half then d +. box else d in
-            let d = state.(sa + 2) -. state.(sb + 2) in
+            let d = Array.unsafe_get state (sa + 2) -. Array.unsafe_get state (sb + 2) in
             let dz = if d > half then d -. box else if d < -.half then d +. box else d in
             let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) in
             let r2 = if r2 > min_r2 then r2 else min_r2 in
-            pot := !pot +. (coulomb_k *. charge.(a) *. charge.(b) /. sqrt r2)
+            pot :=
+              !pot
+              +. (coulomb_k *. Array.unsafe_get charge a *. Array.unsafe_get charge b
+                 /. sqrt r2)
           done
         done;
         let r2 = if ro2 > min_r2 then ro2 else min_r2 in

@@ -14,7 +14,7 @@ type push = {
   push_src : int;
   push_dst : int;
   push_size : int;
-  push_tag : string;
+  push_tag : Tag.t;
   push_body : Protocol.t;
   mutable push_attempt : int;
 }
@@ -62,7 +62,7 @@ let key (meta : Meta.t) proc = (meta.Meta.id, proc)
 let post_request t (meta : Meta.t) ~version ~proc =
   let now = Engine.now t.eng in
   Fabric.post t.fabric ~src:proc ~dst:meta.Meta.owner
-    ~size:t.costs.Costs.small_msg ~tag:"request"
+    ~size:t.costs.Costs.small_msg ~tag:Tag.Request
     (Protocol.Request { meta; version; requester = proc; sent_at = now })
 
 (* Requester-driven reliability for fetches: after [timeout] of silence,
@@ -119,8 +119,14 @@ let issue t (meta : Meta.t) ~version ~proc =
       let p =
         {
           version;
-          ivar = Ivar.create ~name:(Printf.sprintf "fetch:%s@v%d->p%d"
-                                      meta.Meta.name version proc) ();
+          (* Lazy name: one fetch ivar is created per remote fetch, so
+             rendering the label eagerly would put a [sprintf] on the
+             fetch hot path; it is only ever read by deadlock reports. *)
+          ivar =
+            Ivar.create
+              ~name_fn:(fun () ->
+                Printf.sprintf "fetch:%s@v%d->p%d" meta.Meta.name version proc)
+              ();
           arrived_at = -1.0;
         }
       in
@@ -194,24 +200,24 @@ let handle t (msg : Protocol.t Fabric.msg) =
       if Meta.note_access meta requester && t.cfg.Config.adaptive_broadcast
       then meta.Meta.broadcast_mode <- true;
       Fabric.post t.fabric ~src:msg.Fabric.dst ~dst:requester
-        ~size:meta.Meta.size ~tag:"object"
+        ~size:meta.Meta.size ~tag:Tag.Obj
         (Protocol.Obj { meta; version; sent_at })
   | Protocol.Obj { meta; version; sent_at } ->
-      t.metrics.Metrics.comm_bytes <-
-        t.metrics.Metrics.comm_bytes +. float_of_int meta.Meta.size;
-      t.metrics.Metrics.object_latency <-
-        t.metrics.Metrics.object_latency +. (Engine.now t.eng -. sent_at);
+      t.metrics.Metrics.fl.Metrics.comm_bytes <-
+        t.metrics.Metrics.fl.Metrics.comm_bytes +. float_of_int meta.Meta.size;
+      t.metrics.Metrics.fl.Metrics.object_latency <-
+        t.metrics.Metrics.fl.Metrics.object_latency +. (Engine.now t.eng -. sent_at);
       installed t meta ~version ~proc:msg.Fabric.dst
   | Protocol.Bcast { meta; version } | Protocol.Eager { meta; version } ->
-      t.metrics.Metrics.comm_bytes <-
-        t.metrics.Metrics.comm_bytes +. float_of_int meta.Meta.size;
+      t.metrics.Metrics.fl.Metrics.comm_bytes <-
+        t.metrics.Metrics.fl.Metrics.comm_bytes +. float_of_int meta.Meta.size;
       installed t meta ~version ~proc:msg.Fabric.dst;
       (* Under the reliable protocol, confirm the pushed copy landed so the
          owner can stop retransmitting it. Duplicated pushes re-ack — the
          owner treats surplus acks as no-ops. *)
       if t.reliable <> None && msg.Fabric.src <> msg.Fabric.dst then
         Fabric.post t.fabric ~src:msg.Fabric.dst ~dst:msg.Fabric.src
-          ~size:t.costs.Costs.small_msg ~tag:"ack"
+          ~size:t.costs.Costs.small_msg ~tag:Tag.Ack
           (Protocol.Ack
              { id = meta.Meta.id; version; from = msg.Fabric.dst })
   | Protocol.Ack { id; version; from } -> (
@@ -242,8 +248,8 @@ let prefetch t (task : Taskrec.t) ~proc =
       (fun slot ((meta : Meta.t), _) ->
         let version = task.Taskrec.required.(slot) in
         if not (Meta.holds_version meta ~proc ~version) then begin
-          if task.Taskrec.fetch_start < 0.0 then
-            task.Taskrec.fetch_start <- Engine.now t.eng;
+          if task.Taskrec.fl.Taskrec.fetch_start < 0.0 then
+            task.Taskrec.fl.Taskrec.fetch_start <- Engine.now t.eng;
           ignore (issue t meta ~version ~proc)
         end)
       task.Taskrec.spec
@@ -255,8 +261,8 @@ let ensure_local t (task : Taskrec.t) ~proc =
     let wait_one (meta, version) =
       (* May already have arrived between prefetch and now. *)
       if not (Meta.holds_version meta ~proc ~version) then begin
-        if task.Taskrec.fetch_start < 0.0 then
-          task.Taskrec.fetch_start <- Engine.now t.eng;
+        if task.Taskrec.fl.Taskrec.fetch_start < 0.0 then
+          task.Taskrec.fl.Taskrec.fetch_start <- Engine.now t.eng;
         let p = issue t meta ~version ~proc in
         Ivar.read t.eng p.ivar;
         if p.arrived_at > !last_arrival then last_arrival := p.arrived_at
@@ -285,12 +291,12 @@ let ensure_local t (task : Taskrec.t) ~proc =
         | Some p when Ivar.is_full p.ivar -> Hashtbl.remove t.pending k
         | _ -> ())
       remote;
-    if task.Taskrec.fetch_start >= 0.0 then begin
-      task.Taskrec.fetch_end <-
+    if task.Taskrec.fl.Taskrec.fetch_start >= 0.0 then begin
+      task.Taskrec.fl.Taskrec.fetch_end <-
         (if !last_arrival >= 0.0 then !last_arrival else Engine.now t.eng);
-      t.metrics.Metrics.task_latency <-
-        t.metrics.Metrics.task_latency
-        +. (task.Taskrec.fetch_end -. task.Taskrec.fetch_start);
+      t.metrics.Metrics.fl.Metrics.task_latency <-
+        t.metrics.Metrics.fl.Metrics.task_latency
+        +. (task.Taskrec.fl.Taskrec.fetch_end -. task.Taskrec.fl.Taskrec.fetch_start);
       t.metrics.Metrics.tasks_with_fetch <-
         t.metrics.Metrics.tasks_with_fetch + 1
     end
@@ -335,9 +341,9 @@ let eager_push t (meta : Meta.t) =
           t.metrics.Metrics.eager_transfers + 1;
         let body = Protocol.Eager { meta; version } in
         Fabric.post t.fabric ~src:meta.Meta.owner ~dst:q ~size:meta.Meta.size
-          ~tag:"eager" body;
+          ~tag:Tag.Eager body;
         track_push t ~src:meta.Meta.owner ~dst:q ~size:meta.Meta.size
-          ~tag:"eager" body
+          ~tag:Tag.Eager body
       end)
     meta.Meta.prev_accessed
 
@@ -352,8 +358,8 @@ let on_write_commit t (meta : Meta.t) (task : Taskrec.t) =
     let version = meta.Meta.committed in
     t.metrics.Metrics.broadcasts <- t.metrics.Metrics.broadcasts + 1;
     meta.Meta.broadcast_count <- meta.Meta.broadcast_count + 1;
-    t.metrics.Metrics.broadcast_bytes <-
-      t.metrics.Metrics.broadcast_bytes
+    t.metrics.Metrics.fl.Metrics.broadcast_bytes <-
+      t.metrics.Metrics.fl.Metrics.broadcast_bytes
       +. float_of_int (meta.Meta.size * (t.nprocs - 1));
     (* Protocol cost on the owner, paid even in the degenerate
        single-processor case (§5.3): the owner still marshals the object
@@ -368,12 +374,12 @@ let on_write_commit t (meta : Meta.t) (task : Taskrec.t) =
       (Mnode.charge t.nodes.(meta.Meta.owner)
          (t.costs.Costs.broadcast_setup +. marshal));
     Fabric.broadcast t.fabric ~src:meta.Meta.owner ~size:meta.Meta.size
-      ~tag:"bcast" (fun _dst -> Protocol.Bcast { meta; version });
+      ~tag:Tag.Bcast (fun _dst -> Protocol.Bcast { meta; version });
     if t.reliable <> None then
       for q = 0 to t.nprocs - 1 do
         if q <> meta.Meta.owner then
           track_push t ~src:meta.Meta.owner ~dst:q ~size:meta.Meta.size
-            ~tag:"bcast"
+            ~tag:Tag.Bcast
             (Protocol.Bcast { meta; version })
       done
   end

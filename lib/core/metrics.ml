@@ -4,28 +4,36 @@
     quantities (task locality percentage, communication-to-computation
     ratio, ...) once the run finishes. *)
 
-type t = {
-  mutable tasks_created : int;
-  mutable tasks_executed : int;
-  mutable tasks_on_target : int;
+(* The accumulated times and byte counts live in an all-float sub-record:
+   a mutable float field in a mixed record is boxed, so every [+.]-update
+   on the task/message hot paths would allocate. An all-float record is
+   flat — the accumulations below cost a store and nothing else. *)
+type fl = {
   mutable total_task_time : float;
       (** DASH: task execution time including communication (the paper's
           "time in application code"); iPSC: compute time only *)
   mutable total_compute_time : float;
   mutable total_comm_time : float;  (** DASH: remote-access stall time *)
   mutable comm_bytes : float;  (** iPSC: bytes of object-transfer messages *)
-  mutable messages : int;
-  mutable object_fetches : int;
   mutable object_latency : float;
       (** sum over object requests of (arrival - request) *)
   mutable task_latency : float;
       (** sum over tasks of (last object arrival - first request) *)
+  mutable broadcast_bytes : float;
+  mutable elapsed : float;  (** virtual completion time of the run *)
+}
+
+type t = {
+  fl : fl;
+  mutable tasks_created : int;
+  mutable tasks_executed : int;
+  mutable tasks_on_target : int;
+  mutable messages : int;
+  mutable object_fetches : int;
   mutable tasks_with_fetch : int;
   mutable broadcasts : int;
-  mutable broadcast_bytes : float;
   mutable eager_transfers : int;
   mutable steals : int;
-  mutable elapsed : float;  (** virtual completion time of the run *)
   mutable events : int;  (** engine events processed during the run *)
   mutable retransmits : int;
       (** chaos mode: requests/pushes re-sent after a delivery timeout *)
@@ -39,23 +47,26 @@ type t = {
 
 let create () =
   {
+    fl =
+      {
+        total_task_time = 0.0;
+        total_compute_time = 0.0;
+        total_comm_time = 0.0;
+        comm_bytes = 0.0;
+        object_latency = 0.0;
+        task_latency = 0.0;
+        broadcast_bytes = 0.0;
+        elapsed = 0.0;
+      };
     tasks_created = 0;
     tasks_executed = 0;
     tasks_on_target = 0;
-    total_task_time = 0.0;
-    total_compute_time = 0.0;
-    total_comm_time = 0.0;
-    comm_bytes = 0.0;
     messages = 0;
     object_fetches = 0;
-    object_latency = 0.0;
-    task_latency = 0.0;
     tasks_with_fetch = 0;
     broadcasts = 0;
-    broadcast_bytes = 0.0;
     eager_transfers = 0;
     steals = 0;
-    elapsed = 0.0;
     events = 0;
     retransmits = 0;
     acks = 0;
@@ -95,25 +106,26 @@ let summary m =
     else 100.0 *. float_of_int m.tasks_on_target /. float_of_int m.tasks_executed
   in
   let ratio =
-    if m.total_task_time <= 0.0 then 0.0
-    else m.comm_bytes /. 1.0e6 /. m.total_task_time
+    if m.fl.total_task_time <= 0.0 then 0.0
+    else m.fl.comm_bytes /. 1.0e6 /. m.fl.total_task_time
   in
   let lat_ratio =
-    if m.task_latency <= 0.0 then 1.0 else m.object_latency /. m.task_latency
+    if m.fl.task_latency <= 0.0 then 1.0
+    else m.fl.object_latency /. m.fl.task_latency
   in
   {
     tasks = m.tasks_executed;
-    elapsed_s = m.elapsed;
+    elapsed_s = m.fl.elapsed;
     locality_pct = pct;
-    task_time_s = m.total_task_time;
-    compute_time_s = m.total_compute_time;
-    comm_time_s = m.total_comm_time;
-    comm_mbytes = m.comm_bytes /. 1.0e6;
+    task_time_s = m.fl.total_task_time;
+    compute_time_s = m.fl.total_compute_time;
+    comm_time_s = m.fl.total_comm_time;
+    comm_mbytes = m.fl.comm_bytes /. 1.0e6;
     comm_to_comp = ratio;
     msg_count = m.messages;
     fetches = m.object_fetches;
-    object_latency_s = m.object_latency;
-    task_latency_s = m.task_latency;
+    object_latency_s = m.fl.object_latency;
+    task_latency_s = m.fl.task_latency;
     latency_ratio = lat_ratio;
     broadcast_count = m.broadcasts;
     eager_count = m.eager_transfers;

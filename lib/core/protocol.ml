@@ -19,10 +19,10 @@ type t =
           reliable-delivery protocol is engaged (chaos mode) *)
 
 let tag = function
-  | Assign _ -> "assign"
-  | Request _ -> "request"
-  | Obj _ -> "object"
-  | Bcast _ -> "bcast"
-  | Eager _ -> "eager"
-  | Done _ -> "done"
-  | Ack _ -> "ack"
+  | Assign _ -> Jade_net.Tag.Assign
+  | Request _ -> Jade_net.Tag.Request
+  | Obj _ -> Jade_net.Tag.Obj
+  | Bcast _ -> Jade_net.Tag.Bcast
+  | Eager _ -> Jade_net.Tag.Eager
+  | Done _ -> Jade_net.Tag.Done
+  | Ack _ -> Jade_net.Tag.Ack

@@ -41,6 +41,11 @@ let () =
     | Deadlock r -> Some (deadlock_to_string r)
     | _ -> None)
 
+(* Constant blocked-registry labels, preallocated so waiting is free. *)
+let on_task_queue () = "task-queue"
+
+let on_drain () = "drain"
+
 type sched_event =
   | Enabled of Taskrec.t
   | Completed of int * Taskrec.t
@@ -171,7 +176,7 @@ let wake_idle ?first t =
     match t.idle_wakers.(p) with
     | Some f ->
         t.idle_wakers.(p) <- None;
-        Engine.schedule t.eng f
+        Engine.schedule_now t.eng f
     | None -> ()
   in
   (match first with Some p -> wake p | None -> ());
@@ -185,7 +190,7 @@ let finish_now t =
 
 let maybe_finish t =
   if t.outstanding = 0 then begin
-    List.iter (fun f -> Engine.schedule t.eng f) t.drain_waiters;
+    List.iter (fun f -> Engine.schedule_now t.eng f) t.drain_waiters;
     t.drain_waiters <- []
   end;
   if t.main_done && t.outstanding = 0 && not t.stopped then begin
@@ -228,7 +233,7 @@ let execute_shm t proc (task : Taskrec.t) =
   let costs = match t.machine with Dash c -> c | Ipsc _ | Lan _ -> assert false in
   let model = match t.shm_model with Some m -> m | None -> assert false in
   task.Taskrec.ran_on <- proc;
-  task.Taskrec.started_at <- Engine.now t.eng;
+  task.Taskrec.fl.Taskrec.started_at <- Engine.now t.eng;
   task.Taskrec.state <- Taskrec.Running;
   record_execution t task proc;
   let steal_extra = if task.Taskrec.stolen then costs.Costs.steal_cost else 0.0 in
@@ -240,19 +245,19 @@ let execute_shm t proc (task : Taskrec.t) =
     else task.Taskrec.work /. costs.Costs.flops_shm
   in
   Mnode.occupy t.nodes.(proc) (costs.Costs.task_dispatch_shm +. steal_extra +. comm);
-  task.Taskrec.charged <- 0.0;
+  task.Taskrec.fl.Taskrec.charged <- 0.0;
   run_body t task proc;
   (* Charge whatever compute the body did not already charge through
      [Runtime.work] (the common case charges it all here). *)
   let remaining =
-    Float.max 0.0 (compute -. (task.Taskrec.charged /. costs.Costs.flops_shm))
+    Float.max 0.0 (compute -. (task.Taskrec.fl.Taskrec.charged /. costs.Costs.flops_shm))
   in
   if remaining > 0.0 then Mnode.occupy t.nodes.(proc) remaining;
   let m = t.metrics in
-  m.Metrics.total_task_time <- m.Metrics.total_task_time +. compute +. comm;
-  m.Metrics.total_compute_time <- m.Metrics.total_compute_time +. compute;
-  m.Metrics.total_comm_time <- m.Metrics.total_comm_time +. comm;
-  task.Taskrec.finished_at <- Engine.now t.eng;
+  m.Metrics.fl.Metrics.total_task_time <- m.Metrics.fl.Metrics.total_task_time +. compute +. comm;
+  m.Metrics.fl.Metrics.total_compute_time <- m.Metrics.fl.Metrics.total_compute_time +. compute;
+  m.Metrics.fl.Metrics.total_comm_time <- m.Metrics.fl.Metrics.total_comm_time +. comm;
+  task.Taskrec.fl.Taskrec.finished_at <- Engine.now t.eng;
   (match t.trace with Some tr -> Tracing.record tr task | None -> ());
   t.ctx_proc <- proc;
   Synchronizer.complete (get_sync t) task;
@@ -290,8 +295,8 @@ let shm_dispatcher t proc =
                 loop ()
             | None ->
                 if not t.stopped then begin
-                  Engine.await ~on:"task-queue" t.eng (fun resume ->
-                      t.idle_wakers.(proc) <- Some (fun () -> resume ()));
+                  Engine.await ~on:on_task_queue t.eng (fun resume ->
+                      t.idle_wakers.(proc) <- Some resume);
                   loop ()
                 end
           end
@@ -302,7 +307,7 @@ let shm_dispatcher t proc =
 let shm_on_enable t (task : Taskrec.t) =
   let costs = match t.machine with Dash c -> c | Ipsc _ | Lan _ -> assert false in
   let sched = match t.shm_sched with Some s -> s | None -> assert false in
-  task.Taskrec.enabled_at <- Engine.now t.eng;
+  task.Taskrec.fl.Taskrec.enabled_at <- Engine.now t.eng;
   ignore (Mnode.charge t.nodes.(t.ctx_proc) costs.Costs.task_enable_shm);
   Scheduler_shm.enqueue sched task;
   (* At the locality-aware levels the target processor gets first chance;
@@ -324,7 +329,7 @@ let get_comm t = match t.comm with Some c -> c | None -> assert false
 let send_assign t proc (task : Taskrec.t) =
   let c = mp_costs t in
   Fabric.send (get_fabric t) ~src:0 ~dst:proc ~size:c.Costs.small_msg
-    ~tag:"assign" (Protocol.Assign task)
+    ~tag:Jade_net.Tag.Assign (Protocol.Assign task)
 
 let mp_scheduler_process t =
   let c = mp_costs t in
@@ -333,7 +338,7 @@ let mp_scheduler_process t =
     match Mailbox.recv t.eng t.sched_events with
     | Stop_sched -> ()
     | Enabled task ->
-        task.Taskrec.enabled_at <- Engine.now t.eng;
+        task.Taskrec.fl.Taskrec.enabled_at <- Engine.now t.eng;
         Mnode.occupy t.nodes.(0) c.Costs.task_enable;
         (match Scheduler_mp.on_enabled sched task with
         | `Assign p -> send_assign t p task
@@ -364,7 +369,7 @@ let mp_dispatcher t proc =
         Communicator.assert_coherent comm task ~proc;
         Communicator.note_accesses comm task ~proc;
         task.Taskrec.ran_on <- proc;
-        task.Taskrec.started_at <- Engine.now t.eng;
+        task.Taskrec.fl.Taskrec.started_at <- Engine.now t.eng;
         task.Taskrec.state <- Taskrec.Running;
         record_execution t task proc;
         let compute =
@@ -372,20 +377,20 @@ let mp_dispatcher t proc =
           else task.Taskrec.work /. c.Costs.flops
         in
         Mnode.occupy t.nodes.(proc) c.Costs.task_dispatch;
-        task.Taskrec.charged <- 0.0;
+        task.Taskrec.fl.Taskrec.charged <- 0.0;
         run_body t task proc;
         let remaining =
-          Float.max 0.0 (compute -. (task.Taskrec.charged /. c.Costs.flops))
+          Float.max 0.0 (compute -. (task.Taskrec.fl.Taskrec.charged /. c.Costs.flops))
         in
         if remaining > 0.0 then Mnode.occupy t.nodes.(proc) remaining;
         let m = t.metrics in
-        m.Metrics.total_task_time <- m.Metrics.total_task_time +. compute;
-        m.Metrics.total_compute_time <-
-          m.Metrics.total_compute_time +. compute;
-        task.Taskrec.finished_at <- Engine.now t.eng;
+        m.Metrics.fl.Metrics.total_task_time <- m.Metrics.fl.Metrics.total_task_time +. compute;
+        m.Metrics.fl.Metrics.total_compute_time <-
+          m.Metrics.fl.Metrics.total_compute_time +. compute;
+        task.Taskrec.fl.Taskrec.finished_at <- Engine.now t.eng;
         (match t.trace with Some tr -> Tracing.record tr task | None -> ());
         Fabric.send (get_fabric t) ~src:proc ~dst:0 ~size:c.Costs.small_msg
-          ~tag:"done"
+          ~tag:Jade_net.Tag.Done
           (Protocol.Done { task; proc });
         loop ()
   in
@@ -475,7 +480,7 @@ let work env flops =
   if flops < 0.0 then invalid_arg "Runtime.work: negative flops";
   let t = env.env_rt in
   if not t.cfg.Config.work_free then begin
-    env.env_task.Taskrec.charged <- env.env_task.Taskrec.charged +. flops;
+    env.env_task.Taskrec.fl.Taskrec.charged <- env.env_task.Taskrec.fl.Taskrec.charged +. flops;
     Mnode.occupy t.nodes.(env.proc) (flops /. flop_rate t)
   end
 
@@ -489,8 +494,8 @@ let node_busy t p = Mnode.busy_time t.nodes.(p)
 let drain t =
   if t.outstanding > 0 then begin
     t.main_blocked <- true;
-    Engine.await ~on:"drain" t.eng (fun resume ->
-        t.drain_waiters <- (fun () -> resume ()) :: t.drain_waiters);
+    Engine.await ~on:on_drain t.eng (fun resume ->
+        t.drain_waiters <- resume :: t.drain_waiters);
     t.main_blocked <- false
   end
 
@@ -551,7 +556,7 @@ let run_with ?(config = Config.default) ?trace ~machine ~nprocs main ~inspect =
            dl_live = Engine.live_processes t.eng;
            dl_blocked = Engine.blocked_report t.eng;
          });
-  t.metrics.Metrics.elapsed <- t.finish_time;
+  t.metrics.Metrics.fl.Metrics.elapsed <- t.finish_time;
   t.metrics.Metrics.events <- Engine.events_processed t.eng;
   (match t.fabric with
   | Some f -> t.metrics.Metrics.messages <- Fabric.message_count f

@@ -14,9 +14,25 @@ type t = {
   otqs : (int, otq) Hashtbl.t;  (** object id -> its object task queue *)
   shared : Taskrec.t Deque.t;  (** No_locality: single FCFS queue *)
   placed : Taskrec.t Deque.t array;  (** Task_placement: pinned tasks *)
+  victims : int array array;
+      (** per processor: the other processors in steal-search order —
+          cyclic from the thief, own cluster first. The order is fixed by
+          (nprocs, cluster_size), and idle processors re-run the search on
+          every poll, so it is computed once rather than rebuilt (three
+          list allocations per attempt) on the idle path. *)
   mutable steal_count : int;
   mutable queued_count : int;
 }
+
+(* Cyclic search order over the other processors, visiting the thief's own
+   cluster first: a task stolen within the cluster keeps its data behind
+   the same memory bus (the DASH-tailored variant of the locality
+   heuristic). *)
+let victim_order ~cluster_size ~nprocs proc =
+  let cluster p = p / cluster_size in
+  let all = List.init (nprocs - 1) (fun k -> (proc + k + 1) mod nprocs) in
+  let near, far = List.partition (fun v -> cluster v = cluster proc) all in
+  Array.of_list (near @ far)
 
 let create ?(cluster_size = 1) cfg ~nprocs =
   if cluster_size < 1 then invalid_arg "Scheduler_shm.create: bad cluster size";
@@ -28,6 +44,7 @@ let create ?(cluster_size = 1) cfg ~nprocs =
     otqs = Hashtbl.create 64;
     shared = Deque.create ();
     placed = Array.init nprocs (fun _ -> Deque.create ());
+    victims = Array.init nprocs (victim_order ~cluster_size ~nprocs);
     steal_count = 0;
     queued_count = 0;
   }
@@ -125,27 +142,19 @@ let next ?(allow_steal = true) t ~proc =
             | Some task -> Some task
             | None when not allow_steal -> None
             | None ->
-                (* Cyclic search over the other processors, visiting the
-                   thief's own cluster first: a task stolen within the
-                   cluster keeps its data behind the same memory bus (the
-                   DASH-tailored variant of the locality heuristic). *)
-                let cluster p = p / t.cluster_size in
-                let victims =
-                  let all = List.init (t.nprocs - 1) (fun k -> (proc + k + 1) mod t.nprocs) in
-                  let near, far = List.partition (fun v -> cluster v = cluster proc) all in
-                  near @ far
+                let victims = t.victims.(proc) in
+                let n = Array.length victims in
+                let rec search i =
+                  if i >= n then None
+                  else
+                    match steal_from t victims.(i) with
+                    | Some task ->
+                        t.steal_count <- t.steal_count + 1;
+                        task.Taskrec.stolen <- true;
+                        Some task
+                    | None -> search (i + 1)
                 in
-                let rec search = function
-                  | [] -> None
-                  | victim :: rest -> (
-                      match steal_from t victim with
-                      | Some task ->
-                          t.steal_count <- t.steal_count + 1;
-                          task.Taskrec.stolen <- true;
-                          Some task
-                      | None -> search rest)
-                in
-                search victims)
+                search 0)
         | Config.Task_placement ->
             (* No stealing: placed tasks are pinned; unplaced tasks still use
                the locality structure but are only taken locally. *)

@@ -22,6 +22,16 @@ type t = {
   mutable target : int;  (** target processor, computed when enabled *)
   mutable ran_on : int;
   mutable stolen : bool;
+  fl : fl;  (** lifecycle timestamps and charged flops, unboxed *)
+  mutable released : bool array;
+      (** spec entries the task released mid-execution (the advanced
+          access-specification statements of §2) *)
+  done_ivar : unit Jade_sim.Ivar.t;
+}
+
+(* All-float sub-record: mutable floats in the mixed task record would be
+   boxed, and these timestamps are written several times per task. *)
+and fl = {
   mutable created_at : float;
   mutable enabled_at : float;
   mutable started_at : float;
@@ -29,12 +39,8 @@ type t = {
   mutable fetch_start : float;
       (** when the first object request went out; -1 if no remote fetch *)
   mutable fetch_end : float;
-  mutable released : bool array;
-      (** spec entries the task released mid-execution (the advanced
-          access-specification statements of §2) *)
   mutable charged : float;
       (** flops already charged by [Runtime.work] during the body *)
-  done_ivar : unit Jade_sim.Ivar.t;
 }
 
 let create ~tid ~tname ~spec ~body ~work ~placement ~now =
@@ -53,15 +59,18 @@ let create ~tid ~tname ~spec ~body ~work ~placement ~now =
     target = 0;
     ran_on = -1;
     stolen = false;
-    created_at = now;
-    enabled_at = -1.0;
-    started_at = -1.0;
-    finished_at = -1.0;
-    fetch_start = -1.0;
-    fetch_end = -1.0;
+    fl =
+      {
+        created_at = now;
+        enabled_at = -1.0;
+        started_at = -1.0;
+        finished_at = -1.0;
+        fetch_start = -1.0;
+        fetch_end = -1.0;
+        charged = 0.0;
+      };
     released = Array.make n false;
-    charged = 0.0;
-    done_ivar = Jade_sim.Ivar.create ~name:("done:" ^ tname) ();
+    done_ivar = Jade_sim.Ivar.create ~name_fn:(fun () -> "done:" ^ tname) ();
   }
 
 let locality_object t =

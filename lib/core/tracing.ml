@@ -22,10 +22,10 @@ let record t (task : Taskrec.t) =
       tid = task.tid;
       proc = task.ran_on;
       target = task.target;
-      created_at = task.created_at;
-      enabled_at = task.enabled_at;
-      started_at = task.started_at;
-      finished_at = task.finished_at;
+      created_at = task.fl.created_at;
+      enabled_at = task.fl.enabled_at;
+      started_at = task.fl.started_at;
+      finished_at = task.fl.finished_at;
       stolen = task.stolen;
     }
     :: t.rev_events;

@@ -319,9 +319,17 @@ let parallel t f =
       (* Pass 1 — plan: execute [f] against the cache, recording every
          uncached run it asks for (cheap placeholders are returned instead
          of simulating). A planning-pass exception just truncates the
-         plan; the replay pass re-raises it for real. *)
+         plan; the replay pass re-raises it for real. Fatal conditions
+         are the exception to that rule: swallowing [Out_of_memory] or
+         [Stack_overflow] leaves the heap/stack in a state the replay
+         can't trust, and a failed [assert] is a programming error that
+         must never be masked — all three propagate immediately. *)
       t.plan <- Some [];
-      (try ignore (f ()) with _ -> ());
+      (try ignore (f ()) with
+      | (Out_of_memory | Stack_overflow | Assert_failure _) as fatal ->
+          t.plan <- None;
+          raise fatal
+      | _ -> ());
       let works =
         match t.plan with Some acc -> List.rev acc | None -> assert false
       in

@@ -1,25 +1,31 @@
 open Jade_sim
 
-type t = {
-  eng : Engine.t;
-  node_id : int;
+(* The three horizons live in an all-float sub-record: OCaml stores a
+   mutable float in a mixed record boxed, so keeping them alongside [eng]
+   and [node_id] would allocate a fresh box on every store — and these
+   fields are stored to on every message the fabric carries. An all-float
+   record is flat, so the stores below allocate nothing. *)
+type fl = {
   mutable avail : float;  (** foreground (task/scheduler) work horizon *)
   mutable int_avail : float;  (** interrupt-work completion horizon *)
   mutable busy : float;
 }
 
+type t = { eng : Engine.t; node_id : int; fl : fl }
+
 let create eng node_id =
-  { eng; node_id; avail = 0.0; int_avail = 0.0; busy = 0.0 }
+  { eng; node_id; fl = { avail = 0.0; int_avail = 0.0; busy = 0.0 } }
 
 let id t = t.node_id
 
 let occupy t dur =
   if dur < 0.0 then invalid_arg "Mnode.occupy: negative duration";
   let now = Engine.now t.eng in
-  let start = if t.avail > now then t.avail else now in
+  let fl = t.fl in
+  let start = if fl.avail > now then fl.avail else now in
   let finish = start +. dur in
-  t.avail <- finish;
-  t.busy <- t.busy +. dur;
+  fl.avail <- finish;
+  fl.busy <- fl.busy +. dur;
   Engine.delay t.eng (finish -. now)
 
 (* Interrupt work preempts the running activity: it serializes with other
@@ -29,16 +35,17 @@ let occupy t dur =
 let charge t cost =
   if cost < 0.0 then invalid_arg "Mnode.charge: negative cost";
   let now = Engine.now t.eng in
-  let start = if t.int_avail > now then t.int_avail else now in
+  let fl = t.fl in
+  let start = if fl.int_avail > now then fl.int_avail else now in
   let finish = start +. cost in
-  t.int_avail <- finish;
-  let base = if t.avail > now then t.avail else now in
-  t.avail <- base +. cost;
-  t.busy <- t.busy +. cost;
+  fl.int_avail <- finish;
+  let base = if fl.avail > now then fl.avail else now in
+  fl.avail <- base +. cost;
+  fl.busy <- fl.busy +. cost;
   finish
 
-let avail t = t.avail
+let avail t = t.fl.avail
 
-let busy_time t = t.busy
+let busy_time t = t.fl.busy
 
-let reset_busy t = t.busy <- 0.0
+let reset_busy t = t.fl.busy <- 0.0

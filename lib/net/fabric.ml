@@ -1,7 +1,7 @@
 open Jade_sim
 open Jade_machines
 
-type 'a msg = { src : int; dst : int; size : int; tag : string; body : 'a }
+type 'a msg = { src : int; dst : int; size : int; tag : Tag.t; body : 'a }
 
 type 'a t = {
   eng : Engine.t;
@@ -13,7 +13,8 @@ type 'a t = {
   bus : Mnode.t option;  (** shared medium all transfers serialize through *)
   fault : Fault.t option;  (** chaos plan for interrupt-context traffic *)
   handlers : ('a msg -> unit) option array;
-  by_tag : (string, int ref * int ref) Hashtbl.t;
+  tag_counts : int array;  (** messages per tag, indexed by [Tag.index] *)
+  tag_bytes : int array;  (** payload bytes per tag *)
   mutable msgs : int;
   mutable bytes : int;
 }
@@ -31,7 +32,8 @@ let create ?bus ?fault eng ~nodes ~topology ~startup ~bandwidth ~hop_latency =
     bus;
     fault;
     handlers = Array.make (Array.length nodes) None;
-    by_tag = Hashtbl.create 16;
+    tag_counts = Array.make Tag.count 0;
+    tag_bytes = Array.make Tag.count 0;
     msgs = 0;
     bytes = 0;
   }
@@ -43,16 +45,9 @@ let send_occupancy t ~size = t.startup +. (float_of_int size /. t.bandwidth)
 let record t msg =
   t.msgs <- t.msgs + 1;
   t.bytes <- t.bytes + msg.size;
-  let count, bytes =
-    match Hashtbl.find_opt t.by_tag msg.tag with
-    | Some p -> p
-    | None ->
-        let p = (ref 0, ref 0) in
-        Hashtbl.add t.by_tag msg.tag p;
-        p
-  in
-  incr count;
-  bytes := !bytes + msg.size
+  let i = Tag.index msg.tag in
+  t.tag_counts.(i) <- t.tag_counts.(i) + 1;
+  t.tag_bytes.(i) <- t.tag_bytes.(i) + msg.size
 
 let deliver t msg =
   match t.handlers.(msg.dst) with
@@ -61,7 +56,7 @@ let deliver t msg =
       invalid_arg
         (Printf.sprintf
            "Fabric: no handler on node %d (tag %S, src %d, %d bytes)" msg.dst
-           msg.tag msg.src msg.size)
+           (Tag.to_string msg.tag) msg.src msg.size)
 
 let deliver_at t time msg =
   record t msg;
@@ -135,8 +130,6 @@ let message_count t = t.msgs
 
 let byte_count t = t.bytes
 
-let bytes_with_tag t tag =
-  match Hashtbl.find_opt t.by_tag tag with Some (_, b) -> !b | None -> 0
+let bytes_with_tag t tag = t.tag_bytes.(Tag.index tag)
 
-let count_with_tag t tag =
-  match Hashtbl.find_opt t.by_tag tag with Some (c, _) -> !c | None -> 0
+let count_with_tag t tag = t.tag_counts.(Tag.index tag)

@@ -11,7 +11,7 @@
     The payload type ['a] is chosen by the client (the Jade communicator
     instantiates it with its protocol messages). *)
 
-type 'a msg = { src : int; dst : int; size : int; tag : string; body : 'a }
+type 'a msg = { src : int; dst : int; size : int; tag : Tag.t; body : 'a }
 
 type 'a t
 
@@ -39,18 +39,18 @@ val set_handler : 'a t -> int -> ('a msg -> unit) -> unit
 (** Process-context send: blocks the caller until the sending node has
     worked off the send occupancy; delivery is scheduled after the wire
     latency. A self-send delivers at the current time with no occupancy. *)
-val send : 'a t -> src:int -> dst:int -> size:int -> tag:string -> 'a -> unit
+val send : 'a t -> src:int -> dst:int -> size:int -> tag:Tag.t -> 'a -> unit
 
 (** Interrupt-context send: charges the occupancy to the source node and
     schedules delivery; never blocks. *)
-val post : 'a t -> src:int -> dst:int -> size:int -> tag:string -> 'a -> unit
+val post : 'a t -> src:int -> dst:int -> size:int -> tag:Tag.t -> 'a -> unit
 
 (** [broadcast t ~src ~size ~tag body_of_node] delivers a copy to every
     other node via a binomial tree: the source is occupied for one send per
     round; the node reached in round [r] receives its copy after [r] rounds
     of (occupancy + wire). Charges the source as interrupt work, so it can
     be used from either context. *)
-val broadcast : 'a t -> src:int -> size:int -> tag:string -> (int -> 'a) -> unit
+val broadcast : 'a t -> src:int -> size:int -> tag:Tag.t -> (int -> 'a) -> unit
 
 (** Number of rounds a broadcast takes on this fabric's topology. *)
 val broadcast_rounds : 'a t -> int
@@ -62,10 +62,10 @@ val message_count : 'a t -> int
 val byte_count : 'a t -> int
 
 (** [bytes_with_tag t tag] sums bytes of messages carrying [tag]. *)
-val bytes_with_tag : 'a t -> string -> int
+val bytes_with_tag : 'a t -> Tag.t -> int
 
 (** [count_with_tag t tag] counts messages carrying [tag]. *)
-val count_with_tag : 'a t -> string -> int
+val count_with_tag : 'a t -> Tag.t -> int
 
 (** Occupancy charged to a sender for one message of [size] bytes. *)
 val send_occupancy : 'a t -> size:int -> float

@@ -8,7 +8,7 @@ type spec = {
   degrade : float;
   retry_timeout : float;
   max_retries : int;
-  drop_tagged : (string * int) list;
+  drop_tagged : (Tag.t * int) list;
 }
 
 let default_spec =
@@ -50,7 +50,8 @@ let pp_spec ppf s =
      else
        " scripted="
        ^ String.concat ","
-           (List.map (fun (tag, i) -> Printf.sprintf "%s#%d" tag i)
+           (List.map
+              (fun (tag, i) -> Printf.sprintf "%s#%d" (Tag.to_string tag) i)
               s.drop_tagged))
 
 type decision = {
@@ -98,12 +99,15 @@ let decision_at s ~index ~src ~dst =
     end
   end
 
+(* Per-tag ledgers are flat arrays indexed by [Tag.index]: the tag space
+   is closed, so the per-message accounting is two array reads instead of
+   a string-keyed hashtable probe. *)
 type t = {
   fspec : spec;
   mutable index : int;  (** global message index, pre-incremented per draw *)
-  seen_by_tag : (string, int ref) Hashtbl.t;
-  drops_by_tag : (string, int ref) Hashtbl.t;
-  dups_by_tag : (string, int ref) Hashtbl.t;
+  seen_by_tag : int array;
+  drops_by_tag : int array;
+  dups_by_tag : int array;
   mutable dropped : int;
   mutable duplicated : int;
 }
@@ -112,43 +116,34 @@ let create fspec =
   {
     fspec;
     index = 0;
-    seen_by_tag = Hashtbl.create 8;
-    drops_by_tag = Hashtbl.create 8;
-    dups_by_tag = Hashtbl.create 8;
+    seen_by_tag = Array.make Tag.count 0;
+    drops_by_tag = Array.make Tag.count 0;
+    dups_by_tag = Array.make Tag.count 0;
     dropped = 0;
     duplicated = 0;
   }
 
 let get_spec t = t.fspec
 
-let counter tbl tag =
-  match Hashtbl.find_opt tbl tag with
-  | Some r -> r
-  | None ->
-      let r = ref 0 in
-      Hashtbl.add tbl tag r;
-      r
-
 let next_decision t ~src ~dst ~tag =
   let index = t.index in
   t.index <- index + 1;
-  let seen = counter t.seen_by_tag tag in
-  let nth = !seen in
-  incr seen;
+  let ti = Tag.index tag in
+  let nth = t.seen_by_tag.(ti) in
+  t.seen_by_tag.(ti) <- nth + 1;
   let d = decision_at t.fspec ~index ~src ~dst in
   let scripted =
-    List.exists
-      (fun (tg, i) -> String.equal tg tag && i = nth)
-      t.fspec.drop_tagged
+    t.fspec.drop_tagged <> []
+    && List.exists (fun (tg, i) -> tg = tag && i = nth) t.fspec.drop_tagged
   in
   let d = if scripted then dropped_decision else d in
   if d.drop then begin
     t.dropped <- t.dropped + 1;
-    incr (counter t.drops_by_tag tag)
+    t.drops_by_tag.(ti) <- t.drops_by_tag.(ti) + 1
   end
   else if d.duplicate then begin
     t.duplicated <- t.duplicated + 1;
-    incr (counter t.dups_by_tag tag)
+    t.dups_by_tag.(ti) <- t.dups_by_tag.(ti) + 1
   end;
   d
 
@@ -158,10 +153,6 @@ let dropped t = t.dropped
 
 let duplicated t = t.duplicated
 
-let read_tag tbl tag = match Hashtbl.find_opt tbl tag with
-  | Some r -> !r
-  | None -> 0
+let dropped_with_tag t tag = t.drops_by_tag.(Tag.index tag)
 
-let dropped_with_tag t tag = read_tag t.drops_by_tag tag
-
-let duplicated_with_tag t tag = read_tag t.dups_by_tag tag
+let duplicated_with_tag t tag = t.dups_by_tag.(Tag.index tag)

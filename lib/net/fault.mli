@@ -27,7 +27,7 @@ type spec = {
       (** virtual seconds before the communicator retransmits an unanswered
           request (doubled per retry) *)
   max_retries : int;  (** retransmit cap before giving up *)
-  drop_tagged : (string * int) list;
+  drop_tagged : (Tag.t * int) list;
       (** scripted drops: [(tag, n)] unconditionally drops the [n]-th
           (0-based) faultable message carrying [tag] — for deterministic
           lost-message tests *)
@@ -44,7 +44,7 @@ val spec :
   ?degrade:float ->
   ?retry_timeout:float ->
   ?max_retries:int ->
-  ?drop_tagged:(string * int) list ->
+  ?drop_tagged:(Tag.t * int) list ->
   unit ->
   spec
 (** {!default_spec} with overrides; validates the rates. *)
@@ -85,7 +85,7 @@ val create : spec -> t
 
 val get_spec : t -> spec
 
-val next_decision : t -> src:int -> dst:int -> tag:string -> decision
+val next_decision : t -> src:int -> dst:int -> tag:Tag.t -> decision
 (** Consume the next message index and return its decision, applying
     scripted [drop_tagged] entries and updating the drop/duplicate
     counters. *)
@@ -96,6 +96,6 @@ val dropped : t -> int
 
 val duplicated : t -> int
 
-val dropped_with_tag : t -> string -> int
+val dropped_with_tag : t -> Tag.t -> int
 
-val duplicated_with_tag : t -> string -> int
+val duplicated_with_tag : t -> Tag.t -> int

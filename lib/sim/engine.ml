@@ -1,127 +1,289 @@
 open Effect
 open Effect.Deep
 
+(* Process names are lazy: anonymous processes carry only their spawn
+   index and render "process-<n>" on demand (deadlock reports, error
+   paths), so the common case pays no [Printf.sprintf]. *)
+type pname = Anon of int | Named of string
+
+let pname_string = function
+  | Anon i -> "process-" ^ string_of_int i
+  | Named s -> s
+
+let no_process = Named ""
+
+(* All-float record: the fields are stored flat, so advancing the clock
+   (or stashing a pending delay) never allocates a float box — unlike a
+   [mutable clock : float] field in the mixed record below. *)
+type fl = { mutable clock : float; mutable pending : float }
+
 type t = {
-  events : (unit -> unit) Heap.t;
-  mutable clock : float;
+  events : (unit -> unit) Heap.t;  (** future events, keyed by (time, seq) *)
+  fl : fl;
   mutable seq : int;
+  (* Now lane: FIFO ring of events scheduled at exactly the current
+     clock. They fire before any later heap entry, interleaved with
+     same-time heap entries by seq, so delivery order is identical to a
+     single heap — but the dominant zero-delay wakeup skips the heap's
+     sift entirely. Capacity is always a power of two. Invariant: every
+     entry's implied time is [fl.clock] (the lane is drained before the
+     clock advances). *)
+  mutable now_seqs : int array;
+  mutable now_fns : (unit -> unit) array;
+  mutable now_head : int;
+  mutable now_len : int;
   mutable live : int;
   mutable processed : int;
-  mutable current : string;  (** name of the running process; "" outside any *)
+  mutable current : pname;  (** the running process; [no_process] outside any *)
   mutable spawned : int;
   mutable block_seq : int;
-  blocked : (int, string * string) Hashtbl.t;
-      (** token -> (process name, what it is blocked on); the watchdog's
-          registry of suspended waiters *)
+  (* Blocked-waiter slab: parallel arrays indexed by slot, plus a
+     free-slot stack. Registering/clearing a wait is a few stores into
+     preallocated arrays instead of a hashtable insert/remove; the
+     report (cold: deadlock only) orders live slots by token. A slot is
+     free iff its token is -1. *)
+  mutable bl_who : pname array;
+  mutable bl_what : (unit -> string) array;
+  mutable bl_tok : int array;
+  mutable bl_free : int array;
+  mutable bl_free_n : int;
+  (* Preallocated registration closures for [delay]: the zero-delay
+     resume and the [fl.pending]-delay resume. One closure each per
+     engine, not per event. *)
+  mutable reg_now : (unit -> unit) -> unit;
+  mutable reg_after : (unit -> unit) -> unit;
 }
 
 type _ Effect.t += Await : (('a -> unit) -> unit) -> 'a Effect.t
 
 let nop () = ()
 
-let create ?(events_hint = 16) () =
-  {
-    events = Heap.create ~capacity:events_hint ~dummy:nop ();
-    clock = 0.0;
-    seq = 0;
-    live = 0;
-    processed = 0;
-    current = "";
-    spawned = 0;
-    block_seq = 0;
-    blocked = Hashtbl.create 16;
-  }
+let no_what () = ""
 
-let now t = t.clock
+let nowhere : (unit -> unit) -> unit = fun _ -> ()
 
-let schedule t ?(delay = 0.0) f =
-  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+let grow_now t =
+  let cap = Array.length t.now_fns in
+  let cap' = 2 * cap in
+  let seqs = Array.make cap' 0 and fns = Array.make cap' nop in
+  for i = 0 to t.now_len - 1 do
+    let j = (t.now_head + i) land (cap - 1) in
+    seqs.(i) <- t.now_seqs.(j);
+    fns.(i) <- t.now_fns.(j)
+  done;
+  t.now_seqs <- seqs;
+  t.now_fns <- fns;
+  t.now_head <- 0
+
+let push_now t f =
+  let cap = Array.length t.now_fns in
+  if t.now_len = cap then grow_now t;
+  let cap = Array.length t.now_fns in
   t.seq <- t.seq + 1;
-  Heap.push t.events ~time:(t.clock +. delay) ~seq:t.seq f
+  let i = (t.now_head + t.now_len) land (cap - 1) in
+  t.now_seqs.(i) <- t.seq;
+  t.now_fns.(i) <- f;
+  t.now_len <- t.now_len + 1
+
+let create ?(events_hint = 16) () =
+  let bl_cap = 16 in
+  let t =
+    {
+      events = Heap.create ~capacity:events_hint ~dummy:nop ();
+      fl = { clock = 0.0; pending = 0.0 };
+      seq = 0;
+      now_seqs = Array.make 64 0;
+      now_fns = Array.make 64 nop;
+      now_head = 0;
+      now_len = 0;
+      live = 0;
+      processed = 0;
+      current = no_process;
+      spawned = 0;
+      block_seq = 0;
+      bl_who = Array.make bl_cap no_process;
+      bl_what = Array.make bl_cap no_what;
+      bl_tok = Array.make bl_cap (-1);
+      bl_free = Array.init bl_cap (fun i -> bl_cap - 1 - i);
+      bl_free_n = bl_cap;
+      reg_now = nowhere;
+      reg_after = nowhere;
+    }
+  in
+  t.reg_now <- (fun resume -> push_now t resume);
+  t.reg_after <-
+    (fun resume ->
+      t.seq <- t.seq + 1;
+      Heap.push t.events ~time:(t.fl.clock +. t.fl.pending) ~seq:t.seq resume);
+  t
+
+let now t = t.fl.clock
+
+let schedule_now t f = push_now t f
+
+let schedule_after t delay f =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  let time = t.fl.clock +. delay in
+  if time = t.fl.clock then push_now t f
+  else begin
+    t.seq <- t.seq + 1;
+    Heap.push t.events ~time ~seq:t.seq f
+  end
+
+let schedule t ?(delay = 0.0) f = schedule_after t delay f
+
+(* --- blocked-waiter slab --- *)
+
+let grow_blocked t =
+  let cap = Array.length t.bl_tok in
+  let cap' = 2 * cap in
+  let who = Array.make cap' no_process in
+  let what = Array.make cap' no_what in
+  let tok = Array.make cap' (-1) in
+  Array.blit t.bl_who 0 who 0 cap;
+  Array.blit t.bl_what 0 what 0 cap;
+  Array.blit t.bl_tok 0 tok 0 cap;
+  t.bl_who <- who;
+  t.bl_what <- what;
+  t.bl_tok <- tok;
+  let free = Array.make cap' 0 in
+  Array.blit t.bl_free 0 free 0 t.bl_free_n;
+  for i = 0 to cap - 1 do
+    free.(t.bl_free_n + i) <- cap' - 1 - i
+  done;
+  t.bl_free <- free;
+  t.bl_free_n <- t.bl_free_n + cap
+
+let block_slot t who what =
+  if t.bl_free_n = 0 then grow_blocked t;
+  t.bl_free_n <- t.bl_free_n - 1;
+  let slot = t.bl_free.(t.bl_free_n) in
+  t.bl_who.(slot) <- who;
+  t.bl_what.(slot) <- what;
+  t.bl_tok.(slot) <- t.block_seq;
+  t.block_seq <- t.block_seq + 1;
+  slot
+
+let unblock t slot =
+  t.bl_tok.(slot) <- -1;
+  t.bl_who.(slot) <- no_process;
+  t.bl_what.(slot) <- no_what;
+  t.bl_free.(t.bl_free_n) <- slot;
+  t.bl_free_n <- t.bl_free_n + 1
+
+let blocked_report t =
+  let acc = ref [] in
+  Array.iteri
+    (fun slot tok -> if tok >= 0 then acc := (tok, slot) :: !acc)
+    t.bl_tok;
+  List.sort compare !acc
+  |> List.map (fun (_, slot) ->
+         (pname_string t.bl_who.(slot), t.bl_what.(slot) ()))
+
+(* --- processes --- *)
 
 let run_process t ~name f =
   let prev = t.current in
   t.current <- name;
-  Fun.protect
-    ~finally:(fun () -> t.current <- prev)
-    (fun () ->
-      match_with f ()
-        {
-          retc = (fun () -> t.live <- t.live - 1);
-          exnc = raise;
-          effc =
-            (fun (type a) (eff : a Effect.t) ->
-              match eff with
-              | Await register ->
-                  Some
-                    (fun (k : (a, unit) continuation) ->
-                      let resumed = ref false in
-                      register (fun v ->
-                          if !resumed then
-                            invalid_arg "Engine.await: resumed twice";
-                          resumed := true;
-                          (* Restore this process's identity for the span of
-                             its execution so blocked-waiter registrations
-                             made while it runs carry the right name. *)
-                          let prev = t.current in
-                          t.current <- name;
-                          Fun.protect
-                            ~finally:(fun () -> t.current <- prev)
-                            (fun () -> continue k v)))
-              | _ -> None);
-        })
+  match
+    match_with f ()
+      {
+        retc = (fun () -> t.live <- t.live - 1);
+        exnc = raise;
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Await register ->
+                Some
+                  (fun (k : (a, unit) continuation) ->
+                    register (fun v ->
+                        (* Restore this process's identity for the span
+                           of its execution so blocked-waiter
+                           registrations made while it runs carry the
+                           right name. A second resume raises
+                           [Continuation_already_resumed]. *)
+                        let prev = t.current in
+                        t.current <- name;
+                        match continue k v with
+                        | () -> t.current <- prev
+                        | exception e ->
+                            t.current <- prev;
+                            raise e))
+            | _ -> None);
+      }
+  with
+  | () -> t.current <- prev
+  | exception e ->
+      t.current <- prev;
+      raise e
 
 let spawn ?name t f =
   t.live <- t.live + 1;
   t.spawned <- t.spawned + 1;
-  let name =
-    match name with
-    | Some n -> n
-    | None -> Printf.sprintf "process-%d" t.spawned
-  in
-  schedule t (fun () -> run_process t ~name f)
+  let pn = match name with Some n -> Named n | None -> Anon t.spawned in
+  push_now t (fun () -> run_process t ~name:pn f)
 
-let current_name t = t.current
+let current_name t = pname_string t.current
 
 let await ?on t register =
   match on with
   | None -> perform (Await register)
   | Some what ->
-      let name = t.current in
+      let who = t.current in
       perform
         (Await
            (fun resume ->
-             let tok = t.block_seq in
-             t.block_seq <- tok + 1;
-             Hashtbl.replace t.blocked tok (name, what);
+             let slot = block_slot t who what in
              register (fun v ->
-                 Hashtbl.remove t.blocked tok;
+                 unblock t slot;
                  resume v)))
-
-let blocked_report t =
-  Hashtbl.fold (fun tok entry acc -> (tok, entry) :: acc) t.blocked []
-  |> List.sort compare |> List.map snd
 
 let delay t d =
   if d < 0.0 then invalid_arg "Engine.delay: negative delay";
-  if d = 0.0 then
-    (* Still go through the queue so that same-time activities interleave
-       deterministically in scheduling order. *)
-    await t (fun resume -> schedule t (fun () -> resume ()))
-  else await t (fun resume -> schedule t ~delay:d (fun () -> resume ()))
+  (* Even a zero delay goes through the queue so that same-time
+     activities interleave deterministically in scheduling order. *)
+  if d = 0.0 then perform (Await t.reg_now)
+  else begin
+    t.fl.pending <- d;
+    perform (Await t.reg_after)
+  end
 
 let run t =
   let n0 = t.processed in
   let continue_run = ref true in
   while !continue_run do
-    if Heap.is_empty t.events then continue_run := false
-    else begin
-      let time, _seq, f = Heap.pop_min t.events in
-      if time < t.clock then invalid_arg "Engine.run: time went backwards";
-      t.clock <- time;
+    if t.now_len > 0 then begin
+      (* Same-time heap entries (scheduled before the clock reached this
+         instant, or via sub-ulp positive delays) interleave with the
+         now lane by seq. *)
+      let take_heap =
+        (not (Heap.is_empty t.events))
+        && Heap.min_time t.events = t.fl.clock
+        && Heap.min_seq t.events < t.now_seqs.(t.now_head)
+      in
+      let f =
+        if take_heap then Heap.pop_min_value t.events
+        else begin
+          let i = t.now_head in
+          let f = t.now_fns.(i) in
+          t.now_fns.(i) <- nop;
+          t.now_head <- (i + 1) land (Array.length t.now_fns - 1);
+          t.now_len <- t.now_len - 1;
+          f
+        end
+      in
       t.processed <- t.processed + 1;
       f ()
     end
+    else if not (Heap.is_empty t.events) then begin
+      let time = Heap.min_time t.events in
+      if time < t.fl.clock then invalid_arg "Engine.run: time went backwards";
+      t.fl.clock <- time;
+      let f = Heap.pop_min_value t.events in
+      t.processed <- t.processed + 1;
+      f ()
+    end
+    else continue_run := false
   done;
   t.processed - n0
 

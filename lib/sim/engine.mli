@@ -31,6 +31,13 @@ val now : t -> float
     that. [delay] must be non-negative. *)
 val schedule : t -> ?delay:float -> (unit -> unit) -> unit
 
+(** [schedule_now t f] is [schedule t f]: [f] fires at the current
+    virtual time, after everything already scheduled for it. Zero-delay
+    events live in a FIFO "now lane" rather than the time-ordered heap,
+    so this is the engine's cheapest (allocation-free) scheduling path —
+    it is the one wakeups (ivar fills, mailbox sends) ride. *)
+val schedule_now : t -> (unit -> unit) -> unit
+
 (** [spawn ?name t f] starts [f] as a simulation process at the current
     time. [f] may perform {!delay} / {!await}. [name] identifies the
     process in deadlock reports ({!blocked_report}); unnamed processes get
@@ -49,8 +56,11 @@ val delay : t -> float -> unit
     with the result. The resumption runs at the virtual time at which the
     resume function is invoked. When [on] is given, the wait is recorded in
     the blocked-waiter registry under the calling process's name until it
-    resumes, so a drained heap can report exactly who is stuck on what. *)
-val await : ?on:string -> t -> (('a -> unit) -> unit) -> 'a
+    resumes, so a drained heap can report exactly who is stuck on what.
+    [on] is a thunk rendering what is being waited for; it is forced only
+    if a report is actually taken, so callers can pass a preallocated
+    closure and pay no string building on the wait path. *)
+val await : ?on:(unit -> string) -> t -> (('a -> unit) -> unit) -> 'a
 
 (** Currently registered blocked waiters as [(process, waiting-on)] pairs,
     in the order the waits began. Only waits that passed [?on] to {!await}

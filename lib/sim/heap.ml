@@ -63,9 +63,16 @@ let push t ~time ~seq value =
   seqs.(!i) <- seq;
   values.(!i) <- value
 
-let pop_min t =
+let[@inline] min_time t =
   if t.size = 0 then raise Not_found;
-  let time = t.times.(0) and seq = t.seqs.(0) and v = t.values.(0) in
+  t.times.(0)
+
+let[@inline] min_seq t =
+  if t.size = 0 then raise Not_found;
+  t.seqs.(0)
+
+(* Shared sift-down used by both pop variants: removes the root entry. *)
+let remove_min t =
   let n = t.size - 1 in
   t.size <- n;
   if n = 0 then t.values.(0) <- t.dummy
@@ -98,8 +105,22 @@ let pop_min t =
     times.(!i) <- lt;
     seqs.(!i) <- ls;
     values.(!i) <- lv
-  end;
+  end
+
+let pop_min t =
+  if t.size = 0 then raise Not_found;
+  let time = t.times.(0) and seq = t.seqs.(0) and v = t.values.(0) in
+  remove_min t;
   (time, seq, v)
+
+(* Tuple-free pop for the engine's hot path: the caller reads
+   [min_time]/[min_seq] first (still at the root) and takes only the
+   payload, so nothing is boxed per event. *)
+let pop_min_value t =
+  if t.size = 0 then raise Not_found;
+  let v = t.values.(0) in
+  remove_min t;
+  v
 
 let peek_min t =
   if t.size = 0 then raise Not_found;

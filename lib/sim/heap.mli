@@ -26,5 +26,17 @@ val push : 'a t -> time:float -> seq:int -> 'a -> unit
     [(time, seq, v)]. Raises [Not_found] when empty. *)
 val pop_min : 'a t -> float * int * 'a
 
+(** Key of the minimum element, without removing it. Raise [Not_found]
+    when empty. Unlike {!peek_min} these build no tuple, so hot loops can
+    inspect the root allocation-free. *)
+val min_time : 'a t -> float
+
+val min_seq : 'a t -> int
+
+(** [pop_min_value t] removes the minimum element and returns only its
+    payload (key available beforehand via {!min_time} / {!min_seq}).
+    Raises [Not_found] when empty. *)
+val pop_min_value : 'a t -> 'a
+
 (** [peek_min t] returns the minimum without removing it. *)
 val peek_min : 'a t -> float * int * 'a

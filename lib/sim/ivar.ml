@@ -1,26 +1,45 @@
-type 'a state = Empty of ('a -> unit) Queue.t | Full of 'a
+type 'a state = Empty | Full of 'a
 
-type 'a t = { mutable name : string; mutable state : 'a state }
+type 'a t = {
+  mutable name : unit -> string;
+  mutable state : 'a state;
+  waiters : ('a -> unit) Queue.t;
+  reg : ('a -> unit) -> unit;
+      (** preallocated [await] registration closure: every blocking read
+          reuses it instead of building a fresh one *)
+}
 
-let create ?(name = "ivar") () = { name; state = Empty (Queue.create ()) }
+let default_name () = "ivar"
 
-let name t = t.name
+let create ?name ?name_fn () =
+  let name =
+    match (name_fn, name) with
+    | Some f, _ -> f
+    | None, Some s -> fun () -> s
+    | None, None -> default_name
+  in
+  let waiters = Queue.create () in
+  { name; state = Empty; waiters; reg = (fun resume -> Queue.add resume waiters) }
 
-let set_name t n = t.name <- n
+let name t = t.name ()
+
+let set_name t n = t.name <- (fun () -> n)
 
 let fill eng t v =
   match t.state with
-  | Full _ -> invalid_arg ("Ivar.fill: already filled: " ^ t.name)
-  | Empty waiters ->
+  | Full _ -> invalid_arg ("Ivar.fill: already filled: " ^ t.name ())
+  | Empty ->
       t.state <- Full v;
-      Queue.iter (fun resume -> Engine.schedule eng (fun () -> resume v)) waiters
+      Queue.iter
+        (fun resume -> Engine.schedule_now eng (fun () -> resume v))
+        t.waiters;
+      Queue.clear t.waiters
 
 let read eng t =
   match t.state with
   | Full v -> v
-  | Empty waiters ->
-      Engine.await ~on:t.name eng (fun resume -> Queue.add resume waiters)
+  | Empty -> Engine.await ~on:t.name eng t.reg
 
-let is_full t = match t.state with Full _ -> true | Empty _ -> false
+let is_full t = match t.state with Full _ -> true | Empty -> false
 
-let peek t = match t.state with Full v -> Some v | Empty _ -> None
+let peek t = match t.state with Full v -> Some v | Empty -> None

@@ -5,10 +5,14 @@
 
 type 'a t
 
-(** [create ?name ()] makes an empty ivar. The name (default ["ivar"])
-    identifies it in "already filled" errors and in the engine's
-    blocked-waiter registry while a process is blocked reading it. *)
-val create : ?name:string -> unit -> 'a t
+(** [create ?name ?name_fn ()] makes an empty ivar. The name (default
+    ["ivar"]) identifies it in "already filled" errors and in the
+    engine's blocked-waiter registry while a process is blocked reading
+    it. [name_fn] supplies the name lazily — it is forced only when a
+    report or error actually needs the string, so hot allocation sites
+    (e.g. one ivar per remote fetch) skip the [sprintf]. When both are
+    given, [name_fn] wins. *)
+val create : ?name:string -> ?name_fn:(unit -> string) -> unit -> 'a t
 
 val name : 'a t -> string
 

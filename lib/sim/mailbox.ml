@@ -1,24 +1,34 @@
 type 'a t = {
   name : string;
+  on_name : unit -> string;
   items : 'a Queue.t;
   waiters : ('a -> unit) Queue.t;
+  reg : ('a -> unit) -> unit;
+      (** preallocated [await] registration closure, shared by every
+          blocking receive *)
 }
 
 let create ?(name = "mailbox") () =
-  { name; items = Queue.create (); waiters = Queue.create () }
+  let waiters = Queue.create () in
+  {
+    name;
+    on_name = (fun () -> name);
+    items = Queue.create ();
+    waiters;
+    reg = (fun resume -> Queue.add resume waiters);
+  }
 
 let name t = t.name
 
 let send eng t v =
   match Queue.take_opt t.waiters with
-  | Some resume -> Engine.schedule eng (fun () -> resume v)
+  | Some resume -> Engine.schedule_now eng (fun () -> resume v)
   | None -> Queue.add v t.items
 
 let recv eng t =
   match Queue.take_opt t.items with
   | Some v -> v
-  | None ->
-      Engine.await ~on:t.name eng (fun resume -> Queue.add resume t.waiters)
+  | None -> Engine.await ~on:t.on_name eng t.reg
 
 let try_recv t = Queue.take_opt t.items
 

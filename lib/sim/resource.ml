@@ -1,37 +1,50 @@
+(* All-float sub-record: busy-time accounting updates stay unboxed. *)
+type fl = { mutable held_since : float; mutable busy : float }
+
 type t = {
   eng : Engine.t;
   name : string;
+  on_name : unit -> string;  (** preallocated "resource:<name>" thunk *)
   waiters : (unit -> unit) Queue.t;
+  reg : (unit -> unit) -> unit;
   mutable held : bool;
-  mutable held_since : float;
-  mutable busy : float;
+  fl : fl;
 }
 
 let create eng name =
-  { eng; name; waiters = Queue.create (); held = false; held_since = 0.0; busy = 0.0 }
+  let on = "resource:" ^ name in
+  let waiters = Queue.create () in
+  {
+    eng;
+    name;
+    on_name = (fun () -> on);
+    waiters;
+    reg = (fun resume -> Queue.add resume waiters);
+    held = false;
+    fl = { held_since = 0.0; busy = 0.0 };
+  }
 
 let name t = t.name
 
 let acquire t =
   if not t.held then begin
     t.held <- true;
-    t.held_since <- Engine.now t.eng
+    t.fl.held_since <- Engine.now t.eng
   end
   else begin
-    Engine.await ~on:("resource:" ^ t.name) t.eng (fun resume ->
-        Queue.add (fun () -> resume ()) t.waiters);
+    Engine.await ~on:t.on_name t.eng t.reg;
     (* The releaser transferred ownership to us; just stamp the hold start. *)
-    t.held_since <- Engine.now t.eng
+    t.fl.held_since <- Engine.now t.eng
   end
 
 let release t =
   if not t.held then invalid_arg "Resource.release: not held";
-  t.busy <- t.busy +. (Engine.now t.eng -. t.held_since);
+  t.fl.busy <- t.fl.busy +. (Engine.now t.eng -. t.fl.held_since);
   match Queue.take_opt t.waiters with
   | Some wake ->
       (* Ownership passes directly to the next waiter (still held). *)
-      t.held_since <- Engine.now t.eng;
-      Engine.schedule t.eng wake
+      t.fl.held_since <- Engine.now t.eng;
+      Engine.schedule_now t.eng wake
   | None -> t.held <- false
 
 let use t dur =
@@ -39,6 +52,6 @@ let use t dur =
   Engine.delay t.eng dur;
   release t
 
-let busy_time t = t.busy
+let busy_time t = t.fl.busy
 
 let is_busy t = t.held

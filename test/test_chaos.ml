@@ -15,6 +15,7 @@
 
 module R = Jade.Runtime
 module F = Jade_net.Fault
+module Tag = Jade_net.Tag
 module Rn = Jade_experiments.Runner
 
 let chaos_spec =
@@ -36,7 +37,7 @@ let test_plan_pure () =
   let run_tracker () =
     let t = F.create spec in
     List.init 200 (fun i ->
-        F.next_decision t ~src:(i mod 4) ~dst:((i + 1) mod 4) ~tag:"object")
+        F.next_decision t ~src:(i mod 4) ~dst:((i + 1) mod 4) ~tag:Tag.Obj)
   in
   Alcotest.(check bool)
     "tracker stream replays identically" true
@@ -55,7 +56,7 @@ let test_plan_rates_respected () =
   let t = F.create spec in
   let n = 5000 in
   for _ = 1 to n do
-    ignore (F.next_decision t ~src:0 ~dst:1 ~tag:"object")
+    ignore (F.next_decision t ~src:0 ~dst:1 ~tag:Tag.Obj)
   done;
   let drop_frac = float_of_int (F.dropped t) /. float_of_int n in
   let dup_frac = float_of_int (F.duplicated t) /. float_of_int n in
@@ -71,7 +72,7 @@ let test_plan_rates_respected () =
     (dup_frac > 0.05 && dup_frac < 0.15);
   Alcotest.(check int) "messages counted" n (F.messages_seen t);
   Alcotest.(check int) "per-tag drops sum" (F.dropped t)
-    (F.dropped_with_tag t "object")
+    (F.dropped_with_tag t Tag.Obj)
 
 let test_inactive_plan_is_pass () =
   let zero = F.spec ~seed:9 () in
@@ -84,15 +85,15 @@ let test_inactive_plan_is_pass () =
   Alcotest.(check bool) "chaos plan active" true (F.active chaos_spec);
   Alcotest.(check bool) "chaos plan reliable" true (F.reliable chaos_spec);
   Alcotest.(check bool) "scripted-only plan active" true
-    (F.active (F.spec ~drop_tagged:[ ("object", 0) ] ()))
+    (F.active (F.spec ~drop_tagged:[ (Tag.Obj, 0) ] ()))
 
 let test_scripted_drop () =
-  let spec = F.spec ~drop_tagged:[ ("object", 1) ] () in
+  let spec = F.spec ~drop_tagged:[ (Tag.Obj, 1) ] () in
   let t = F.create spec in
-  let d_req = F.next_decision t ~src:0 ~dst:1 ~tag:"request" in
-  let d_obj0 = F.next_decision t ~src:1 ~dst:0 ~tag:"object" in
-  let d_obj1 = F.next_decision t ~src:1 ~dst:0 ~tag:"object" in
-  let d_obj2 = F.next_decision t ~src:1 ~dst:0 ~tag:"object" in
+  let d_req = F.next_decision t ~src:0 ~dst:1 ~tag:Tag.Request in
+  let d_obj0 = F.next_decision t ~src:1 ~dst:0 ~tag:Tag.Obj in
+  let d_obj1 = F.next_decision t ~src:1 ~dst:0 ~tag:Tag.Obj in
+  let d_obj2 = F.next_decision t ~src:1 ~dst:0 ~tag:Tag.Obj in
   Alcotest.(check bool) "request passes" false d_req.F.drop;
   Alcotest.(check bool) "object #0 passes" false d_obj0.F.drop;
   Alcotest.(check bool) "object #1 dropped" true d_obj1.F.drop;
@@ -223,7 +224,7 @@ let lost_reply_program rt =
     (fun env -> ignore (R.rd env x))
 
 let test_lost_reply_retransmitted () =
-  let fault = F.spec ~drop_tagged:[ ("object", 0) ] () in
+  let fault = F.spec ~drop_tagged:[ (Tag.Obj, 0) ] () in
   let s =
     R.run
       ~config:{ Jade.Config.default with Jade.Config.fault = Some fault }
@@ -241,7 +242,7 @@ let test_lost_reply_deadlock_report () =
   (* Same scripted drop, but with retransmits disabled: the fetch ivar is
      never filled and the run must end in a structured deadlock report
      naming the stuck dispatcher and the exact fetch it is blocked on. *)
-  let fault = F.spec ~drop_tagged:[ ("object", 0) ] ~max_retries:0 () in
+  let fault = F.spec ~drop_tagged:[ (Tag.Obj, 0) ] ~max_retries:0 () in
   match
     R.run
       ~config:{ Jade.Config.default with Jade.Config.fault = Some fault }
@@ -332,7 +333,7 @@ let test_dup_reply_after_supersede () =
         Jade_net.Fabric.src = 0;
         dst = 1;
         size = meta.Jade.Meta.size;
-        tag = "object";
+        tag = Tag.Obj;
         body = Jade.Protocol.Obj { meta; version; sent_at = 0.0 };
       }
   in

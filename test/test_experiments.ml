@@ -184,6 +184,29 @@ let test_analyses_render () =
         (List.length t.Report.rows > 0))
     (Analyses.all r)
 
+(* Regression: the regeneration output is a pure function of the inputs,
+   whatever the worker-domain count — the planning/warm/replay passes in
+   [Runner.parallel] must make --jobs 4 byte-identical to --jobs 1. Hash
+   the full test-size repro output (every table and figure) under both
+   and compare digests, so any divergence anywhere in the output fails. *)
+let repro_digest ~jobs =
+  let r = Runner.create ~jobs Runner.Test in
+  let buf = Buffer.create 4096 in
+  Runner.parallel r (fun () ->
+      List.iter
+        (fun n -> Buffer.add_string buf (Report.render (Tables.table r n)))
+        (List.init 14 (fun i -> i + 1));
+      List.iter
+        (fun n -> Buffer.add_string buf (Report.render (Figures.figure r n)))
+        (List.init 20 (fun i -> i + 2)));
+  Digest.string (Buffer.contents buf)
+
+let test_repro_jobs_identical () =
+  Alcotest.(check string)
+    "jobs=1 and jobs=4 regenerate identical bytes"
+    (Digest.to_hex (repro_digest ~jobs:1))
+    (Digest.to_hex (repro_digest ~jobs:4))
+
 let () =
   Alcotest.run "experiments"
     [
@@ -216,5 +239,10 @@ let () =
           Alcotest.test_case "render" `Quick test_render_contains_cells;
           Alcotest.test_case "csv export" `Quick test_csv_export;
           Alcotest.test_case "analyses render" `Quick test_analyses_render;
+        ] );
+      ( "regression",
+        [
+          Alcotest.test_case "jobs-count independence" `Quick
+            test_repro_jobs_identical;
         ] );
     ]

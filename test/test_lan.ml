@@ -30,10 +30,11 @@ let test_bus_serializes_disjoint_transfers () =
         Hashtbl.replace arrivals m.Fabric.tag (Engine.now eng))
   done;
   Engine.spawn eng (fun () ->
-      Fabric.post fab ~src:0 ~dst:1 ~size:100000 ~tag:"a" ();
-      Fabric.post fab ~src:2 ~dst:3 ~size:100000 ~tag:"b" ());
+      Fabric.post fab ~src:0 ~dst:1 ~size:100000 ~tag:Tag.Request ();
+      Fabric.post fab ~src:2 ~dst:3 ~size:100000 ~tag:Tag.Obj ());
   ignore (Engine.run eng);
-  let a = Hashtbl.find arrivals "a" and b = Hashtbl.find arrivals "b" in
+  let a = Hashtbl.find arrivals Tag.Request
+  and b = Hashtbl.find arrivals Tag.Obj in
   (* 100 KB at 1 MB/s = 0.1 s on the bus; the second transfer waits. *)
   Alcotest.(check bool)
     (Printf.sprintf "bus serialized (%.4f then %.4f)" a b)
@@ -53,10 +54,11 @@ let test_no_bus_transfers_overlap () =
         Hashtbl.replace arrivals m.Fabric.tag (Engine.now eng))
   done;
   Engine.spawn eng (fun () ->
-      Fabric.post fab ~src:0 ~dst:1 ~size:100000 ~tag:"a" ();
-      Fabric.post fab ~src:2 ~dst:3 ~size:100000 ~tag:"b" ());
+      Fabric.post fab ~src:0 ~dst:1 ~size:100000 ~tag:Tag.Request ();
+      Fabric.post fab ~src:2 ~dst:3 ~size:100000 ~tag:Tag.Obj ());
   ignore (Engine.run eng);
-  let a = Hashtbl.find arrivals "a" and b = Hashtbl.find arrivals "b" in
+  let a = Hashtbl.find arrivals Tag.Request
+  and b = Hashtbl.find arrivals Tag.Obj in
   Alcotest.(check bool) "independent links overlap" true
     (Float.abs (b -. a) < 0.01)
 

@@ -16,15 +16,15 @@ let test_locality_pct () =
 
 let test_comm_to_comp () =
   let m = M.create () in
-  m.M.comm_bytes <- 3.0e6;
-  m.M.total_task_time <- 2.0;
+  m.M.fl.M.comm_bytes <- 3.0e6;
+  m.M.fl.M.total_task_time <- 2.0;
   Alcotest.(check (float 1e-9)) "MB per second of task time" 1.5
     (M.summary m).M.comm_to_comp
 
 let test_latency_ratio () =
   let m = M.create () in
-  m.M.object_latency <- 4.0;
-  m.M.task_latency <- 2.0;
+  m.M.fl.M.object_latency <- 4.0;
+  m.M.fl.M.task_latency <- 2.0;
   Alcotest.(check (float 1e-9)) "parallelized fetches" 2.0
     (M.summary m).M.latency_ratio
 
@@ -36,7 +36,7 @@ let test_summary_copies_counts () =
   m.M.broadcasts <- 2;
   m.M.eager_transfers <- 4;
   m.M.steals <- 1;
-  m.M.elapsed <- 1.25;
+  m.M.fl.M.elapsed <- 1.25;
   let s = M.summary m in
   Alcotest.(check int) "tasks" 3 s.M.tasks;
   Alcotest.(check int) "messages" 17 s.M.msg_count;
@@ -54,7 +54,7 @@ let contains haystack needle =
 let test_pp_summary_renders () =
   let m = M.create () in
   m.M.tasks_executed <- 2;
-  m.M.elapsed <- 0.5;
+  m.M.fl.M.elapsed <- 0.5;
   let str = Format.asprintf "%a" M.pp_summary (M.summary m) in
   Alcotest.(check bool) "mentions elapsed" true (contains str "elapsed=0.5000s");
   Alcotest.(check bool) "mentions tasks" true (contains str "tasks=2")

@@ -62,6 +62,34 @@ let test_engine_same_time_fifo () =
   Alcotest.(check (list int)) "spawn order preserved" [ 0; 1; 2; 3; 4 ]
     (List.rev !log)
 
+(* Two-lane interleaving: at one virtual instant, zero-delay events live
+   in the FIFO now lane while sub-ulp positive delays land in the heap at
+   the same timestamp. Delivery must follow global scheduling (seq)
+   order, exactly as if a single queue held them all. Two processes wake
+   at t=1.0 and alternate now-lane pushes with tiny heap re-blocks; the
+   log must come out in the order the events were created. *)
+let test_engine_two_lane_interleave () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  let tiny = 1e-300 in
+  (* 1.0 +. tiny = 1.0: a heap event at the current instant. *)
+  let proc name =
+    Engine.spawn eng (fun () ->
+        Engine.delay eng 1.0;
+        log := (name ^ "1") :: !log;
+        Engine.schedule_now eng (fun () -> log := ("now-" ^ name) :: !log);
+        Engine.delay eng tiny;
+        log := (name ^ "2") :: !log)
+  in
+  proc "p";
+  proc "q";
+  ignore (Engine.run eng);
+  Alcotest.(check (list string))
+    "seq order across lanes"
+    [ "p1"; "q1"; "now-p"; "p2"; "now-q"; "q2" ]
+    (List.rev !log);
+  Alcotest.(check (float 0.0)) "clock stayed put" 1.0 (Engine.now eng)
+
 let test_engine_nested_spawn () =
   let eng = Engine.create () in
   let hits = ref 0 in
@@ -281,6 +309,8 @@ let () =
         [
           Alcotest.test_case "delay order" `Quick test_engine_delay_order;
           Alcotest.test_case "same-time fifo" `Quick test_engine_same_time_fifo;
+          Alcotest.test_case "two-lane interleave" `Quick
+            test_engine_two_lane_interleave;
           Alcotest.test_case "nested spawn" `Quick test_engine_nested_spawn;
           Alcotest.test_case "negative delay" `Quick test_engine_negative_delay;
           qcheck engine_stress_prop;

@@ -84,7 +84,7 @@ let test_fabric_send_occupies_sender () =
   let arrived = ref (-1.0) in
   Fabric.set_handler fab 1 (fun _ -> arrived := Engine.now eng);
   Engine.spawn eng (fun () ->
-      Fabric.send fab ~src:0 ~dst:1 ~size:1000 ~tag:"t" ();
+      Fabric.send fab ~src:0 ~dst:1 ~size:1000 ~tag:Tag.Request ();
       (* startup 1ms + 1000B/1MBps = 1ms -> sender occupied 2ms *)
       Alcotest.(check (float 1e-9)) "sender blocked" 2e-3 (Engine.now eng));
   ignore (Engine.run eng);
@@ -98,7 +98,7 @@ let test_fabric_post_does_not_block () =
   let arrived = ref (-1.0) in
   Fabric.set_handler fab 2 (fun _ -> arrived := Engine.now eng);
   Engine.spawn eng (fun () ->
-      Fabric.post fab ~src:0 ~dst:2 ~size:1000 ~tag:"t" ();
+      Fabric.post fab ~src:0 ~dst:2 ~size:1000 ~tag:Tag.Request ();
       Alcotest.(check (float 0.0)) "caller not blocked" 0.0 (Engine.now eng));
   ignore (Engine.run eng);
   Alcotest.(check (float 1e-9)) "delivery after occupancy+wire" (2e-3 +. 1e-4)
@@ -111,13 +111,13 @@ let test_fabric_serial_sends_queue () =
   let arrivals = ref [] in
   Fabric.set_handler fab 1 (fun m -> arrivals := (m.Fabric.tag, Engine.now eng) :: !arrivals);
   Engine.spawn eng (fun () ->
-      Fabric.post fab ~src:0 ~dst:1 ~size:1000 ~tag:"a" ();
-      Fabric.post fab ~src:0 ~dst:1 ~size:1000 ~tag:"b" ());
+      Fabric.post fab ~src:0 ~dst:1 ~size:1000 ~tag:Tag.Request ();
+      Fabric.post fab ~src:0 ~dst:1 ~size:1000 ~tag:Tag.Obj ());
   ignore (Engine.run eng);
   Alcotest.(check (list (pair string (float 1e-9))))
     "second message delayed by first's occupancy"
-    [ ("a", 2.1e-3); ("b", 4.1e-3) ]
-    (List.rev !arrivals)
+    [ ("request", 2.1e-3); ("object", 4.1e-3) ]
+    (List.rev (List.map (fun (tg, at) -> (Tag.to_string tg, at)) !arrivals))
 
 let test_fabric_self_send_immediate () =
   let eng = Engine.create () in
@@ -126,7 +126,7 @@ let test_fabric_self_send_immediate () =
   Fabric.set_handler fab 0 (fun _ ->
       got := true;
       Alcotest.(check (float 0.0)) "no delay" 0.0 (Engine.now eng));
-  Engine.spawn eng (fun () -> Fabric.send fab ~src:0 ~dst:0 ~size:500 ~tag:"t" ());
+  Engine.spawn eng (fun () -> Fabric.send fab ~src:0 ~dst:0 ~size:500 ~tag:Tag.Request ());
   ignore (Engine.run eng);
   Alcotest.(check bool) "delivered" true !got
 
@@ -138,7 +138,7 @@ let test_fabric_broadcast_reaches_all () =
     Fabric.set_handler fab p (fun _ -> got.(p) <- Engine.now eng)
   done;
   Engine.spawn eng (fun () ->
-      Fabric.broadcast fab ~src:3 ~size:1000 ~tag:"b" (fun _ -> ()));
+      Fabric.broadcast fab ~src:3 ~size:1000 ~tag:Tag.Obj (fun _ -> ()));
   ignore (Engine.run eng);
   for p = 0 to 7 do
     if p <> 3 then
@@ -155,15 +155,15 @@ let test_fabric_stats () =
   let _nodes, fab = make_fabric eng in
   Fabric.set_handler fab 1 (fun _ -> ());
   Engine.spawn eng (fun () ->
-      Fabric.send fab ~src:0 ~dst:1 ~size:100 ~tag:"x" ();
-      Fabric.send fab ~src:0 ~dst:1 ~size:200 ~tag:"y" ();
-      Fabric.send fab ~src:0 ~dst:1 ~size:300 ~tag:"x" ());
+      Fabric.send fab ~src:0 ~dst:1 ~size:100 ~tag:Tag.Request ();
+      Fabric.send fab ~src:0 ~dst:1 ~size:200 ~tag:Tag.Obj ();
+      Fabric.send fab ~src:0 ~dst:1 ~size:300 ~tag:Tag.Request ());
   ignore (Engine.run eng);
   Alcotest.(check int) "messages" 3 (Fabric.message_count fab);
   Alcotest.(check int) "bytes" 600 (Fabric.byte_count fab);
-  Alcotest.(check int) "bytes x" 400 (Fabric.bytes_with_tag fab "x");
-  Alcotest.(check int) "count x" 2 (Fabric.count_with_tag fab "x");
-  Alcotest.(check int) "count absent" 0 (Fabric.count_with_tag fab "z")
+  Alcotest.(check int) "bytes x" 400 (Fabric.bytes_with_tag fab Tag.Request);
+  Alcotest.(check int) "count x" 2 (Fabric.count_with_tag fab Tag.Request);
+  Alcotest.(check int) "count absent" 0 (Fabric.count_with_tag fab Tag.Ack)
 
 let test_mnode_ledger () =
   let eng = Engine.create () in
