@@ -131,7 +131,9 @@ let app_conv =
       ("cholesky", Runner.Cholesky);
     ]
 
-let machine_conv = Arg.enum [ ("dash", Runner.Dash); ("ipsc", Runner.Ipsc) ]
+let machine_conv =
+  Arg.enum
+    [ ("dash", Runner.Dash); ("ipsc", Runner.Ipsc); ("lan", Runner.Lan) ]
 
 let level_conv =
   Arg.enum [ ("placement", Runner.Tp); ("locality", Runner.Loc); ("none", Runner.Noloc) ]
@@ -147,7 +149,7 @@ let run_cmd =
     Arg.(
       value
       & opt machine_conv Runner.Ipsc
-      & info [ "machine" ] ~docv:"M" ~doc:"dash or ipsc (default).")
+      & info [ "machine" ] ~docv:"M" ~doc:"dash, ipsc (default) or lan.")
   in
   let procs_arg =
     Arg.(value & opt int 8 & info [ "procs"; "p" ] ~docv:"P" ~doc:"Processors.")
@@ -232,6 +234,48 @@ let run_cmd =
       $ fetch_arg $ replication_arg $ target_arg $ size_arg $ trace_arg
       $ fault_term)
 
+(* One summary line per (app, level, nprocs) on a single machine backend.
+   The output is deterministic and jobs-independent, so CI hashes it at
+   --jobs 1 and --jobs 4 per machine and fails on any mismatch — the
+   backend-parity matrix. *)
+let digest_cmd =
+  let machine_arg =
+    Arg.(
+      value
+      & opt machine_conv Runner.Ipsc
+      & info [ "machine" ] ~docv:"M" ~doc:"dash, ipsc (default) or lan.")
+  in
+  let run machine size jobs fault =
+    let r = Runner.create ~jobs ?fault size in
+    (* Collect inside [parallel] (its planning pass evaluates the closure
+       against placeholders, so side effects there would print twice and
+       print garbage); render outside, from the replayed results. *)
+    let lines =
+      Runner.parallel r (fun () ->
+          List.concat_map
+            (fun app ->
+              List.concat_map
+                (fun level ->
+                  List.map
+                    (fun nprocs ->
+                      let s = Runner.run_level r ~app ~machine ~nprocs ~level in
+                      Format.asprintf "%s|%s|%s|p%d %a"
+                        (Runner.machine_name machine)
+                        (Runner.app_name app) (Runner.level_name level) nprocs
+                        Jade.Metrics.pp_summary s)
+                    [ 1; 2; 4; 8 ])
+                (Runner.levels_for app))
+            Runner.all_apps)
+    in
+    List.iter print_endline lines
+  in
+  Cmd.v
+    (Cmd.info "digest"
+       ~doc:
+         "Print a deterministic per-machine summary digest (every app and \
+          locality level at 1-8 processors) for backend-parity checking.")
+    Term.(const run $ machine_arg $ size_arg $ jobs_arg $ fault_term)
+
 let factor_cmd =
   let matrix_arg =
     Arg.(
@@ -283,5 +327,15 @@ let () =
      Using Data Access Information' (Rinard, SC '95)"
   in
   let info = Cmd.info "jade-repro" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info
-         [ table_cmd; figure_cmd; analyses_cmd; all_cmd; run_cmd; factor_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            table_cmd;
+            figure_cmd;
+            analyses_cmd;
+            all_cmd;
+            run_cmd;
+            digest_cmd;
+            factor_cmd;
+          ]))

@@ -1,0 +1,131 @@
+(** The machine-backend architecture.
+
+    The paper's runtime exists as "several variants ... each tailored for
+    the different memory hierarchies of different machines" (§3.2). This
+    module is the seam between those variants and the platform-neutral
+    core: {!core} is the state the core owns and every backend operates on
+    (task graph bookkeeping, synchronizer, metrics, the simulated
+    processors), and {!ops} is the signature a machine backend satisfies —
+    task enable/placement policy, the dispatch loop, completion
+    notification, shutdown and end-of-run accounting.
+
+    Three implementations exist: {!Backend_shm} (DASH: hardware shared
+    memory, distributed task queues, cluster-aware stealing),
+    {!Backend_mp} (iPSC/860: hypercube fabric, centralized scheduler,
+    software coherence via the communicator) and {!Backend_lan} (shared-bus
+    workstation network, a divergence point over the message-passing
+    machinery). Adding a fourth machine means writing one more
+    [create : core -> costs -> ops] and listing it in
+    [Runtime]'s backend construction — the core never dispatches on
+    machine type. *)
+
+open Jade_sim
+open Jade_machines
+
+(** Platform-neutral runtime state, shared between the core and its
+    backend. Mutable scheduling state ([outstanding], [stopped], ...) is
+    written by both sides; the backend-facing hooks at the bottom are set
+    once, immediately after backend construction. *)
+type core = {
+  eng : Engine.t;
+  cfg : Config.t;
+  nprocs : int;
+  nodes : Mnode.t array;
+  metrics : Metrics.t;
+  sync : Synchronizer.t;
+  trace : Tracing.t option;
+  mutable outstanding : int;  (** tasks created but not yet completed *)
+  mutable main_done : bool;
+  mutable main_blocked : bool;
+      (** main thread is waiting on a task or in [drain]; until then it
+          owns processor 0 and the local dispatcher defers to it *)
+  mutable stopped : bool;
+  mutable finish_time : float;
+  mutable ctx_proc : int;  (** processor charged for synchronizer work *)
+  mutable drain_waiters : (unit -> unit) list;
+  mutable stop_hook : unit -> unit;
+      (** backend's shutdown (stop dispatch loops); wired by [Runtime]
+          right after backend construction, before any task can exist *)
+}
+
+(** What a machine backend provides. One record per machine; the core
+    calls through it and never matches on machine type. *)
+type ops = {
+  name : string;  (** human-readable machine name, used in messages *)
+  task_create_cost : float;  (** charged to processor 0 per [withonly] *)
+  flop_rate : float;  (** effective flops/s, for [Runtime.work] charging *)
+  validate : nprocs:int -> unit;
+      (** check a processor count before construction; raises
+          [Invalid_argument] naming the machine *)
+  on_enable : Taskrec.t -> unit;
+      (** the synchronizer enabled a task: place/queue it *)
+  on_write_commit : Meta.t -> Taskrec.t -> unit;
+      (** a writer committed a new object version (broadcast/eager hook) *)
+  start : unit -> unit;  (** spawn the backend's simulation processes *)
+  stop : unit -> unit;  (** all work done: stop the dispatch loops *)
+  finalize : unit -> unit;  (** end-of-run metrics accounting *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Shared execution helpers (used by every backend). *)
+
+(* Constant blocked-registry label, preallocated so waiting is free. *)
+let on_task_queue () = "task-queue"
+
+let run_body (c : core) (task : Taskrec.t) proc =
+  if not c.cfg.Config.work_free then task.Taskrec.body task proc
+
+let record_execution (c : core) (task : Taskrec.t) proc =
+  let m = c.metrics in
+  m.Metrics.tasks_executed <- m.Metrics.tasks_executed + 1;
+  if proc = task.Taskrec.target then
+    m.Metrics.tasks_on_target <- m.Metrics.tasks_on_target + 1
+
+let finish_now (c : core) =
+  let max_avail =
+    Array.fold_left (fun acc n -> Float.max acc (Mnode.avail n)) 0.0 c.nodes
+  in
+  Float.max (Engine.now c.eng) max_avail
+
+(* Run-completion check, called after every task completion: releases
+   [drain] waiters when the graph empties, and once the main program has
+   also returned, stamps the finish time and asks the backend to stop its
+   dispatch loops. *)
+let maybe_finish (c : core) =
+  if c.outstanding = 0 then begin
+    List.iter (fun f -> Engine.schedule_now c.eng f) c.drain_waiters;
+    c.drain_waiters <- []
+  end;
+  if c.main_done && c.outstanding = 0 && not c.stopped then begin
+    c.stopped <- true;
+    c.finish_time <- finish_now c;
+    c.stop_hook ()
+  end
+
+(* The main thread runs on processor 0 and keeps it until it blocks: the
+   processor-0 dispatcher polls rather than racing the program's task
+   creation (the paper devotes the main processor to creating tasks for
+   exactly this reason, §5.2). *)
+let main_owns_proc0 (c : core) = not (c.main_done || c.main_blocked)
+
+let wait_for_main_release (c : core) ~poll =
+  (* Clamp so a zero poll interval cannot respin at a fixed virtual time. *)
+  let poll = Float.max poll 1e-6 in
+  while main_owns_proc0 c do
+    Engine.delay c.eng poll
+  done
+
+(* A task finished executing: retire it from the synchronizer (enabling
+   successors), wake anyone [wait]ing on it, and re-check termination.
+   [proc] is charged for the synchronizer work the completion triggers. *)
+let complete_task (c : core) (task : Taskrec.t) ~proc =
+  c.ctx_proc <- proc;
+  Synchronizer.complete c.sync task;
+  Ivar.fill c.eng task.Taskrec.done_ivar ();
+  c.outstanding <- c.outstanding - 1;
+  maybe_finish c
+
+let invalid_nprocs ~machine ~nprocs =
+  invalid_arg
+    (Printf.sprintf "Runtime.run: %s machine needs nprocs >= 1 (got %d)"
+       machine nprocs)

@@ -1,0 +1,25 @@
+(** Workstation-LAN backend: the third platform the paper mentions —
+    heterogeneous workstations on a shared-medium network.
+
+    The machine is message-passing, so it reuses {!Backend_mp}'s
+    scheduler/dispatcher/communicator machinery via
+    {!Backend_mp.create_with}, keeping only its own identity here. Its
+    hardware character lives in {!Costs.workstation_lan}: a shared bus
+    ([shared_bus = true] serializes every transfer through one medium
+    resource) with high message startup and low bandwidth. Divergence
+    points as the model grows: {!Topology.bus} (single-hop routing over
+    the shared medium) and per-node heterogeneous flop rates. *)
+
+open Jade_machines
+open Jade_net
+
+let machine_name = "LAN"
+
+(* Any node count works on a shared medium; only nprocs >= 1 applies. *)
+let validate ~nprocs =
+  if nprocs < 1 then Backend.invalid_nprocs ~machine:machine_name ~nprocs
+
+let create (core : Backend.core) (costs : Costs.mp) : Backend.ops =
+  Backend_mp.create_with ~name:machine_name
+    ~topology:(Topology.hypercube core.Backend.nprocs)
+    core costs

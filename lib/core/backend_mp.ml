@@ -1,0 +1,217 @@
+(** iPSC/860 backend (§3.3, §3.4): message passing over a point-to-point
+    fabric.
+
+    A centralized scheduler process on processor 0 receives enable and
+    completion events, assigns tasks to the least-loaded processor
+    (preferring the task's target) and pools the excess; one dispatcher
+    process per processor executes assigned tasks after the
+    {!Communicator} has fetched the required object versions. The
+    communicator implements replication, concurrent fetch, adaptive
+    broadcast and the eager update protocol — all optimization-flag
+    policy lives on this side of the {!Backend} seam.
+
+    {!create_with} exposes the machine identity and interconnect topology
+    so sibling message-passing machines ({!Backend_lan}) reuse the
+    machinery while diverging where their hardware differs. *)
+
+open Jade_sim
+open Jade_machines
+open Jade_net
+
+type sched_event =
+  | Enabled of Taskrec.t
+  | Completed of int * Taskrec.t
+  | Stop_sched
+
+type dispatch_item = Exec of Taskrec.t | Stop_disp
+
+type t = {
+  core : Backend.core;
+  costs : Costs.mp;
+  sched : Scheduler_mp.t;
+  fabric : Protocol.t Fabric.t;
+  fault : Fault.t option;
+      (** the fabric's chaos plan, kept for end-of-run accounting *)
+  comm : Communicator.t;
+  sched_events : sched_event Mailbox.t;
+  dispatch_boxes : dispatch_item Mailbox.t array;
+}
+
+let send_assign b proc (task : Taskrec.t) =
+  Fabric.send b.fabric ~src:0 ~dst:proc ~size:b.costs.Costs.small_msg
+    ~tag:Tag.Assign (Protocol.Assign task)
+
+(* The centralized scheduler process on processor 0 (§3.4.3). *)
+let scheduler_process b =
+  let c = b.core in
+  let rec loop () =
+    match Mailbox.recv c.Backend.eng b.sched_events with
+    | Stop_sched -> ()
+    | Enabled task ->
+        task.Taskrec.fl.Taskrec.enabled_at <- Engine.now c.Backend.eng;
+        Mnode.occupy c.Backend.nodes.(0) b.costs.Costs.task_enable;
+        (match Scheduler_mp.on_enabled b.sched task with
+        | `Assign p -> send_assign b p task
+        | `Pooled -> ());
+        loop ()
+    | Completed (proc, task) ->
+        Mnode.occupy c.Backend.nodes.(0) b.costs.Costs.completion_handling;
+        c.Backend.ctx_proc <- proc;
+        Synchronizer.complete c.Backend.sync task;
+        Ivar.fill c.Backend.eng task.Taskrec.done_ivar ();
+        let handed = Scheduler_mp.on_completed b.sched ~proc in
+        List.iter (fun task -> send_assign b proc task) handed;
+        c.Backend.outstanding <- c.Backend.outstanding - 1;
+        Backend.maybe_finish c;
+        loop ()
+  in
+  loop ()
+
+let dispatcher b proc =
+  let c = b.core in
+  let costs = b.costs in
+  let rec loop () =
+    match Mailbox.recv c.Backend.eng b.dispatch_boxes.(proc) with
+    | Stop_disp -> ()
+    | Exec task ->
+        if proc = 0 then Backend.wait_for_main_release c ~poll:1e-3;
+        Communicator.ensure_local b.comm task ~proc;
+        Communicator.assert_coherent b.comm task ~proc;
+        Communicator.note_accesses b.comm task ~proc;
+        task.Taskrec.ran_on <- proc;
+        task.Taskrec.fl.Taskrec.started_at <- Engine.now c.Backend.eng;
+        task.Taskrec.state <- Taskrec.Running;
+        Backend.record_execution c task proc;
+        let compute =
+          if c.Backend.cfg.Config.work_free then 0.0
+          else task.Taskrec.work /. costs.Costs.flops
+        in
+        Mnode.occupy c.Backend.nodes.(proc) costs.Costs.task_dispatch;
+        task.Taskrec.fl.Taskrec.charged <- 0.0;
+        Backend.run_body c task proc;
+        let remaining =
+          Float.max 0.0
+            (compute -. (task.Taskrec.fl.Taskrec.charged /. costs.Costs.flops))
+        in
+        if remaining > 0.0 then Mnode.occupy c.Backend.nodes.(proc) remaining;
+        let m = c.Backend.metrics in
+        m.Metrics.fl.Metrics.total_task_time <-
+          m.Metrics.fl.Metrics.total_task_time +. compute;
+        m.Metrics.fl.Metrics.total_compute_time <-
+          m.Metrics.fl.Metrics.total_compute_time +. compute;
+        task.Taskrec.fl.Taskrec.finished_at <- Engine.now c.Backend.eng;
+        (match c.Backend.trace with
+        | Some tr -> Tracing.record tr task
+        | None -> ());
+        Fabric.send b.fabric ~src:proc ~dst:0 ~size:costs.Costs.small_msg
+          ~tag:Tag.Done
+          (Protocol.Done { task; proc });
+        loop ()
+  in
+  loop ()
+
+(* Interrupt-context message handler installed on every node: task
+   traffic is routed to the scheduler/dispatcher processes, object
+   traffic to the communicator. *)
+let handler b proc (msg : Protocol.t Fabric.msg) =
+  match msg.Fabric.body with
+  | Protocol.Assign task ->
+      Communicator.prefetch b.comm task ~proc;
+      Mailbox.send b.core.Backend.eng b.dispatch_boxes.(proc) (Exec task)
+  | Protocol.Done { task; proc = executor } ->
+      Mailbox.send b.core.Backend.eng b.sched_events (Completed (executor, task))
+  | Protocol.Request _ | Protocol.Obj _ | Protocol.Bcast _ | Protocol.Eager _
+  | Protocol.Ack _ ->
+      Communicator.handle b.comm msg
+
+let on_enable b (task : Taskrec.t) =
+  Mailbox.send b.core.Backend.eng b.sched_events (Enabled task)
+
+let start b () =
+  for p = 0 to b.core.Backend.nprocs - 1 do
+    Fabric.set_handler b.fabric p (handler b p)
+  done;
+  Engine.spawn ~name:"mp-scheduler" b.core.Backend.eng (fun () ->
+      scheduler_process b);
+  for p = 0 to b.core.Backend.nprocs - 1 do
+    Engine.spawn
+      ~name:(Printf.sprintf "dispatcher-%d" p)
+      b.core.Backend.eng
+      (fun () -> dispatcher b p)
+  done
+
+let stop b () =
+  Mailbox.send b.core.Backend.eng b.sched_events Stop_sched;
+  Array.iter
+    (fun box -> Mailbox.send b.core.Backend.eng box Stop_disp)
+    b.dispatch_boxes
+
+let finalize b () =
+  let m = b.core.Backend.metrics in
+  m.Metrics.messages <- Fabric.message_count b.fabric;
+  match b.fault with
+  | Some f ->
+      m.Metrics.dropped_messages <- Fault.dropped f;
+      m.Metrics.duplicated_messages <- Fault.duplicated f
+  | None -> ()
+
+(* Parameterized constructor: [name] is the machine identity used in
+   messages and [topology] its interconnect (the iPSC is a hypercube;
+   sibling machines pass their own). *)
+let create_with ~name ~topology (core : Backend.core) (costs : Costs.mp) :
+    Backend.ops =
+  let eng = core.Backend.eng in
+  let nprocs = core.Backend.nprocs in
+  let fault = Option.map Fault.create core.Backend.cfg.Config.fault in
+  let bus =
+    if costs.Costs.shared_bus then Some (Mnode.create eng (-1)) else None
+  in
+  let fabric =
+    Fabric.create ?bus ?fault eng ~nodes:core.Backend.nodes ~topology
+      ~startup:costs.Costs.msg_startup ~bandwidth:costs.Costs.bandwidth
+      ~hop_latency:costs.Costs.hop_latency
+  in
+  let b =
+    {
+      core;
+      costs;
+      sched = Scheduler_mp.create core.Backend.cfg ~nprocs;
+      fabric;
+      fault;
+      comm =
+        Communicator.create eng ~cfg:core.Backend.cfg ~costs
+          ~nodes:core.Backend.nodes ~fabric ~metrics:core.Backend.metrics
+          ?trace:core.Backend.trace;
+      sched_events = Mailbox.create ~name:"sched-events" ();
+      dispatch_boxes =
+        Array.init nprocs (fun p ->
+            Mailbox.create ~name:(Printf.sprintf "dispatch-box-%d" p) ());
+    }
+  in
+  {
+    Backend.name;
+    task_create_cost = costs.Costs.task_create;
+    flop_rate = costs.Costs.flops;
+    validate =
+      (fun ~nprocs ->
+        if nprocs < 1 then Backend.invalid_nprocs ~machine:name ~nprocs);
+    on_enable = on_enable b;
+    on_write_commit = Communicator.on_write_commit b.comm;
+    start = start b;
+    stop = stop b;
+    finalize = finalize b;
+  }
+
+let machine_name = "iPSC/860"
+
+(* The e-cube hypercube handles any node count (partial cubes route
+   through the containing cube's dimensions), so no power-of-two
+   constraint applies beyond nprocs >= 1 — the paper's processor counts
+   include 24. *)
+let validate ~nprocs =
+  if nprocs < 1 then Backend.invalid_nprocs ~machine:machine_name ~nprocs
+
+let create (core : Backend.core) (costs : Costs.mp) : Backend.ops =
+  create_with ~name:machine_name
+    ~topology:(Topology.hypercube core.Backend.nprocs)
+    core costs

@@ -35,9 +35,11 @@ type t = {
           to builds without this machinery). *)
   pushes : (int * int * int, push) Hashtbl.t;
       (** (object id, version, dst) -> unacknowledged push *)
+  trace : Tracing.t option;
+      (** when set, every arriving object transfer is recorded as a flow *)
 }
 
-let create eng ~cfg ~costs ~nodes ~fabric ~metrics =
+let create ?trace ~cfg ~costs ~nodes ~fabric ~metrics eng =
   {
     eng;
     cfg;
@@ -45,6 +47,7 @@ let create eng ~cfg ~costs ~nodes ~fabric ~metrics =
     nodes;
     fabric;
     metrics;
+    trace;
     nprocs = Array.length nodes;
     (* Pending fetches peak around (objects in flight x processors):
        pre-size with the processor count so steady-state operation never
@@ -150,7 +153,7 @@ let installed t (meta : Meta.t) ~version ~proc =
 
 let push_key (pu : push) =
   match pu.push_body with
-  | Protocol.Bcast { meta; version } | Protocol.Eager { meta; version } ->
+  | Protocol.Bcast { meta; version; _ } | Protocol.Eager { meta; version; _ } ->
       (meta.Meta.id, version, pu.push_dst)
   | _ -> invalid_arg "Communicator.push_key: not a push body"
 
@@ -191,6 +194,15 @@ let track_push t ~src ~dst ~size ~tag body =
       Hashtbl.replace t.pushes (push_key pu) pu;
       arm_push_timer t pu ~timeout:s.Fault.retry_timeout
 
+(* Tracing hook: an object transfer arrived. Mutates only the trace
+   buffer — no engine events, so traced and untraced runs are identical. *)
+let record_flow t kind (meta : Meta.t) ~sent_at ~src ~dst =
+  match t.trace with
+  | Some tr ->
+      Tracing.record_flow tr ~kind ~obj:meta.Meta.name ~src ~dst ~sent_at
+        ~arrived_at:(Engine.now t.eng)
+  | None -> ()
+
 let handle t (msg : Protocol.t Fabric.msg) =
   match msg.Fabric.body with
   | Protocol.Request { meta; version; requester; sent_at } ->
@@ -207,8 +219,17 @@ let handle t (msg : Protocol.t Fabric.msg) =
         t.metrics.Metrics.fl.Metrics.comm_bytes +. float_of_int meta.Meta.size;
       t.metrics.Metrics.fl.Metrics.object_latency <-
         t.metrics.Metrics.fl.Metrics.object_latency +. (Engine.now t.eng -. sent_at);
+      record_flow t Tracing.Fetch meta ~sent_at ~src:msg.Fabric.src
+        ~dst:msg.Fabric.dst;
       installed t meta ~version ~proc:msg.Fabric.dst
-  | Protocol.Bcast { meta; version } | Protocol.Eager { meta; version } ->
+  | Protocol.Bcast { meta; version; sent_at }
+  | Protocol.Eager { meta; version; sent_at } ->
+      let kind =
+        match msg.Fabric.body with
+        | Protocol.Bcast _ -> Tracing.Broadcast
+        | _ -> Tracing.Eager_update
+      in
+      record_flow t kind meta ~sent_at ~src:msg.Fabric.src ~dst:msg.Fabric.dst;
       t.metrics.Metrics.fl.Metrics.comm_bytes <-
         t.metrics.Metrics.fl.Metrics.comm_bytes +. float_of_int meta.Meta.size;
       installed t meta ~version ~proc:msg.Fabric.dst;
@@ -339,7 +360,9 @@ let eager_push t (meta : Meta.t) =
       then begin
         t.metrics.Metrics.eager_transfers <-
           t.metrics.Metrics.eager_transfers + 1;
-        let body = Protocol.Eager { meta; version } in
+        let body =
+          Protocol.Eager { meta; version; sent_at = Engine.now t.eng }
+        in
         Fabric.post t.fabric ~src:meta.Meta.owner ~dst:q ~size:meta.Meta.size
           ~tag:Tag.Eager body;
         track_push t ~src:meta.Meta.owner ~dst:q ~size:meta.Meta.size
@@ -373,13 +396,14 @@ let on_write_commit t (meta : Meta.t) (task : Taskrec.t) =
     ignore
       (Mnode.charge t.nodes.(meta.Meta.owner)
          (t.costs.Costs.broadcast_setup +. marshal));
+    let sent_at = Engine.now t.eng in
     Fabric.broadcast t.fabric ~src:meta.Meta.owner ~size:meta.Meta.size
-      ~tag:Tag.Bcast (fun _dst -> Protocol.Bcast { meta; version });
+      ~tag:Tag.Bcast (fun _dst -> Protocol.Bcast { meta; version; sent_at });
     if t.reliable <> None then
       for q = 0 to t.nprocs - 1 do
         if q <> meta.Meta.owner then
           track_push t ~src:meta.Meta.owner ~dst:q ~size:meta.Meta.size
             ~tag:Tag.Bcast
-            (Protocol.Bcast { meta; version })
+            (Protocol.Bcast { meta; version; sent_at })
       done
   end

@@ -7,13 +7,19 @@
 
 type t
 
+(** [trace], when given, receives a {!Tracing.flow} record for every
+    object transfer that arrives (fetch replies, broadcast copies, eager
+    pushes) — the data behind the Chrome-trace communication lanes. The
+    engine is the trailing positional argument so the optional [?trace]
+    is erased at every total application. *)
 val create :
-  Jade_sim.Engine.t ->
+  ?trace:Tracing.t ->
   cfg:Config.t ->
   costs:Jade_machines.Costs.mp ->
   nodes:Jade_machines.Mnode.t array ->
   fabric:Protocol.t Jade_net.Fabric.t ->
   metrics:Metrics.t ->
+  Jade_sim.Engine.t ->
   t
 
 (** Handle a [Request], [Obj], [Bcast], [Eager] or [Ack] message

@@ -21,4 +21,8 @@ module Protocol = Protocol
 module Communicator = Communicator
 module Metrics = Metrics
 module Tracing = Tracing
+module Backend = Backend
+module Backend_shm = Backend_shm
+module Backend_mp = Backend_mp
+module Backend_lan = Backend_lan
 module Runtime = Runtime

@@ -7,9 +7,9 @@ type t =
       (** executor -> owner: send me this version *)
   | Obj of { meta : Meta.t; version : int; sent_at : float }
       (** owner -> executor: the object data *)
-  | Bcast of { meta : Meta.t; version : int }
+  | Bcast of { meta : Meta.t; version : int; sent_at : float }
       (** owner -> everyone: adaptive broadcast of a new version *)
-  | Eager of { meta : Meta.t; version : int }
+  | Eager of { meta : Meta.t; version : int; sent_at : float }
       (** owner -> previous consumers: eager update-protocol transfer *)
   | Done of { task : Taskrec.t; proc : int }
       (** executor -> main: completion notification *)

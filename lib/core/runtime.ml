@@ -1,6 +1,5 @@
 open Jade_sim
 open Jade_machines
-open Jade_net
 
 type machine = Dash of Costs.shm | Ipsc of Costs.mp | Lan of Costs.mp
 
@@ -41,412 +40,119 @@ let () =
     | Deadlock r -> Some (deadlock_to_string r)
     | _ -> None)
 
-(* Constant blocked-registry labels, preallocated so waiting is free. *)
-let on_task_queue () = "task-queue"
-
+(* Constant blocked-registry label, preallocated so waiting is free. *)
 let on_drain () = "drain"
 
-type sched_event =
-  | Enabled of Taskrec.t
-  | Completed of int * Taskrec.t
-  | Stop_sched
-
-type dispatch_item = Exec of Taskrec.t | Stop_disp
-
 type t = {
-  eng : Engine.t;
-  cfg : Config.t;
-  machine : machine;
-  nprocs : int;
-  nodes : Mnode.t array;
-  metrics : Metrics.t;
-  mutable sync : Synchronizer.t option;
+  core : Backend.core;
+  backend : Backend.ops;
   mutable obj_counter : int;
   mutable task_counter : int;
-  mutable outstanding : int;
-  mutable main_done : bool;
-  mutable main_blocked : bool;
-      (** main thread is waiting on a task or in [drain]; until then it owns
-          processor 0 and the local dispatcher defers to it *)
-  mutable finish_time : float;
-  mutable stopped : bool;
-  mutable ctx_proc : int;  (** processor charged for synchronizer work *)
-  mutable drain_waiters : (unit -> unit) list;
-  trace : Tracing.t option;
-  (* Shared-memory machine. *)
-  shm_sched : Scheduler_shm.t option;
-  shm_model : Shm_model.t option;
-  idle_wakers : (unit -> unit) option array;
-  (* Message-passing machine. *)
-  mp_sched : Scheduler_mp.t option;
-  fabric : Protocol.t Fabric.t option;
-  fault_inj : Fault.t option;
-      (** the fabric's chaos plan, kept for end-of-run accounting *)
-  mutable comm : Communicator.t option;
-  sched_events : sched_event Mailbox.t;
-  dispatch_boxes : dispatch_item Mailbox.t array;
 }
 
 type env = { env_task : Taskrec.t; proc : int; env_rt : t }
 
-let nprocs t = t.nprocs
+let nprocs t = t.core.Backend.nprocs
 
-let config t = t.cfg
+let config t = t.core.Backend.cfg
 
-let now t = Engine.now t.eng
-
-let get_sync t =
-  match t.sync with Some s -> s | None -> assert false
+let now t = Engine.now t.core.Backend.eng
 
 (* ------------------------------------------------------------------ *)
-(* Construction *)
+(* Backend construction — the only place the machine type is inspected.
+   Everything below speaks through [Backend.ops]. *)
 
-let make_runtime ?trace cfg machine nprocs =
+let validate_machine ~machine ~nprocs =
+  match machine with
+  | Dash _ -> Backend_shm.validate ~nprocs
+  | Ipsc _ -> Backend_mp.validate ~nprocs
+  | Lan _ -> Backend_lan.validate ~nprocs
+
+let make ?trace cfg machine nprocs =
   (* Event-queue population scales with the processor count (dispatchers,
      mailboxes, in-flight fabric messages): pre-size the heap so large
      runs never pay the growth-doubling cascade. *)
   let eng = Engine.create ~events_hint:(256 * nprocs) () in
   let nodes = Array.init nprocs (Mnode.create eng) in
   let metrics = Metrics.create () in
-  let is_mp = match machine with Ipsc _ | Lan _ -> true | Dash _ -> false in
-  let fault_inj =
-    if is_mp then Option.map Fault.create cfg.Config.fault else None
+  (* The synchronizer notifies the backend (enable, write-commit) and the
+     backend retires tasks through the synchronizer; break the cycle with
+     forward cells filled immediately after backend construction — before
+     any simulation process runs or task exists. *)
+  let enable_cell = ref (fun (_ : Taskrec.t) -> ()) in
+  let commit_cell = ref (fun (_ : Meta.t) (_ : Taskrec.t) -> ()) in
+  let sync =
+    Synchronizer.create ~replication:cfg.Config.replication
+      ~on_enable:(fun task -> !enable_cell task)
+      ~on_write_commit:(fun meta task -> !commit_cell meta task)
   in
-  let fabric =
-    if is_mp then
-      let topo = Topology.hypercube nprocs in
-      let c = match machine with Ipsc c | Lan c -> c | Dash _ -> assert false in
-      let bus =
-        if c.Costs.shared_bus then Some (Mnode.create eng (-1)) else None
-      in
-      Some
-        (Fabric.create ?bus ?fault:fault_inj eng ~nodes ~topology:topo
-           ~startup:c.Costs.msg_startup ~bandwidth:c.Costs.bandwidth
-           ~hop_latency:c.Costs.hop_latency)
-    else None
+  let core =
+    {
+      Backend.eng;
+      cfg;
+      nprocs;
+      nodes;
+      metrics;
+      sync;
+      trace;
+      outstanding = 0;
+      main_done = false;
+      main_blocked = false;
+      stopped = false;
+      finish_time = 0.0;
+      ctx_proc = 0;
+      drain_waiters = [];
+      stop_hook = (fun () -> ());
+    }
   in
-  {
-    eng;
-    cfg;
-    machine;
-    nprocs;
-    nodes;
-    metrics;
-    sync = None;
-    obj_counter = 0;
-    task_counter = 0;
-    outstanding = 0;
-    main_done = false;
-    main_blocked = false;
-    finish_time = 0.0;
-    stopped = false;
-    ctx_proc = 0;
-    drain_waiters = [];
-    trace;
-    shm_sched =
-      (match machine with
-      | Dash c ->
-          Some
-            (Scheduler_shm.create ~cluster_size:c.Costs.cluster_size cfg ~nprocs)
-      | Ipsc _ | Lan _ -> None);
-    shm_model =
-      (match machine with
-      | Dash c -> Some (Shm_model.create c ~nprocs)
-      | Ipsc _ | Lan _ -> None);
-    idle_wakers = Array.make nprocs None;
-    mp_sched = (if is_mp then Some (Scheduler_mp.create cfg ~nprocs) else None);
-    fabric;
-    fault_inj;
-    comm = None;
-    sched_events = Mailbox.create ~name:"sched-events" ();
-    dispatch_boxes =
-      Array.init nprocs (fun p ->
-          Mailbox.create ~name:(Printf.sprintf "dispatch-box-%d" p) ());
-  }
-
-(* ------------------------------------------------------------------ *)
-(* Termination *)
-
-(* Wake idle dispatchers. [first] (a task's target processor) is woken
-   before the others so that, at equal virtual times, the home processor
-   gets the first chance at a newly enabled task and stealing only happens
-   when the home processor is busy — matching the intent of §3.2.1. *)
-let wake_idle ?first t =
-  let wake p =
-    match t.idle_wakers.(p) with
-    | Some f ->
-        t.idle_wakers.(p) <- None;
-        Engine.schedule_now t.eng f
-    | None -> ()
+  let backend =
+    match machine with
+    | Dash c -> Backend_shm.create core c
+    | Ipsc c -> Backend_mp.create core c
+    | Lan c -> Backend_lan.create core c
   in
-  (match first with Some p -> wake p | None -> ());
-  Array.iteri (fun p _ -> wake p) t.idle_wakers
-
-let finish_now t =
-  let max_avail =
-    Array.fold_left (fun acc n -> Float.max acc (Mnode.avail n)) 0.0 t.nodes
-  in
-  Float.max (Engine.now t.eng) max_avail
-
-let maybe_finish t =
-  if t.outstanding = 0 then begin
-    List.iter (fun f -> Engine.schedule_now t.eng f) t.drain_waiters;
-    t.drain_waiters <- []
-  end;
-  if t.main_done && t.outstanding = 0 && not t.stopped then begin
-    t.stopped <- true;
-    t.finish_time <- finish_now t;
-    (* Stop dispatchers and (message-passing) the scheduler process. *)
-    (match t.machine with
-    | Ipsc _ | Lan _ ->
-        Mailbox.send t.eng t.sched_events Stop_sched;
-        Array.iter (fun box -> Mailbox.send t.eng box Stop_disp) t.dispatch_boxes
-    | Dash _ -> wake_idle t)
-  end
-
-(* The main thread runs on processor 0 and keeps it until it blocks: the
-   processor-0 dispatcher polls rather than racing the program's task
-   creation (the paper devotes the main processor to creating tasks for
-   exactly this reason, §5.2). *)
-let main_owns_proc0 t = not (t.main_done || t.main_blocked)
-
-let wait_for_main_release t ~poll =
-  (* Clamp so a zero poll interval cannot respin at a fixed virtual time. *)
-  let poll = Float.max poll 1e-6 in
-  while main_owns_proc0 t do
-    Engine.delay t.eng poll
-  done
-
-(* ------------------------------------------------------------------ *)
-(* Shared-memory execution (§3.1, §3.2) *)
-
-let run_body t (task : Taskrec.t) proc =
-  if not t.cfg.Config.work_free then task.Taskrec.body task proc
-
-let record_execution t (task : Taskrec.t) proc =
-  let m = t.metrics in
-  m.Metrics.tasks_executed <- m.Metrics.tasks_executed + 1;
-  if proc = task.Taskrec.target then
-    m.Metrics.tasks_on_target <- m.Metrics.tasks_on_target + 1
-
-let execute_shm t proc (task : Taskrec.t) =
-  let costs = match t.machine with Dash c -> c | Ipsc _ | Lan _ -> assert false in
-  let model = match t.shm_model with Some m -> m | None -> assert false in
-  task.Taskrec.ran_on <- proc;
-  task.Taskrec.fl.Taskrec.started_at <- Engine.now t.eng;
-  task.Taskrec.state <- Taskrec.Running;
-  record_execution t task proc;
-  let steal_extra = if task.Taskrec.stolen then costs.Costs.steal_cost else 0.0 in
-  let comm =
-    if t.cfg.Config.work_free then 0.0 else Shm_model.task_cost model task ~proc
-  in
-  let compute =
-    if t.cfg.Config.work_free then 0.0
-    else task.Taskrec.work /. costs.Costs.flops_shm
-  in
-  Mnode.occupy t.nodes.(proc) (costs.Costs.task_dispatch_shm +. steal_extra +. comm);
-  task.Taskrec.fl.Taskrec.charged <- 0.0;
-  run_body t task proc;
-  (* Charge whatever compute the body did not already charge through
-     [Runtime.work] (the common case charges it all here). *)
-  let remaining =
-    Float.max 0.0 (compute -. (task.Taskrec.fl.Taskrec.charged /. costs.Costs.flops_shm))
-  in
-  if remaining > 0.0 then Mnode.occupy t.nodes.(proc) remaining;
-  let m = t.metrics in
-  m.Metrics.fl.Metrics.total_task_time <- m.Metrics.fl.Metrics.total_task_time +. compute +. comm;
-  m.Metrics.fl.Metrics.total_compute_time <- m.Metrics.fl.Metrics.total_compute_time +. compute;
-  m.Metrics.fl.Metrics.total_comm_time <- m.Metrics.fl.Metrics.total_comm_time +. comm;
-  task.Taskrec.fl.Taskrec.finished_at <- Engine.now t.eng;
-  (match t.trace with Some tr -> Tracing.record tr task | None -> ());
-  t.ctx_proc <- proc;
-  Synchronizer.complete (get_sync t) task;
-  Ivar.fill t.eng task.Taskrec.done_ivar ();
-  t.outstanding <- t.outstanding - 1;
-  maybe_finish t
-
-let shm_dispatcher t proc =
-  let costs = match t.machine with Dash c -> c | Ipsc _ | Lan _ -> assert false in
-  let sched = match t.shm_sched with Some s -> s | None -> assert false in
-  let run_and_yield task =
-    execute_shm t proc task;
-    (* Yield through the event queue so dispatchers woken by this task's
-       completion run before we grab the next task — the completing
-       processor must not outrace the home processors of the tasks it
-       just enabled. *)
-    Engine.delay t.eng 0.0
-  in
-  let rec loop () =
-    if not t.stopped then begin
-      if proc = 0 then wait_for_main_release t ~poll:costs.Costs.steal_patience;
-      match Scheduler_shm.next sched ~allow_steal:false ~proc with
-      | Some task ->
-          run_and_yield task;
-          loop ()
-      | None ->
-          (* Nothing local: spend the cyclic-search time, re-check our own
-             queue, and only then steal — the balancer should not move a
-             task off its target processor the instant it appears. *)
-          Engine.delay t.eng costs.Costs.steal_patience;
-          if not t.stopped then begin
-            match Scheduler_shm.next sched ~proc with
-            | Some task ->
-                run_and_yield task;
-                loop ()
-            | None ->
-                if not t.stopped then begin
-                  Engine.await ~on:on_task_queue t.eng (fun resume ->
-                      t.idle_wakers.(proc) <- Some resume);
-                  loop ()
-                end
-          end
-    end
-  in
-  loop ()
-
-let shm_on_enable t (task : Taskrec.t) =
-  let costs = match t.machine with Dash c -> c | Ipsc _ | Lan _ -> assert false in
-  let sched = match t.shm_sched with Some s -> s | None -> assert false in
-  task.Taskrec.fl.Taskrec.enabled_at <- Engine.now t.eng;
-  ignore (Mnode.charge t.nodes.(t.ctx_proc) costs.Costs.task_enable_shm);
-  Scheduler_shm.enqueue sched task;
-  (* At the locality-aware levels the target processor gets first chance;
-     under No_locality distribution is strictly first-come first-served. *)
-  match t.cfg.Config.locality with
-  | Config.No_locality -> wake_idle t
-  | Config.Locality | Config.Task_placement ->
-      wake_idle ~first:task.Taskrec.target t
-
-(* ------------------------------------------------------------------ *)
-(* Message-passing execution (§3.3, §3.4) *)
-
-let mp_costs t = match t.machine with Ipsc c | Lan c -> c | Dash _ -> assert false
-
-let get_fabric t = match t.fabric with Some f -> f | None -> assert false
-
-let get_comm t = match t.comm with Some c -> c | None -> assert false
-
-let send_assign t proc (task : Taskrec.t) =
-  let c = mp_costs t in
-  Fabric.send (get_fabric t) ~src:0 ~dst:proc ~size:c.Costs.small_msg
-    ~tag:Jade_net.Tag.Assign (Protocol.Assign task)
-
-let mp_scheduler_process t =
-  let c = mp_costs t in
-  let sched = match t.mp_sched with Some s -> s | None -> assert false in
-  let rec loop () =
-    match Mailbox.recv t.eng t.sched_events with
-    | Stop_sched -> ()
-    | Enabled task ->
-        task.Taskrec.fl.Taskrec.enabled_at <- Engine.now t.eng;
-        Mnode.occupy t.nodes.(0) c.Costs.task_enable;
-        (match Scheduler_mp.on_enabled sched task with
-        | `Assign p -> send_assign t p task
-        | `Pooled -> ());
-        loop ()
-    | Completed (proc, task) ->
-        Mnode.occupy t.nodes.(0) c.Costs.completion_handling;
-        t.ctx_proc <- proc;
-        Synchronizer.complete (get_sync t) task;
-        Ivar.fill t.eng task.Taskrec.done_ivar ();
-        let handed = Scheduler_mp.on_completed sched ~proc in
-        List.iter (fun task -> send_assign t proc task) handed;
-        t.outstanding <- t.outstanding - 1;
-        maybe_finish t;
-        loop ()
-  in
-  loop ()
-
-let mp_dispatcher t proc =
-  let c = mp_costs t in
-  let rec loop () =
-    match Mailbox.recv t.eng t.dispatch_boxes.(proc) with
-    | Stop_disp -> ()
-    | Exec task ->
-        if proc = 0 then wait_for_main_release t ~poll:1e-3;
-        let comm = get_comm t in
-        Communicator.ensure_local comm task ~proc;
-        Communicator.assert_coherent comm task ~proc;
-        Communicator.note_accesses comm task ~proc;
-        task.Taskrec.ran_on <- proc;
-        task.Taskrec.fl.Taskrec.started_at <- Engine.now t.eng;
-        task.Taskrec.state <- Taskrec.Running;
-        record_execution t task proc;
-        let compute =
-          if t.cfg.Config.work_free then 0.0
-          else task.Taskrec.work /. c.Costs.flops
-        in
-        Mnode.occupy t.nodes.(proc) c.Costs.task_dispatch;
-        task.Taskrec.fl.Taskrec.charged <- 0.0;
-        run_body t task proc;
-        let remaining =
-          Float.max 0.0 (compute -. (task.Taskrec.fl.Taskrec.charged /. c.Costs.flops))
-        in
-        if remaining > 0.0 then Mnode.occupy t.nodes.(proc) remaining;
-        let m = t.metrics in
-        m.Metrics.fl.Metrics.total_task_time <- m.Metrics.fl.Metrics.total_task_time +. compute;
-        m.Metrics.fl.Metrics.total_compute_time <-
-          m.Metrics.fl.Metrics.total_compute_time +. compute;
-        task.Taskrec.fl.Taskrec.finished_at <- Engine.now t.eng;
-        (match t.trace with Some tr -> Tracing.record tr task | None -> ());
-        Fabric.send (get_fabric t) ~src:proc ~dst:0 ~size:c.Costs.small_msg
-          ~tag:Jade_net.Tag.Done
-          (Protocol.Done { task; proc });
-        loop ()
-  in
-  loop ()
-
-let mp_handler t proc (msg : Protocol.t Fabric.msg) =
-  match msg.Fabric.body with
-  | Protocol.Assign task ->
-      Communicator.prefetch (get_comm t) task ~proc;
-      Mailbox.send t.eng t.dispatch_boxes.(proc) (Exec task)
-  | Protocol.Done { task; proc = executor } ->
-      Mailbox.send t.eng t.sched_events (Completed (executor, task))
-  | Protocol.Request _ | Protocol.Obj _ | Protocol.Bcast _ | Protocol.Eager _
-  | Protocol.Ack _ ->
-      Communicator.handle (get_comm t) msg
-
-let mp_on_enable t (task : Taskrec.t) =
-  Mailbox.send t.eng t.sched_events (Enabled task)
+  enable_cell := backend.Backend.on_enable;
+  commit_cell := backend.Backend.on_write_commit;
+  core.Backend.stop_hook <- backend.Backend.stop;
+  { core; backend; obj_counter = 0; task_counter = 0 }
 
 (* ------------------------------------------------------------------ *)
 (* Public program API *)
 
 let create_object t ?(home = 0) ~name ~size data =
-  if home < 0 || home >= t.nprocs then
+  let c = t.core in
+  if home < 0 || home >= c.Backend.nprocs then
     invalid_arg "Runtime.create_object: home out of range";
   t.obj_counter <- t.obj_counter + 1;
-  let meta = Meta.create ~id:t.obj_counter ~name ~size ~home ~nprocs:t.nprocs in
+  let meta =
+    Meta.create ~id:t.obj_counter ~name ~size ~home ~nprocs:c.Backend.nprocs
+  in
   Shared.make meta data
 
 let withonly t ?placement ?(wait = false) ~name ~work ~accesses body =
+  let c = t.core in
   (match placement with
-  | Some p when p < 0 || p >= t.nprocs ->
+  | Some p when p < 0 || p >= c.Backend.nprocs ->
       invalid_arg "Runtime.withonly: placement out of range"
   | _ -> ());
-  let create_cost =
-    match t.machine with
-    | Dash c -> c.Costs.task_create_shm
-    | Ipsc c | Lan c -> c.Costs.task_create
-  in
-  Mnode.occupy t.nodes.(0) create_cost;
+  Mnode.occupy c.Backend.nodes.(0) t.backend.Backend.task_create_cost;
   let spec = Spec.create () in
   accesses spec;
   t.task_counter <- t.task_counter + 1;
   let wrapped task proc = body { env_task = task; proc; env_rt = t } in
   let task =
     Taskrec.create ~tid:t.task_counter ~tname:name ~spec:(Spec.entries spec)
-      ~body:wrapped ~work ~placement ~now:(Engine.now t.eng)
+      ~body:wrapped ~work ~placement ~now:(Engine.now c.Backend.eng)
   in
-  t.outstanding <- t.outstanding + 1;
-  t.metrics.Metrics.tasks_created <- t.metrics.Metrics.tasks_created + 1;
-  t.ctx_proc <- 0;
-  Synchronizer.add_task (get_sync t) task;
+  c.Backend.outstanding <- c.Backend.outstanding + 1;
+  c.Backend.metrics.Metrics.tasks_created <-
+    c.Backend.metrics.Metrics.tasks_created + 1;
+  c.Backend.ctx_proc <- 0;
+  Synchronizer.add_task c.Backend.sync task;
   if wait then begin
-    t.main_blocked <- true;
-    Ivar.read t.eng task.Taskrec.done_ivar;
-    t.main_blocked <- false
+    c.Backend.main_blocked <- true;
+    Ivar.read c.Backend.eng task.Taskrec.done_ivar;
+    c.Backend.main_blocked <- false
   end
 
 let rd env shared =
@@ -471,106 +177,64 @@ let wr env shared =
 
 let env_proc env = env.proc
 
-let flop_rate t =
-  match t.machine with
-  | Dash c -> Costs.(c.flops_shm)
-  | Ipsc c | Lan c -> Costs.(c.flops)
-
 let work env flops =
   if flops < 0.0 then invalid_arg "Runtime.work: negative flops";
   let t = env.env_rt in
-  if not t.cfg.Config.work_free then begin
-    env.env_task.Taskrec.fl.Taskrec.charged <- env.env_task.Taskrec.fl.Taskrec.charged +. flops;
-    Mnode.occupy t.nodes.(env.proc) (flops /. flop_rate t)
+  let c = t.core in
+  if not c.Backend.cfg.Config.work_free then begin
+    env.env_task.Taskrec.fl.Taskrec.charged <-
+      env.env_task.Taskrec.fl.Taskrec.charged +. flops;
+    Mnode.occupy c.Backend.nodes.(env.proc)
+      (flops /. t.backend.Backend.flop_rate)
   end
 
 let release env shared =
-  let t = env.env_rt in
-  t.ctx_proc <- env.proc;
-  Synchronizer.release (get_sync t) env.env_task (Shared.meta shared)
+  let c = env.env_rt.core in
+  c.Backend.ctx_proc <- env.proc;
+  Synchronizer.release c.Backend.sync env.env_task (Shared.meta shared)
 
-let node_busy t p = Mnode.busy_time t.nodes.(p)
+let node_busy t p = Mnode.busy_time t.core.Backend.nodes.(p)
 
 let drain t =
-  if t.outstanding > 0 then begin
-    t.main_blocked <- true;
-    Engine.await ~on:on_drain t.eng (fun resume ->
-        t.drain_waiters <- resume :: t.drain_waiters);
-    t.main_blocked <- false
+  let c = t.core in
+  if c.Backend.outstanding > 0 then begin
+    c.Backend.main_blocked <- true;
+    Engine.await ~on:on_drain c.Backend.eng (fun resume ->
+        c.Backend.drain_waiters <- resume :: c.Backend.drain_waiters);
+    c.Backend.main_blocked <- false
   end
 
 (* ------------------------------------------------------------------ *)
 (* Top level *)
 
 let run_with ?(config = Config.default) ?trace ~machine ~nprocs main ~inspect =
-  if nprocs < 1 then invalid_arg "Runtime.run: need at least one processor";
+  validate_machine ~machine ~nprocs;
   if config.Config.target_tasks < 1 then
     invalid_arg "Runtime.run: target_tasks must be >= 1";
-  let t = make_runtime ?trace config machine nprocs in
-  let on_enable, on_write_commit =
-    match machine with
-    | Dash _ -> ((fun task -> shm_on_enable t task), fun _ _ -> ())
-    | Ipsc _ | Lan _ ->
-        ( (fun task -> mp_on_enable t task),
-          fun meta task -> Communicator.on_write_commit (get_comm t) meta task
-        )
-  in
-  t.sync <-
-    Some
-      (Synchronizer.create ~replication:config.Config.replication ~on_enable
-         ~on_write_commit);
-  (match machine with
-  | Ipsc costs | Lan costs ->
-      let comm =
-        Communicator.create t.eng ~cfg:config ~costs ~nodes:t.nodes
-          ~fabric:(get_fabric t) ~metrics:t.metrics
-      in
-      t.comm <- Some comm;
-      for p = 0 to nprocs - 1 do
-        Fabric.set_handler (get_fabric t) p (mp_handler t p)
-      done;
-      Engine.spawn ~name:"mp-scheduler" t.eng (fun () ->
-          mp_scheduler_process t);
-      for p = 0 to nprocs - 1 do
-        Engine.spawn ~name:(Printf.sprintf "dispatcher-%d" p) t.eng (fun () ->
-            mp_dispatcher t p)
-      done
-  | Dash _ ->
-      for p = 0 to nprocs - 1 do
-        Engine.spawn ~name:(Printf.sprintf "dispatcher-%d" p) t.eng (fun () ->
-            shm_dispatcher t p)
-      done);
-  Engine.spawn ~name:"main" t.eng (fun () ->
+  let t = make ?trace config machine nprocs in
+  let c = t.core in
+  t.backend.Backend.start ();
+  Engine.spawn ~name:"main" c.Backend.eng (fun () ->
       main t;
-      t.main_done <- true;
-      maybe_finish t);
-  ignore (Engine.run t.eng);
-  if t.outstanding > 0 || Engine.live_processes t.eng > 0 then
+      c.Backend.main_done <- true;
+      Backend.maybe_finish c);
+  ignore (Engine.run c.Backend.eng);
+  if c.Backend.outstanding > 0 || Engine.live_processes c.Backend.eng > 0 then
     (* The heap drained with work still pending: a lost wakeup. Name the
        stuck processes and what each is blocked on instead of leaving the
        user to guess from bare counts. *)
     raise
       (Deadlock
          {
-           dl_outstanding = t.outstanding;
-           dl_live = Engine.live_processes t.eng;
-           dl_blocked = Engine.blocked_report t.eng;
+           dl_outstanding = c.Backend.outstanding;
+           dl_live = Engine.live_processes c.Backend.eng;
+           dl_blocked = Engine.blocked_report c.Backend.eng;
          });
-  t.metrics.Metrics.fl.Metrics.elapsed <- t.finish_time;
-  t.metrics.Metrics.events <- Engine.events_processed t.eng;
-  (match t.fabric with
-  | Some f -> t.metrics.Metrics.messages <- Fabric.message_count f
-  | None -> ());
-  (match t.fault_inj with
-  | Some f ->
-      t.metrics.Metrics.dropped_messages <- Fault.dropped f;
-      t.metrics.Metrics.duplicated_messages <- Fault.duplicated f
-  | None -> ());
-  (match t.shm_sched with
-  | Some s -> t.metrics.Metrics.steals <- Scheduler_shm.steals s
-  | None -> ());
-  let extra = inspect t t.metrics in
-  (Metrics.summary t.metrics, extra)
+  c.Backend.metrics.Metrics.fl.Metrics.elapsed <- c.Backend.finish_time;
+  c.Backend.metrics.Metrics.events <- Engine.events_processed c.Backend.eng;
+  t.backend.Backend.finalize ();
+  let extra = inspect t c.Backend.metrics in
+  (Metrics.summary c.Backend.metrics, extra)
 
 let run ?config ?trace ~machine ~nprocs main =
   fst (run_with ?config ?trace ~machine ~nprocs main ~inspect:(fun _ _ -> ()))

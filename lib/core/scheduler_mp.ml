@@ -56,7 +56,10 @@ let on_enabled t (task : Taskrec.t) =
           if m < t.cfg.Config.target_tasks then
             let p =
               if List.mem task.Taskrec.target least then task.Taskrec.target
-              else match least with p :: _ -> p | [] -> assert false
+              else
+                (* [least] is non-empty whenever nprocs >= 1; fall back to
+                   the task's target rather than crash if it ever is not. *)
+                match least with p :: _ -> p | [] -> task.Taskrec.target
             in
             assign t p
           else begin

@@ -10,9 +10,25 @@ type event = {
   stolen : bool;
 }
 
-type t = { mutable rev_events : event list; mutable n : int }
+type flow_kind = Fetch | Broadcast | Eager_update
 
-let create () = { rev_events = []; n = 0 }
+type flow = {
+  flow_kind : flow_kind;
+  obj : string;
+  src : int;
+  dst : int;
+  sent_at : float;
+  arrived_at : float;
+}
+
+type t = {
+  mutable rev_events : event list;
+  mutable n : int;
+  mutable rev_flows : flow list;
+  mutable n_flows : int;
+}
+
+let create () = { rev_events = []; n = 0; rev_flows = []; n_flows = 0 }
 
 let record t (task : Taskrec.t) =
   let open Taskrec in
@@ -31,9 +47,23 @@ let record t (task : Taskrec.t) =
     :: t.rev_events;
   t.n <- t.n + 1
 
+let record_flow t ~kind ~obj ~src ~dst ~sent_at ~arrived_at =
+  t.rev_flows <-
+    { flow_kind = kind; obj; src; dst; sent_at; arrived_at } :: t.rev_flows;
+  t.n_flows <- t.n_flows + 1
+
 let events t = List.rev t.rev_events
 
 let count t = t.n
+
+let flows t = List.rev t.rev_flows
+
+let flow_count t = t.n_flows
+
+let flow_kind_name = function
+  | Fetch -> "fetch"
+  | Broadcast -> "broadcast"
+  | Eager_update -> "eager"
 
 (* JSON string escaping for the few metacharacters task names can carry. *)
 let escape s =
@@ -67,6 +97,44 @@ let to_chrome_json t =
            (us (e.finished_at -. e.started_at))
            e.proc e.tid e.target e.stolen (us e.created_at) (us e.enabled_at)))
     (events t);
+  (* Object movement: one "comm" slice per transfer on the network pid
+     (lane = destination processor), plus a Chrome flow-event pair binding
+     source lane to destination lane, so Perfetto draws an arrow from the
+     sender at send time to the receiver at arrival time. *)
+  List.iteri
+    (fun i f ->
+      let kind = flow_kind_name f.flow_kind in
+      let id = i + 1 in
+      if not !first then Buffer.add_string buf ",\n";
+      first := false;
+      let name = Printf.sprintf "%s %s" kind (escape f.obj) in
+      (* Send marker on the source lane (flow start binds to it). *)
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"send %s\",\"cat\":\"comm\",\"ph\":\"X\",\"ts\":%.3f,\
+            \"dur\":0,\"pid\":1,\"tid\":%d,\"args\":{\"obj\":\"%s\",\
+            \"src\":%d,\"dst\":%d}}"
+           name (us f.sent_at) f.src (escape f.obj) f.src f.dst);
+      Buffer.add_string buf
+        (Printf.sprintf
+           ",\n{\"name\":\"%s\",\"cat\":\"comm\",\"ph\":\"s\",\"id\":%d,\
+            \"ts\":%.3f,\"pid\":1,\"tid\":%d}"
+           name id (us f.sent_at) f.src);
+      (* In-flight slice on the destination lane (flow end binds to it). *)
+      Buffer.add_string buf
+        (Printf.sprintf
+           ",\n{\"name\":\"%s\",\"cat\":\"comm\",\"ph\":\"X\",\"ts\":%.3f,\
+            \"dur\":%.3f,\"pid\":1,\"tid\":%d,\"args\":{\"obj\":\"%s\",\
+            \"src\":%d,\"dst\":%d}}"
+           name (us f.sent_at)
+           (us (f.arrived_at -. f.sent_at))
+           f.dst (escape f.obj) f.src f.dst);
+      Buffer.add_string buf
+        (Printf.sprintf
+           ",\n{\"name\":\"%s\",\"cat\":\"comm\",\"ph\":\"f\",\"bp\":\"e\",\
+            \"id\":%d,\"ts\":%.3f,\"pid\":1,\"tid\":%d}"
+           name id (us f.arrived_at) f.dst))
+    (flows t);
   Buffer.add_string buf "\n]\n";
   Buffer.contents buf
 

@@ -15,6 +15,20 @@ type event = {
   stolen : bool;
 }
 
+(** One object transfer between processors (demand fetch reply, adaptive
+    broadcast copy, or eager update push), recorded by the communicator
+    when a message-passing backend runs with tracing on. *)
+type flow_kind = Fetch | Broadcast | Eager_update
+
+type flow = {
+  flow_kind : flow_kind;
+  obj : string;  (** shared-object name *)
+  src : int;  (** sending processor *)
+  dst : int;  (** receiving processor *)
+  sent_at : float;
+  arrived_at : float;
+}
+
 type t
 
 val create : unit -> t
@@ -22,13 +36,32 @@ val create : unit -> t
 (** Record one completed task (called by the runtime when tracing is on). *)
 val record : t -> Taskrec.t -> unit
 
+(** Record one object transfer (called by the communicator on arrival). *)
+val record_flow :
+  t ->
+  kind:flow_kind ->
+  obj:string ->
+  src:int ->
+  dst:int ->
+  sent_at:float ->
+  arrived_at:float ->
+  unit
+
 val events : t -> event list
 (** In completion order. *)
 
 val count : t -> int
 
-(** Chrome trace-event JSON ("X" complete events, one per task, with
-    microsecond timestamps; processor = tid lane). *)
+val flows : t -> flow list
+(** In arrival order. *)
+
+val flow_count : t -> int
+
+(** Chrome trace-event JSON: "X" complete events, one per task, with
+    microsecond timestamps (pid 0, processor = tid lane), plus — when a
+    message-passing backend recorded object transfers — "comm" slices and
+    "s"/"f" flow pairs on pid 1, so Perfetto draws object movement as
+    arrows between processor lanes. *)
 val to_chrome_json : t -> string
 
 val write_chrome_json : t -> string -> unit

@@ -2,7 +2,7 @@ open Jade_apps
 
 type app = Water | String_ | Ocean | Cholesky
 
-type machine = Dash | Ipsc
+type machine = Dash | Ipsc | Lan
 
 type size = Test | Bench | Paper
 
@@ -14,7 +14,10 @@ let app_name = function
   | Ocean -> "Ocean"
   | Cholesky -> "Panel Cholesky"
 
-let machine_name = function Dash -> "DASH" | Ipsc -> "iPSC/860"
+let machine_name = function
+  | Dash -> "DASH"
+  | Ipsc -> "iPSC/860"
+  | Lan -> "LAN"
 
 let level_name = function
   | Tp -> "Task Placement"
@@ -108,13 +111,17 @@ let locked t f = Mutex.protect t.lock f
 
 let events_simulated t = locked t (fun () -> t.events)
 
-let jade_machine = function Dash -> Jade.Runtime.dash | Ipsc -> Jade.Runtime.ipsc860
+let jade_machine = function
+  | Dash -> Jade.Runtime.dash
+  | Ipsc -> Jade.Runtime.ipsc860
+  | Lan -> Jade.Runtime.lan
 
-let kind_of = function Dash -> App_common.Shm | Ipsc -> App_common.Mp
+let kind_of = function Dash -> App_common.Shm | Ipsc | Lan -> App_common.Mp
 
 let flops_of = function
   | Dash -> Jade_machines.Costs.(dash.flops_shm)
   | Ipsc -> Jade_machines.Costs.(ipsc860.flops)
+  | Lan -> Jade_machines.Costs.(workstation_lan.flops)
 
 let make_program t app ~kind ~placed ~nprocs =
   match app with

@@ -4,7 +4,7 @@
 
 type app = Water | String_ | Ocean | Cholesky
 
-type machine = Dash | Ipsc
+type machine = Dash | Ipsc | Lan
 
 (** Problem scale: [Test] for unit tests, [Bench] for the default harness
     (scaled to finish in minutes), [Paper] for the paper's full data

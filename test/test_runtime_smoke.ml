@@ -143,8 +143,14 @@ let test_work_free machine () =
 
 let test_argument_validation () =
   Alcotest.check_raises "nprocs must be positive"
-    (Invalid_argument "Runtime.run: need at least one processor") (fun () ->
-      ignore (R.run ~machine:R.dash ~nprocs:0 (fun _ -> ())));
+    (Invalid_argument "Runtime.run: DASH machine needs nprocs >= 1 (got 0)")
+    (fun () -> ignore (R.run ~machine:R.dash ~nprocs:0 (fun _ -> ())));
+  Alcotest.check_raises "nprocs validation names the machine"
+    (Invalid_argument "Runtime.run: iPSC/860 machine needs nprocs >= 1 (got -1)")
+    (fun () -> ignore (R.run ~machine:R.ipsc860 ~nprocs:(-1) (fun _ -> ())));
+  Alcotest.check_raises "lan validates too"
+    (Invalid_argument "Runtime.run: LAN machine needs nprocs >= 1 (got 0)")
+    (fun () -> ignore (R.run ~machine:R.lan ~nprocs:0 (fun _ -> ())));
   Alcotest.check_raises "target_tasks must be positive"
     (Invalid_argument "Runtime.run: target_tasks must be >= 1") (fun () ->
       ignore

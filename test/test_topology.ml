@@ -68,6 +68,36 @@ let broadcast_schedule_prop =
       done;
       !ok)
 
+(* ---------------- Bus topology ---------------- *)
+
+let test_bus_hops_and_routes () =
+  let t = Topology.bus 6 in
+  Alcotest.(check int) "nodes" 6 (Topology.nodes t);
+  Alcotest.(check int) "self hop" 0 (Topology.hops t 2 2);
+  Alcotest.(check int) "any pair is one hop" 1 (Topology.hops t 0 5);
+  Alcotest.(check int) "reverse too" 1 (Topology.hops t 5 0);
+  Alcotest.(check (list int)) "route is the single hop" [ 4 ] (Topology.route t 1 4);
+  Alcotest.(check (list int)) "self route empty" [] (Topology.route t 3 3);
+  Alcotest.(check (list int))
+    "everyone is a neighbor" [ 0; 1; 2; 4; 5 ] (Topology.neighbors t 3)
+
+let test_bus_broadcast () =
+  let t = Topology.bus 5 in
+  Alcotest.(check int) "one round" 1 (Topology.broadcast_rounds t);
+  let rounds = Topology.broadcast_schedule t ~root:2 in
+  Alcotest.(check (array int)) "root 0, listeners 1" [| 1; 1; 0; 1; 1 |] rounds;
+  Alcotest.(check int) "single node needs no rounds" 0
+    (Topology.broadcast_rounds (Topology.bus 1))
+
+let bus_invariants_prop =
+  QCheck.Test.make ~name:"bus: hops match routes at any size" ~count:100
+    QCheck.(triple (int_range 1 64) small_int small_int)
+    (fun (n, a, b) ->
+      let t = Topology.bus n in
+      let a = a mod n and b = b mod n in
+      List.length (Topology.route t a b) = Topology.hops t a b
+      && Topology.hops t a b <= 1)
+
 (* ---------------- Fabric ---------------- *)
 
 let make_fabric ?(n = 4) eng =
@@ -191,6 +221,9 @@ let () =
           qcheck hops_prop;
           qcheck route_prop;
           qcheck broadcast_schedule_prop;
+          Alcotest.test_case "bus hops/routes" `Quick test_bus_hops_and_routes;
+          Alcotest.test_case "bus broadcast" `Quick test_bus_broadcast;
+          qcheck bus_invariants_prop;
         ] );
       ( "fabric",
         [
