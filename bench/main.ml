@@ -17,12 +17,17 @@
 
    Run with:  dune exec bench/main.exe -- [--quick] [--jobs N] [--no-baseline]
                 [--size test|bench] [--baseline FILE]
+                [--replay on|off] [--cache-dir DIR] [--no-cache]
                 [--fault-seed S] [--drop-rate R] [--dup-rate R] [--jitter SEC]
    (--quick skips the Bechamel pass; --no-baseline skips the sequential
    reference regeneration used to compute the speedup; --size test runs the
    small problem sizes for CI smoke checks; --baseline points at a previous
    jobs=1 BENCH_repro.json to fill the speedup fields without re-running the
-   sequential reference; the --fault-* flags regenerate under a
+   sequential reference; --replay toggles cross-configuration task
+   record/replay; the main pass runs against a cold disk cache — a fresh
+   temporary directory unless --cache-dir names one, or none at all with
+   --no-cache — and is followed by a warm pass against the same cache,
+   reported as warm_wall_s; the --fault-* flags regenerate under a
    deterministic chaos plan — see Jade_net.Fault) *)
 
 open Bechamel
@@ -132,10 +137,12 @@ type regen_stats = {
   kernel_ms : (string * float) list;
   events : int;
   minor_words : float;  (** main-domain minor words; meaningful at jobs=1 *)
+  cache_hits : int;  (** work units answered from the disk cache *)
+  replayed_tasks : int;  (** task bodies replayed instead of executed *)
 }
 
-let regenerate ~size ~jobs ?fault ~emit () =
-  let r = Rn.create ~jobs ?fault size in
+let regenerate ~size ~jobs ?fault ?cache_dir ?(replay = true) ~emit () =
+  let r = Rn.create ~jobs ?fault ?cache_dir ~replay size in
   let kernel_ms = ref [] in
   let timed name f =
     let t0 = Unix.gettimeofday () in
@@ -174,11 +181,14 @@ let regenerate ~size ~jobs ?fault ~emit () =
       Jade_experiments.Analyses.ablation_steal_patience;
       Jade_experiments.Analyses.portability;
     ];
+  let st = Rn.stats r in
   {
     wall_s = Unix.gettimeofday () -. t0;
     kernel_ms = List.rev !kernel_ms;
     events = Rn.events_simulated r;
     minor_words = Gc.minor_words () -. minor0;
+    cache_hits = st.Rn.cache_hits;
+    replayed_tasks = st.Rn.replayed_tasks;
   }
 
 (* Minimal JSON writer (numbers, strings, null) — keeps the bench free of
@@ -248,7 +258,8 @@ let baseline_wall_from_file ~size_name path =
   else json_number_field content "wall_s"
 
 let write_json path ~size_name ~jobs ~(par : regen_stats)
-    ~(baseline : regen_stats option) ~(baseline_file_wall : float option) =
+    ~(baseline : regen_stats option) ~(baseline_file_wall : float option)
+    ~(warm_wall_s : float option) =
   let oc = open_out path in
   let opt_float = function
     | Some v -> Printf.sprintf "%.6f" v
@@ -288,6 +299,12 @@ let write_json path ~size_name ~jobs ~(par : regen_stats)
   Printf.fprintf oc "  \"events_per_sec\": %.1f,\n" events_per_sec;
   Printf.fprintf oc "  \"minor_words_per_event\": %s,\n"
     (opt_float minor_words_per_event);
+  (* Caching/replay accounting: [events]/[events_per_sec] above count
+     only what was actually simulated, so these make warm or replayed
+     runs legible instead of looking like a mysteriously slow simulator. *)
+  Printf.fprintf oc "  \"cache_hits\": %d,\n" par.cache_hits;
+  Printf.fprintf oc "  \"replayed_tasks\": %d,\n" par.replayed_tasks;
+  Printf.fprintf oc "  \"warm_wall_s\": %s,\n" (opt_float warm_wall_s);
   Printf.fprintf oc "  \"baseline_jobs1_wall_s\": %s,\n"
     (opt_float baseline_jobs1_wall);
   Printf.fprintf oc "  \"speedup_vs_jobs1\": %s,\n" (opt_float speedup);
@@ -357,26 +374,75 @@ let () =
            ~jitter:(Option.value jitter ~default:0.0)
            ())
   in
+  let replay =
+    match
+      flag_value "--replay" (function
+        | "on" -> Some true
+        | "off" -> Some false
+        | _ -> None)
+    with
+    | Some v -> v
+    | None -> true
+  in
+  (* The disk cache defaults to a fresh temporary directory: the main
+     pass is cold by construction (so events/sec stays an honest
+     simulator figure) and the warm pass right after it measures the
+     pure cache-replay wall time. --cache-dir reuses a directory across
+     invocations; --no-cache disables the layer. *)
+  let no_cache = Array.exists (( = ) "--no-cache") Sys.argv in
+  let cache_dir, cache_dir_is_temp =
+    if no_cache then (None, false)
+    else
+      match flag_value "--cache-dir" (fun s -> Some s) with
+      | Some d -> (Some d, false)
+      | None -> (Some (Filename.temp_dir "jade-bench-cache" ""), true)
+  in
   if not quick then run_bechamel ();
   Printf.printf "Regenerating all tables, figures and analyses (--jobs %d)%s\n\n"
     jobs
     (match fault with
     | None -> ""
     | Some f -> Format.asprintf " under %a" Jade_net.Fault.pp_spec f);
-  let par = regenerate ~size ~jobs ?fault ~emit:true () in
+  let par = regenerate ~size ~jobs ?fault ?cache_dir ~replay ~emit:true () in
+  (* Warm pass: same work against the now-populated disk cache. *)
+  let warm =
+    match cache_dir with
+    | None -> None
+    | Some _ ->
+        Some (regenerate ~size ~jobs ?fault ?cache_dir ~replay ~emit:false ())
+  in
   (* Sequential reference for the speedup (and, when jobs > 1, for the
-     per-event allocation figure, which needs single-domain GC counters). *)
+     per-event allocation figure, which needs single-domain GC counters).
+     Cache-free: a disk-warm reference would measure nothing. *)
   let baseline =
     if jobs > 1 && not no_baseline then begin
       Printf.printf
         "Regenerating again with --jobs 1 for the speedup baseline...\n";
-      Some (regenerate ~size ~jobs:1 ?fault ~emit:false ())
+      Some (regenerate ~size ~jobs:1 ?fault ~replay ~emit:false ())
     end
     else None
   in
+  (if cache_dir_is_temp then
+     match cache_dir with
+     | Some d ->
+         ignore
+           (Jade_experiments.Runcache.clear
+              (Jade_experiments.Runcache.create ~dir:d));
+         (try Unix.rmdir d with Unix.Unix_error _ -> ())
+     | None -> ());
   Printf.printf "\nRegeneration: %.2f s wall, %d simulated events (%.0f events/s)\n"
     par.wall_s par.events
     (if par.wall_s > 0.0 then float_of_int par.events /. par.wall_s else 0.0);
+  if par.replayed_tasks > 0 then
+    Printf.printf "Replay: %d task bodies replayed instead of re-executed\n"
+      par.replayed_tasks;
+  (match warm with
+  | Some w ->
+      Printf.printf
+        "Warm regeneration (disk cache): %.3f s wall, %d events simulated, \
+         %d cache hits\n"
+        w.wall_s w.events w.cache_hits
+  | None -> ());
   (match if jobs = 1 then Some par else baseline with
   | Some s when s.events > 0 ->
       Printf.printf "Minor allocation: %.1f words per simulated event (jobs=1)\n"
@@ -391,5 +457,6 @@ let () =
         (w /. par.wall_s) w par.wall_s
   | _ -> ());
   write_json "BENCH_repro.json" ~size_name ~jobs ~par ~baseline
-    ~baseline_file_wall;
+    ~baseline_file_wall
+    ~warm_wall_s:(Option.map (fun (w : regen_stats) -> w.wall_s) warm);
   Printf.printf "Wrote BENCH_repro.json\n"

@@ -66,6 +66,40 @@ let fault_term =
   in
   Term.(const make $ seed_arg $ drop_arg $ dup_arg $ jitter_arg)
 
+(* Replay and persistent-cache controls, shared by every Runner-backed
+   subcommand. Both layers are output-preserving: toggling them can only
+   change wall-clock time, never a rendered byte. *)
+let replay_arg =
+  Arg.(
+    value
+    & opt (enum [ ("on", true); ("off", false) ]) true
+    & info [ "replay" ] ~docv:"on|off"
+        ~doc:
+          "Cross-configuration task record/replay (default on): within a \
+           fixed (app, size, processors, placement) group the first run \
+           records every task's numeric effects and the other \
+           machine/configuration cells replay them instead of re-executing \
+           the float kernels. Output is byte-identical either way.")
+
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Persistent run cache: completed work units are stored under \
+           DIR keyed by their full configuration (schema version, app, \
+           size parameters, machine, processors, optimization and fault \
+           settings), so a later invocation with the same cache replays \
+           results from disk without simulating.")
+
+let runner_term =
+  let make size jobs fault replay cache_dir =
+    Runner.create ~jobs ?fault ?cache_dir ~replay size
+  in
+  Term.(
+    const make $ size_arg $ jobs_arg $ fault_term $ replay_arg $ cache_dir_arg)
+
 let print_table ?paper t =
   print_string (Report.render_comparison ~ours:t ~paper);
   print_newline ()
@@ -77,50 +111,129 @@ let table_cmd =
   let n_arg =
     Arg.(required & pos 0 (some int) None & info [] ~docv:"N" ~doc:"Table number (1-14).")
   in
-  let run n size csv jobs fault =
-    let r = Runner.create ~jobs ?fault size in
+  let run n csv r =
     let t = Tables.table r n in
     if csv then print_string (Report.to_csv t)
     else print_table ?paper:(Paper_data.table n) t
   in
   Cmd.v
     (Cmd.info "table" ~doc:"Regenerate one of the paper's tables (1-14).")
-    Term.(const run $ n_arg $ size_arg $ csv_arg $ jobs_arg $ fault_term)
+    Term.(const run $ n_arg $ csv_arg $ runner_term)
 
 let figure_cmd =
   let n_arg =
     Arg.(required & pos 0 (some int) None & info [] ~docv:"N" ~doc:"Figure number (2-21).")
   in
-  let run n size csv jobs fault =
-    let r = Runner.create ~jobs ?fault size in
+  let run n csv r =
     let t = Figures.figure r n in
     if csv then print_string (Report.to_csv t) else print_table t
   in
   Cmd.v
     (Cmd.info "figure" ~doc:"Regenerate one of the paper's figures (2-21).")
-    Term.(const run $ n_arg $ size_arg $ csv_arg $ jobs_arg $ fault_term)
+    Term.(const run $ n_arg $ csv_arg $ runner_term)
 
 let analyses_cmd =
-  let run size jobs fault =
-    let r = Runner.create ~jobs ?fault size in
-    List.iter print_table (Analyses.all r)
-  in
+  let run r = List.iter print_table (Analyses.all r) in
   Cmd.v
     (Cmd.info "analyses" ~doc:"Run the §5.1-§5.5 analyses.")
-    Term.(const run $ size_arg $ jobs_arg $ fault_term)
+    Term.(const run $ runner_term)
+
+let print_everything r =
+  List.iter
+    (fun n -> print_table ?paper:(Paper_data.table n) (Tables.table r n))
+    (List.init 14 (fun i -> i + 1));
+  List.iter print_table (Figures.all r);
+  List.iter print_table (Analyses.all r)
 
 let all_cmd =
-  let run size jobs fault =
-    let r = Runner.create ~jobs ?fault size in
-    List.iter
-      (fun n -> print_table ?paper:(Paper_data.table n) (Tables.table r n))
-      (List.init 14 (fun i -> i + 1));
-    List.iter print_table (Figures.all r);
-    List.iter print_table (Analyses.all r)
-  in
+  let run r = print_everything r in
   Cmd.v
     (Cmd.info "all" ~doc:"Regenerate every table, figure and analysis.")
-    Term.(const run $ size_arg $ jobs_arg $ fault_term)
+    Term.(const run $ runner_term)
+
+(* Where [regen] and [cache] keep the persistent cache when --cache-dir
+   is not given. *)
+let default_cache_dir () =
+  match Sys.getenv_opt "XDG_CACHE_HOME" with
+  | Some d when d <> "" -> Filename.concat d "jade-repro"
+  | _ -> (
+      match Sys.getenv_opt "HOME" with
+      | Some h when h <> "" ->
+          Filename.concat (Filename.concat h ".cache") "jade-repro"
+      | _ -> Filename.concat (Filename.get_temp_dir_name ()) "jade-repro-cache")
+
+let regen_cmd =
+  let no_cache_arg =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ]
+          ~doc:"Disable the persistent run cache for this regeneration.")
+  in
+  let run size jobs fault replay cache_dir no_cache =
+    let cache_dir =
+      if no_cache then None
+      else Some (Option.value cache_dir ~default:(default_cache_dir ()))
+    in
+    let t0 = Unix.gettimeofday () in
+    let r = Runner.create ~jobs ?fault ?cache_dir ~replay size in
+    print_everything r;
+    Runner.flush_cache_stats r;
+    let wall = Unix.gettimeofday () -. t0 in
+    let st = Runner.stats r in
+    Printf.eprintf
+      "regen: wall=%.3fs events=%d cache_lookups=%d cache_hits=%d \
+       replayed_tasks=%d\n\
+       %!"
+      wall (Runner.events_simulated r) st.Runner.cache_lookups
+      st.Runner.cache_hits st.Runner.replayed_tasks
+  in
+  Cmd.v
+    (Cmd.info "regen"
+       ~doc:
+         "Regenerate every table, figure and analysis with the persistent \
+          run cache enabled (default directory: \
+          \\$XDG_CACHE_HOME/jade-repro), printing cache and replay \
+          statistics on stderr. A second run against the same cache \
+          simulates nothing.")
+    Term.(
+      const run $ size_arg $ jobs_arg $ fault_term $ replay_arg
+      $ cache_dir_arg $ no_cache_arg)
+
+let cache_cmd =
+  let action_arg =
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("stats", `Stats); ("clear", `Clear) ])) None
+      & info [] ~docv:"ACTION"
+          ~doc:"$(b,stats) prints entry/byte counts and the last run's hit \
+                rate; $(b,clear) removes every entry.")
+  in
+  let run action cache_dir =
+    let dir = Option.value cache_dir ~default:(default_cache_dir ()) in
+    let c = Runcache.create ~dir in
+    match action with
+    | `Stats -> (
+        let entries, bytes = Runcache.dir_stats c in
+        Printf.printf "cache directory: %s\n" dir;
+        Printf.printf "schema version: %d\n" Runcache.schema_version;
+        Printf.printf "entries: %d\n" entries;
+        Printf.printf "bytes: %d\n" bytes;
+        match Runcache.read_last_run c with
+        | Some (lookups, hits) when lookups > 0 ->
+            Printf.printf "last run: %d of %d lookups hit (%.1f%%)\n" hits
+              lookups
+              (100.0 *. float_of_int hits /. float_of_int lookups)
+        | Some (lookups, hits) ->
+            Printf.printf "last run: %d of %d lookups hit\n" hits lookups
+        | None -> Printf.printf "last run: no recorded statistics\n")
+    | `Clear ->
+        let n = Runcache.clear c in
+        Printf.printf "removed %d entries from %s\n" n dir
+  in
+  Cmd.v
+    (Cmd.info "cache"
+       ~doc:"Inspect (stats) or empty (clear) the persistent run cache.")
+    Term.(const run $ action_arg $ cache_dir_arg)
 
 let app_conv =
   Arg.enum
@@ -245,8 +358,7 @@ let digest_cmd =
       & opt machine_conv Runner.Ipsc
       & info [ "machine" ] ~docv:"M" ~doc:"dash, ipsc (default) or lan.")
   in
-  let run machine size jobs fault =
-    let r = Runner.create ~jobs ?fault size in
+  let run machine r =
     (* Collect inside [parallel] (its planning pass evaluates the closure
        against placeholders, so side effects there would print twice and
        print garbage); render outside, from the replayed results. *)
@@ -274,7 +386,7 @@ let digest_cmd =
        ~doc:
          "Print a deterministic per-machine summary digest (every app and \
           locality level at 1-8 processors) for backend-parity checking.")
-    Term.(const run $ machine_arg $ size_arg $ jobs_arg $ fault_term)
+    Term.(const run $ machine_arg $ runner_term)
 
 let factor_cmd =
   let matrix_arg =
@@ -335,6 +447,8 @@ let () =
             figure_cmd;
             analyses_cmd;
             all_cmd;
+            regen_cmd;
+            cache_cmd;
             run_cmd;
             digest_cmd;
             factor_cmd;

@@ -21,6 +21,7 @@ module Protocol = Protocol
 module Communicator = Communicator
 module Metrics = Metrics
 module Tracing = Tracing
+module Replay = Replay
 module Backend = Backend
 module Backend_shm = Backend_shm
 module Backend_mp = Backend_mp

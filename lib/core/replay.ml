@@ -1,0 +1,85 @@
+type op = Work of float | Release of int
+
+type store = {
+  traces : (int, op array) Hashtbl.t;
+  mutable st_sealed : bool;
+  mutable st_poisoned : bool;
+}
+
+let create_store () =
+  { traces = Hashtbl.create 256; st_sealed = false; st_poisoned = false }
+
+let seal s = s.st_sealed <- true
+
+let sealed s = s.st_sealed
+
+let poison s =
+  s.st_poisoned <- true;
+  Hashtbl.reset s.traces
+
+let poisoned s = s.st_poisoned
+
+let trace_count s = Hashtbl.length s.traces
+
+type mode = Record | Replay
+
+type t = {
+  store : store;
+  t_mode : mode;
+  bufs : (int, op list ref) Hashtbl.t;
+      (** record mode: open per-task buffers, keyed by tid so interleaved
+          bodies (a body that yields to the engine mid-execution) cannot
+          corrupt each other's streams *)
+  mutable n_replayed : int;
+  mutable n_recorded : int;
+}
+
+let make store t_mode =
+  { store; t_mode; bufs = Hashtbl.create 8; n_replayed = 0; n_recorded = 0 }
+
+let recorder store =
+  if store.st_sealed then
+    invalid_arg "Replay.recorder: store is already sealed";
+  make store Record
+
+let replayer store =
+  if not store.st_sealed then
+    invalid_arg "Replay.replayer: store is not sealed";
+  make store Replay
+
+let mode h = h.t_mode
+
+let store_of h = h.store
+
+let trace h ~tid =
+  match h.t_mode with
+  | Record -> None
+  | Replay ->
+      if h.store.st_poisoned then None else Hashtbl.find_opt h.store.traces tid
+
+let task_begin h ~tid =
+  if h.t_mode = Record && not h.store.st_poisoned then
+    Hashtbl.replace h.bufs tid (ref [])
+
+let record h ~tid op =
+  match Hashtbl.find_opt h.bufs tid with
+  | Some buf -> buf := op :: !buf
+  | None -> ()
+
+let task_end h ~tid ~ok =
+  match Hashtbl.find_opt h.bufs tid with
+  | None -> ()
+  | Some buf ->
+      Hashtbl.remove h.bufs tid;
+      if ok then begin
+        Hashtbl.replace h.store.traces tid
+          (Array.of_list (List.rev !buf));
+        h.n_recorded <- h.n_recorded + 1
+      end
+      else poison h.store
+
+let note_replayed h = h.n_replayed <- h.n_replayed + 1
+
+let replayed h = h.n_replayed
+
+let recorded h = h.n_recorded

@@ -1,0 +1,88 @@
+(** Cross-configuration task record/replay.
+
+    For a fixed (application, problem size, nprocs, placement) the Jade
+    programs in this reproduction create the same task graph and perform
+    the same numeric work whatever the simulated machine or optimization
+    configuration — only scheduling and communication differ. A {!store}
+    exploits that: the first run of such a group executes task bodies for
+    real and records, per deterministic task id, every simulation-visible
+    effect the body produced (mid-body [Runtime.work] charges and
+    [Runtime.release] commits, in order). Subsequent runs in the group
+    replay the recorded effects instead of re-executing the float kernels,
+    which is byte-identical because a task body's only influence on the
+    simulation is exactly that op stream — payload mutations feed later
+    bodies (also replayed) and the result closures (unused by the
+    experiment harness), never the metrics.
+
+    A body that creates tasks or shared objects mid-execution cannot be
+    replayed this way; recording detects this and poisons the whole store,
+    after which replay runs fall back to executing every body for real.
+
+    Lifecycle: {!create_store}, one {!recorder} run, {!seal}, then any
+    number of concurrent {!replayer} runs (a sealed store is read-only, so
+    replayers may run on separate domains). *)
+
+(** One simulation-visible effect of a task body, in execution order. *)
+type op =
+  | Work of float  (** a [Runtime.work] charge, in flops *)
+  | Release of int  (** a [Runtime.release] of the given spec slot *)
+
+type store
+
+val create_store : unit -> store
+
+(** Recording finished: freeze the store. Replayers may only be created
+    from a sealed store. *)
+val seal : store -> unit
+
+val sealed : store -> bool
+
+(** Mark the store unusable (some task proved non-replayable). Replayers
+    of a poisoned store execute every body for real. *)
+val poison : store -> unit
+
+val poisoned : store -> bool
+
+(** Recorded task traces in the store. *)
+val trace_count : store -> int
+
+type mode = Record | Replay
+
+(** A per-run handle over a store. *)
+type t
+
+(** A handle that records into [store] (which must be unsealed). *)
+val recorder : store -> t
+
+(** A handle that replays from [store]. Raises [Invalid_argument] if the
+    store is not sealed. *)
+val replayer : store -> t
+
+val mode : t -> mode
+
+val store_of : t -> store
+
+(** [trace h ~tid] is the recorded op stream for task [tid], or [None]
+    when the handle records, the store is poisoned, or the task has no
+    trace (replay then falls back to executing the body). *)
+val trace : t -> tid:int -> op array option
+
+(** Record-mode: open the recording buffer for task [tid]. *)
+val task_begin : t -> tid:int -> unit
+
+(** Append an op to task [tid]'s open buffer (no-op when the handle does
+    not record or the buffer is not open). *)
+val record : t -> tid:int -> op -> unit
+
+(** Record-mode: close task [tid]'s buffer. [ok:false] (the body created
+    tasks or objects) discards the trace and poisons the store. *)
+val task_end : t -> tid:int -> ok:bool -> unit
+
+(** Count one task whose body was replayed from the store. *)
+val note_replayed : t -> unit
+
+(** Tasks replayed through this handle. *)
+val replayed : t -> int
+
+(** Tasks recorded through this handle. *)
+val recorded : t -> int

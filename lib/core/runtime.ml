@@ -46,6 +46,7 @@ let on_drain () = "drain"
 type t = {
   core : Backend.core;
   backend : Backend.ops;
+  replay : Replay.t option;
   mutable obj_counter : int;
   mutable task_counter : int;
 }
@@ -68,7 +69,7 @@ let validate_machine ~machine ~nprocs =
   | Ipsc _ -> Backend_mp.validate ~nprocs
   | Lan _ -> Backend_lan.validate ~nprocs
 
-let make ?trace cfg machine nprocs =
+let make ?trace ?replay cfg machine nprocs =
   (* Event-queue population scales with the processor count (dispatchers,
      mailboxes, in-flight fabric messages): pre-size the heap so large
      runs never pay the growth-doubling cascade. *)
@@ -114,7 +115,7 @@ let make ?trace cfg machine nprocs =
   enable_cell := backend.Backend.on_enable;
   commit_cell := backend.Backend.on_write_commit;
   core.Backend.stop_hook <- backend.Backend.stop;
-  { core; backend; obj_counter = 0; task_counter = 0 }
+  { core; backend; replay; obj_counter = 0; task_counter = 0 }
 
 (* ------------------------------------------------------------------ *)
 (* Public program API *)
@@ -129,6 +130,47 @@ let create_object t ?(home = 0) ~name ~size data =
   in
   Shared.make meta data
 
+(* Apply one recorded body effect. Mirrors exactly what [work] and
+   [release] below do when the body runs for real, so a replayed task is
+   indistinguishable from an executed one to the simulation. *)
+let replay_op t task proc = function
+  | Replay.Work flops ->
+      if not t.core.Backend.cfg.Config.work_free then begin
+        task.Taskrec.fl.Taskrec.charged <-
+          task.Taskrec.fl.Taskrec.charged +. flops;
+        Mnode.occupy t.core.Backend.nodes.(proc)
+          (flops /. t.backend.Backend.flop_rate)
+      end
+  | Replay.Release slot ->
+      t.core.Backend.ctx_proc <- proc;
+      Synchronizer.release t.core.Backend.sync task
+        (fst task.Taskrec.spec.(slot))
+
+(* Execute a task body under the runtime's replay handle (if any).
+   Replay: a recorded trace substitutes for the body. Record: run the
+   body for real and capture its op stream; a body that creates tasks or
+   shared objects mid-execution is not replayable and poisons the store.
+   No handle, no trace (fallback), or record-into-poisoned-store all
+   execute the body unchanged. *)
+let dispatch_body t body task proc =
+  match t.replay with
+  | None -> body { env_task = task; proc; env_rt = t }
+  | Some h -> (
+      let tid = task.Taskrec.tid in
+      match Replay.trace h ~tid with
+      | Some ops ->
+          Replay.note_replayed h;
+          Array.iter (replay_op t task proc) ops
+      | None -> (
+          match Replay.mode h with
+          | Replay.Replay -> body { env_task = task; proc; env_rt = t }
+          | Replay.Record ->
+              Replay.task_begin h ~tid;
+              let objs0 = t.obj_counter and tasks0 = t.task_counter in
+              body { env_task = task; proc; env_rt = t };
+              Replay.task_end h ~tid
+                ~ok:(t.obj_counter = objs0 && t.task_counter = tasks0)))
+
 let withonly t ?placement ?(wait = false) ~name ~work ~accesses body =
   let c = t.core in
   (match placement with
@@ -139,7 +181,7 @@ let withonly t ?placement ?(wait = false) ~name ~work ~accesses body =
   let spec = Spec.create () in
   accesses spec;
   t.task_counter <- t.task_counter + 1;
-  let wrapped task proc = body { env_task = task; proc; env_rt = t } in
+  let wrapped task proc = dispatch_body t body task proc in
   let task =
     Taskrec.create ~tid:t.task_counter ~tname:name ~spec:(Spec.entries spec)
       ~body:wrapped ~work ~placement ~now:(Engine.now c.Backend.eng)
@@ -180,6 +222,10 @@ let env_proc env = env.proc
 let work env flops =
   if flops < 0.0 then invalid_arg "Runtime.work: negative flops";
   let t = env.env_rt in
+  (match t.replay with
+  | Some h ->
+      Replay.record h ~tid:env.env_task.Taskrec.tid (Replay.Work flops)
+  | None -> ());
   let c = t.core in
   if not c.Backend.cfg.Config.work_free then begin
     env.env_task.Taskrec.fl.Taskrec.charged <-
@@ -189,7 +235,15 @@ let work env flops =
   end
 
 let release env shared =
-  let c = env.env_rt.core in
+  let t = env.env_rt in
+  (match t.replay with
+  | Some h -> (
+      match Taskrec.spec_slot env.env_task (Shared.meta shared) with
+      | slot ->
+          Replay.record h ~tid:env.env_task.Taskrec.tid (Replay.Release slot)
+      | exception Not_found -> ())
+  | None -> ());
+  let c = t.core in
   c.Backend.ctx_proc <- env.proc;
   Synchronizer.release c.Backend.sync env.env_task (Shared.meta shared)
 
@@ -207,11 +261,12 @@ let drain t =
 (* ------------------------------------------------------------------ *)
 (* Top level *)
 
-let run_with ?(config = Config.default) ?trace ~machine ~nprocs main ~inspect =
+let run_with ?(config = Config.default) ?trace ?replay ~machine ~nprocs main
+    ~inspect =
   validate_machine ~machine ~nprocs;
   if config.Config.target_tasks < 1 then
     invalid_arg "Runtime.run: target_tasks must be >= 1";
-  let t = make ?trace config machine nprocs in
+  let t = make ?trace ?replay config machine nprocs in
   let c = t.core in
   t.backend.Backend.start ();
   Engine.spawn ~name:"main" c.Backend.eng (fun () ->
@@ -236,5 +291,7 @@ let run_with ?(config = Config.default) ?trace ~machine ~nprocs main ~inspect =
   let extra = inspect t c.Backend.metrics in
   (Metrics.summary c.Backend.metrics, extra)
 
-let run ?config ?trace ~machine ~nprocs main =
-  fst (run_with ?config ?trace ~machine ~nprocs main ~inspect:(fun _ _ -> ()))
+let run ?config ?trace ?replay ~machine ~nprocs main =
+  fst
+    (run_with ?config ?trace ?replay ~machine ~nprocs main
+       ~inspect:(fun _ _ -> ()))

@@ -53,15 +53,20 @@ exception Deadlock of deadlock_report
     exception printer shows). *)
 val deadlock_to_string : deadlock_report -> string
 
-(** [run ?config ?trace ~machine ~nprocs main] executes the Jade program
-    [main]. Returns the metrics summary of the run. [trace], when given,
-    collects per-task lifecycle events (see {!Tracing}). Raises
-    {!Deadlock} if the program hangs (some task can never be enabled, or —
-    under an unreliable chaos configuration — a message needed to make
-    progress was lost and never retransmitted). *)
+(** [run ?config ?trace ?replay ~machine ~nprocs main] executes the Jade
+    program [main]. Returns the metrics summary of the run. [trace], when
+    given, collects per-task lifecycle events (see {!Tracing}). [replay],
+    when given, records or replays task-body effects (see {!Replay}): a
+    recording handle captures each body's [work]/[release] op stream
+    keyed by task id; a replaying handle substitutes recorded streams for
+    body execution, skipping the numeric kernels. Raises {!Deadlock} if
+    the program hangs (some task can never be enabled, or — under an
+    unreliable chaos configuration — a message needed to make progress
+    was lost and never retransmitted). *)
 val run :
   ?config:Config.t ->
   ?trace:Tracing.t ->
+  ?replay:Replay.t ->
   machine:machine ->
   nprocs:int ->
   (t -> unit) ->
@@ -72,6 +77,7 @@ val run :
 val run_with :
   ?config:Config.t ->
   ?trace:Tracing.t ->
+  ?replay:Replay.t ->
   machine:machine ->
   nprocs:int ->
   (t -> unit) ->

@@ -144,20 +144,21 @@ let eager_transfer_seq r =
    the target processor the first wake-up, not from waiting.
 
    These runs use modified machine-cost records, so they bypass the
-   runner's (app x machine x config) cache; the cell grid fans out over a
-   {!Pool} directly instead, and rows are assembled in fixed grid order. *)
-let ablation_steal_patience r =
+   runner's (app x machine x config) memo; each cell is a
+   {!Runner.run_custom} work unit instead — planned, fanned out and
+   disk-cached like any simulation — and rows are assembled in fixed grid
+   order. The cell keys carry the fixed paper-scale parameters, not the
+   runner's size, because the computation does not depend on it. *)
+let ablation_steal_patience_seq r =
   let patience_values = [ 0.0; 100e-6; 400e-6; 2e-3 ] in
   let cols = [ 4; 8; 16; 32 ] in
   let params = { Jade_apps.Ocean.paper_params with Jade_apps.Ocean.iters = 30 } in
-  let cells =
-    List.concat_map
-      (fun patience -> List.map (fun nprocs -> (patience, nprocs)) cols)
-      patience_values
-  in
-  let results =
-    Pool.map ~jobs:(Runner.jobs r)
-      (fun (patience, nprocs) ->
+  let cell patience nprocs =
+    Runner.run_custom r
+      ~key:
+        (Printf.sprintf "ablation-steal-patience ocean-paper-iters30 p=%g n=%d"
+           patience nprocs)
+      (fun () ->
         let machine =
           Jade.Runtime.Dash
             { Jade_machines.Costs.dash with Jade_machines.Costs.steal_patience = patience }
@@ -168,15 +169,12 @@ let ablation_steal_patience r =
         in
         let s = Jade.Runtime.run ~machine ~nprocs program in
         s.Jade.Metrics.locality_pct)
-      cells
-    |> Array.of_list
   in
-  let ncols = List.length cols in
   let rows =
-    List.mapi
-      (fun i patience ->
+    List.map
+      (fun patience ->
         ( Printf.sprintf "patience %.0f us" (patience *. 1e6),
-          List.mapi (fun j _ -> Some results.((i * ncols) + j)) cols ))
+          List.map (fun nprocs -> Some (cell patience nprocs)) cols ))
       patience_values
   in
   {
@@ -192,7 +190,7 @@ let ablation_steal_patience r =
    machines, message-passing machines and workstation networks). Beyond
    the paper's measured platforms: the same four applications on a
    simulated Ethernet-class LAN of workstations. *)
-let portability r =
+let portability_seq r =
   let machines =
     [ ("DASH", Jade.Runtime.dash); ("iPSC/860", Jade.Runtime.ipsc860);
       ("LAN", Jade.Runtime.lan) ]
@@ -222,27 +220,23 @@ let portability r =
     ]
   in
   let nprocs = 8 in
-  (* Direct runs on a bespoke machine list (the LAN has no runner cache
-     entry): parallelize the app x machine grid over a {!Pool}. *)
-  let cells =
-    List.concat_map
-      (fun (app_label, make) ->
-        List.map (fun (_, machine) -> (app_label, make, machine)) machines)
-      apps
-  in
-  let results =
-    Pool.map ~jobs:(Runner.jobs r)
-      (fun (_, make, machine) ->
+  (* Direct runs on a bespoke machine list (the LAN has no runner memo
+     entry): each (app, machine) cell is a {!Runner.run_custom} unit. The
+     keys carry the apps' fixed bench/test parameter sets, independent of
+     the runner's size. *)
+  let cell (app_label, make) (machine_label, machine) =
+    Runner.run_custom r
+      ~key:
+        (Printf.sprintf "portability fixed-params app=%s machine=%s n=%d"
+           app_label machine_label nprocs)
+      (fun () ->
         let s = Jade.Runtime.run ~machine ~nprocs (make nprocs) in
         s.Jade.Metrics.elapsed_s)
-      cells
-    |> Array.of_list
   in
-  let nm = List.length machines in
   let rows =
-    List.mapi
-      (fun i (app_label, _) ->
-        (app_label, List.mapi (fun j _ -> Some results.((i * nm) + j)) machines))
+    List.map
+      (fun ((app_label, _) as app) ->
+        (app_label, List.map (fun m -> Some (cell app m)) machines))
       apps
   in
   {
@@ -254,9 +248,8 @@ let portability r =
     unit_label = "seconds";
   }
 
-(* Runner-backed analyses fan their simulations out via
-   {!Runner.parallel}; the two bespoke-machine analyses above carry their
-   own pool fan-out. *)
+(* Every analysis fans its simulations out via {!Runner.parallel} — the
+   two bespoke-machine analyses ride along as custom work units. *)
 let replication r ~app = Runner.parallel r (fun () -> replication_seq r ~app)
 
 let latency_hiding r = Runner.parallel r (fun () -> latency_hiding_seq r)
@@ -264,6 +257,11 @@ let latency_hiding r = Runner.parallel r (fun () -> latency_hiding_seq r)
 let concurrent_fetch r = Runner.parallel r (fun () -> concurrent_fetch_seq r)
 
 let eager_transfer r = Runner.parallel r (fun () -> eager_transfer_seq r)
+
+let ablation_steal_patience r =
+  Runner.parallel r (fun () -> ablation_steal_patience_seq r)
+
+let portability r = Runner.parallel r (fun () -> portability_seq r)
 
 let all r =
   Runner.parallel r (fun () ->
@@ -273,5 +271,6 @@ let all r =
         latency_hiding_seq r;
         concurrent_fetch_seq r;
         eager_transfer_seq r;
+        ablation_steal_patience_seq r;
+        portability_seq r;
       ])
-  @ [ ablation_steal_patience r; portability r ]

@@ -6,12 +6,32 @@ type table = {
   unit_label : string;
 }
 
+(* Sentinel for summaries that exist only to shape a run plan and must
+   never reach output. NaN-free (NaN would disappear into "-"/"nan" cells
+   and poison arithmetic silently) and negative, so downstream guards on
+   physically-nonnegative quantities stay finite. *)
+let poison = -987654.25
+
+let poison_int = -987654
+
+(* Deliberately [assert], not [failwith]: Runner's planning pass treats
+   [Assert_failure] as fatal (it swallows ordinary exceptions), so a table
+   built from planning-pass summaries aborts loudly instead of the leak
+   hiding behind the discarded planning output. *)
+let assert_unpoisoned t =
+  let ok v = v <> poison && v <> float_of_int poison_int in
+  List.iter
+    (fun ((_ : string), vs) ->
+      List.iter (function Some v -> assert (ok v) | None -> ()) vs)
+    t.rows
+
 let default_fmt v =
   if Float.abs v >= 1000.0 then Printf.sprintf "%.0f" v
   else if Float.abs v >= 10.0 then Printf.sprintf "%.2f" v
   else Printf.sprintf "%.3f" v
 
 let render ?(fmt = default_fmt) t =
+  assert_unpoisoned t;
   let cell = function Some v -> fmt v | None -> "-" in
   let header = "" :: t.columns in
   let body = List.map (fun (label, vs) -> label :: List.map cell vs) t.rows in
@@ -43,6 +63,7 @@ let csv_escape s =
   else s
 
 let to_csv t =
+  assert_unpoisoned t;
   let buf = Buffer.create 256 in
   Buffer.add_string buf
     (String.concat "," ("" :: List.map csv_escape t.columns));

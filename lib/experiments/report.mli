@@ -11,6 +11,20 @@ type table = {
   unit_label : string;  (** e.g. "seconds", "%", "Mbytes/s" *)
 }
 
+(** Sentinel value marking a summary fabricated during [Runner.parallel]'s
+    planning pass. NaN-free so it cannot propagate silently through
+    arithmetic into a plausible-looking cell, and negative so guards on
+    nonnegative quantities stay well-defined. {!render}, {!to_csv} and
+    {!render_comparison} assert that no cell carries it: planning-pass
+    summaries must never be rendered — collect tables inside
+    [Runner.parallel], render outside. *)
+val poison : float
+
+(** Integer companion of {!poison}, for the count fields of a poisoned
+    summary; cells equal to [float_of_int poison_int] trip the same
+    assertion. *)
+val poison_int : int
+
 (** Render with a given numeric format (default ["%.2f"]). *)
 val render : ?fmt:(float -> string) -> table -> string
 

@@ -1,0 +1,58 @@
+(** Persistent on-disk run cache for experiment work units.
+
+    Each {!Runner} work unit is content-addressed by a digest of its full
+    semantic identity — schema version, application, size parameters,
+    machine, processor count, and the complete [Jade.Config] including
+    the fault-injection spec (a chaos run and a clean run of the same
+    cell are different computations with different summaries, so the
+    fault spec must distinguish them). The digested value stored per key
+    is the unit's result: a [Jade.Metrics.summary] for a simulation, or a
+    float for a flop count. A warm invocation with the same cache
+    directory therefore performs zero simulation.
+
+    Entries are self-verifying: a version header plus an MD5 digest of
+    the payload bytes. A corrupted, truncated, or schema-stale entry is
+    removed with a warning on stderr and treated as a miss — the result
+    is recomputed, never a crash. Bumping {!schema_version} (required
+    whenever [Jade.Metrics.summary], [Jade.Config.t], or the simulation's
+    numeric behaviour changes) invalidates every existing entry the same
+    way. Writes are atomic (temp file + rename), so concurrent
+    regenerations sharing a directory cannot observe torn entries. *)
+
+(** Bump on any change to the cached value types or to the simulation's
+    observable numbers. *)
+val schema_version : int
+
+type value =
+  | Summary of Jade.Metrics.summary  (** result of a simulated work unit *)
+  | Flops of float  (** a serial/total flop count *)
+
+type t
+
+(** Open (creating if needed) the cache rooted at [dir]. *)
+val create : dir:string -> t
+
+val dir : t -> string
+
+(** Content digest (hex) of an ordered list of key components. *)
+val digest_key : string list -> string
+
+(** Look up an entry; removes and misses on corruption or stale schema. *)
+val find : t -> digest:string -> value option
+
+(** Atomically persist an entry. *)
+val store : t -> digest:string -> value -> unit
+
+(** [(entries, total_bytes)] currently on disk. *)
+val dir_stats : t -> int * int
+
+(** Remove every cache entry (and last-run stats); returns the number of
+    entries removed. *)
+val clear : t -> int
+
+(** Record the lookup/hit counters of a finished run, for
+    [repro cache stats]. *)
+val write_last_run : t -> lookups:int -> hits:int -> unit
+
+(** [(lookups, hits)] of the most recent recorded run, if any. *)
+val read_last_run : t -> (int * int) option

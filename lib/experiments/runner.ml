@@ -70,8 +70,24 @@ type key = {
   k_placed : bool;
 }
 
-(* A unit of cacheable work discovered during a planning pass. *)
-type work = Sim of key | Serial_flops of app | Total_flops of app
+(* A unit of cacheable work discovered during a planning pass. [Custom]
+   names a caller-registered thunk (see {!run_custom}); the name, not the
+   closure, lives in the work list so plans stay comparable/sortable. *)
+type work =
+  | Sim of key
+  | Serial_flops of app
+  | Total_flops of app
+  | Custom of string
+
+(* The replay group of a simulation: within a fixed (app, nprocs, placed)
+   — the runner already fixes the size — every machine and optimization
+   configuration creates the identical task graph and numeric work, so one
+   recorded run's per-task op streams replay for all of them. [work_free]
+   configs are excluded (their bodies never execute, so they neither
+   record nor need the recorded kernels). *)
+type group = { g_app : app; g_nprocs : int; g_placed : bool }
+
+type stats = { cache_lookups : int; cache_hits : int; replayed_tasks : int }
 
 type t = {
   sz : size;
@@ -79,28 +95,45 @@ type t = {
   fault : Jade_net.Fault.spec option;
       (** chaos plan folded into every run's config (before the memo key is
           built, so chaos results never alias fault-free ones) *)
+  use_replay : bool;  (** cross-configuration record/replay enabled *)
+  disk : Runcache.t option;  (** persistent result cache, when configured *)
   lock : Mutex.t;  (** guards every mutable field below *)
   cache : (key, Jade.Metrics.summary) Hashtbl.t;
   serial_flops : (app, float) Hashtbl.t;
   total_flops : (app, float) Hashtbl.t;
+  customs : (string, unit -> float) Hashtbl.t;
+      (** thunks registered by {!run_custom} during a planning pass *)
+  custom_results : (string, float) Hashtbl.t;
+  stores : (group, Jade.Replay.store) Hashtbl.t;
   mutable plan : work list option;
       (** [Some acc] while a {!parallel} planning pass records the runs a
           computation needs (reversed); [None] during normal execution *)
   mutable events : int;  (** engine events across every simulation executed *)
+  mutable n_cache_lookups : int;  (** disk-cache probes *)
+  mutable n_cache_hits : int;  (** disk-cache probes that hit *)
+  mutable n_replayed_tasks : int;  (** task bodies replayed, not executed *)
 }
 
-let create ?jobs ?fault sz =
+let create ?jobs ?fault ?cache_dir ?(replay = true) sz =
   let jobs = match jobs with Some j -> max 1 j | None -> Pool.default_jobs () in
   {
     sz;
     jobs;
     fault;
+    use_replay = replay;
+    disk = Option.map (fun dir -> Runcache.create ~dir) cache_dir;
     lock = Mutex.create ();
     cache = Hashtbl.create 64;
     serial_flops = Hashtbl.create 8;
     total_flops = Hashtbl.create 8;
+    customs = Hashtbl.create 8;
+    custom_results = Hashtbl.create 8;
+    stores = Hashtbl.create 16;
     plan = None;
     events = 0;
+    n_cache_lookups = 0;
+    n_cache_hits = 0;
+    n_replayed_tasks = 0;
   }
 
 let size t = t.sz
@@ -110,6 +143,23 @@ let jobs t = t.jobs
 let locked t f = Mutex.protect t.lock f
 
 let events_simulated t = locked t (fun () -> t.events)
+
+let stats t =
+  locked t (fun () ->
+      {
+        cache_lookups = t.n_cache_lookups;
+        cache_hits = t.n_cache_hits;
+        replayed_tasks = t.n_replayed_tasks;
+      })
+
+let cache_dir t = Option.map Runcache.dir t.disk
+
+let flush_cache_stats t =
+  match t.disk with
+  | None -> ()
+  | Some d ->
+      let s = stats t in
+      Runcache.write_last_run d ~lookups:s.cache_lookups ~hits:s.cache_hits
 
 let jade_machine = function
   | Dash -> Jade.Runtime.dash
@@ -133,71 +183,197 @@ let make_program t app ~kind ~placed ~nprocs =
       fst (Jade_apps.Cholesky.make (cholesky_params t.sz) ~kind ~placed ~nprocs)
 
 (* ------------------------------------------------------------------ *)
-(* Raw (cache-free) computation of each work unit. These are what pool
-   workers execute: they touch only immutable runner state, so they can
-   run on any domain. *)
+(* Persistent cache addressing. A work unit's identity is everything
+   that can change its result: the schema version (in the entry header),
+   the app and its actual size parameters (marshalled, so a retuned
+   Bench instance invalidates naturally), the machine, the processor
+   count, the placement variant, and the complete [Jade.Config] —
+   including the fault spec, because a chaos run and a clean run of the
+   same cell are different computations with different summaries. *)
 
-let compute_sim t { k_app; k_machine; k_nprocs; k_config; k_placed } =
+let params_blob t = function
+  | Water -> Marshal.to_string (water_params t.sz) []
+  | String_ -> Marshal.to_string (string_params t.sz) []
+  | Ocean -> Marshal.to_string (ocean_params t.sz) []
+  | Cholesky -> Marshal.to_string (cholesky_params t.sz) []
+
+let sim_parts t key =
+  [
+    "sim";
+    app_name key.k_app;
+    params_blob t key.k_app;
+    machine_name key.k_machine;
+    string_of_int key.k_nprocs;
+    (if key.k_placed then "placed" else "unplaced");
+    Marshal.to_string key.k_config [];
+  ]
+
+let flops_parts t tag app = [ tag; app_name app; params_blob t app ]
+
+(* Custom units are addressed purely by the caller's key string: the
+   caller must encode every input of the computation in it (including
+   problem scale if the thunk depends on the runner's size). *)
+let custom_parts name = [ "custom"; name ]
+
+let disk_find t parts =
+  match t.disk with
+  | None -> None
+  | Some d ->
+      let r = Runcache.find d ~digest:(Runcache.digest_key parts) in
+      locked t (fun () ->
+          t.n_cache_lookups <- t.n_cache_lookups + 1;
+          if r <> None then t.n_cache_hits <- t.n_cache_hits + 1);
+      r
+
+let disk_store t parts v =
+  match t.disk with
+  | None -> ()
+  | Some d -> Runcache.store d ~digest:(Runcache.digest_key parts) v
+
+(* ------------------------------------------------------------------ *)
+(* Raw computation of each work unit. These are what pool workers
+   execute: they touch runner state only under the lock, so they can run
+   on any domain. *)
+
+(* The replay handle for one simulation: the group's first simulated run
+   records (it created the group's store), later runs replay from the
+   sealed store. A concurrently-recording (unsealed) store yields no
+   handle — the run executes its bodies for real, which is always
+   correct, just not accelerated. *)
+let replay_handle t key =
+  if (not t.use_replay) || key.k_config.Jade.Config.work_free then None
+  else
+    locked t (fun () ->
+        let g =
+          { g_app = key.k_app; g_nprocs = key.k_nprocs; g_placed = key.k_placed }
+        in
+        match Hashtbl.find_opt t.stores g with
+        | Some store ->
+            if Jade.Replay.sealed store then Some (Jade.Replay.replayer store)
+            else None
+        | None ->
+            let store = Jade.Replay.create_store () in
+            Hashtbl.add t.stores g store;
+            Some (Jade.Replay.recorder store))
+
+let simulate t ({ k_app; k_machine; k_nprocs; k_config; k_placed } as key) =
+  let handle = replay_handle t key in
   let program =
     make_program t k_app ~kind:(kind_of k_machine) ~placed:k_placed
       ~nprocs:k_nprocs
   in
-  Jade.Runtime.run ~config:k_config ~machine:(jade_machine k_machine)
-    ~nprocs:k_nprocs program
+  let s =
+    Jade.Runtime.run ?replay:handle ~config:k_config
+      ~machine:(jade_machine k_machine) ~nprocs:k_nprocs program
+  in
+  (match handle with
+  | None -> ()
+  | Some h -> (
+      match Jade.Replay.mode h with
+      | Jade.Replay.Record ->
+          (* Poisoned or not, seal: replayers of a poisoned store fall
+             back to executing every body, which is still correct. *)
+          Jade.Replay.seal (Jade.Replay.store_of h)
+      | Jade.Replay.Replay ->
+          locked t (fun () ->
+              t.n_replayed_tasks <-
+                t.n_replayed_tasks + Jade.Replay.replayed h)));
+  s
+
+(* Disk-aware computation: the boolean reports whether a simulation
+   actually ran (a disk hit must not count engine events). *)
+let compute_sim t key =
+  match disk_find t (sim_parts t key) with
+  | Some (Runcache.Summary s) -> (s, false)
+  | Some (Runcache.Flops _) | None ->
+      let s = simulate t key in
+      disk_store t (sim_parts t key) (Runcache.Summary s);
+      (s, true)
+
+let flops_cached t parts compute =
+  match disk_find t parts with
+  | Some (Runcache.Flops f) -> f
+  | Some (Runcache.Summary _) | None ->
+      let f = compute () in
+      disk_store t parts (Runcache.Flops f);
+      f
 
 let compute_serial_flops t app =
-  match app with
-  | Water -> snd (Jade_apps.Water.serial (water_params t.sz))
-  | String_ -> snd (String_app.serial (string_params t.sz))
-  | Ocean -> snd (Jade_apps.Ocean.serial (ocean_params t.sz) ~nprocs:32)
-  | Cholesky -> snd (Jade_apps.Cholesky.serial (cholesky_params t.sz))
+  flops_cached t
+    (flops_parts t "serial_flops" app)
+    (fun () ->
+      match app with
+      | Water -> snd (Jade_apps.Water.serial (water_params t.sz))
+      | String_ -> snd (String_app.serial (string_params t.sz))
+      | Ocean -> snd (Jade_apps.Ocean.serial (ocean_params t.sz) ~nprocs:32)
+      | Cholesky -> snd (Jade_apps.Cholesky.serial (cholesky_params t.sz)))
 
 let compute_total_flops t app =
-  match app with
-  | Water -> Jade_apps.Water.total_work (water_params t.sz) ~nprocs:1
-  | String_ -> String_app.total_work (string_params t.sz) ~nprocs:1
-  | Ocean -> Jade_apps.Ocean.total_work (ocean_params t.sz) ~nprocs:32
-  | Cholesky -> Jade_apps.Cholesky.total_work (cholesky_params t.sz) ~nprocs:1
+  flops_cached t
+    (flops_parts t "total_flops" app)
+    (fun () ->
+      match app with
+      | Water -> Jade_apps.Water.total_work (water_params t.sz) ~nprocs:1
+      | String_ -> String_app.total_work (string_params t.sz) ~nprocs:1
+      | Ocean -> Jade_apps.Ocean.total_work (ocean_params t.sz) ~nprocs:32
+      | Cholesky ->
+          Jade_apps.Cholesky.total_work (cholesky_params t.sz) ~nprocs:1)
+
+let compute_custom t name =
+  match disk_find t (custom_parts name) with
+  | Some (Runcache.Flops f) -> f
+  | Some (Runcache.Summary _) | None ->
+      let thunk =
+        match locked t (fun () -> Hashtbl.find_opt t.customs name) with
+        | Some f -> f
+        | None -> invalid_arg ("Runner: unregistered custom work unit " ^ name)
+      in
+      let f = thunk () in
+      disk_store t (custom_parts name) (Runcache.Flops f);
+      f
 
 (* ------------------------------------------------------------------ *)
 (* Cache (domain-safe: results computed off the main domain are merged
    under the lock, keyed and deduplicated, so cache contents — and the
    tables rendered from them — are independent of completion order). *)
 
-let cache_add_sim t key s =
+let cache_add_sim t key s ~simulated =
   locked t (fun () ->
       if not (Hashtbl.mem t.cache key) then begin
         Hashtbl.add t.cache key s;
-        t.events <- t.events + s.Jade.Metrics.event_count
+        if simulated then t.events <- t.events + s.Jade.Metrics.event_count
       end)
 
-(* Placeholder returned while planning: the values are never rendered (the
-   replay pass recomputes against the warm cache); they only need to keep
-   arithmetic on the planning pass well-behaved. *)
+(* Placeholder returned while planning: a clearly-poisoned summary. The
+   values are never rendered (the replay pass recomputes against the warm
+   cache; {!Report.render} asserts no poisoned cell leaks); NaN-free and
+   negative so planning-pass arithmetic and sign guards stay
+   well-behaved. *)
 let planning_summary =
+  let p = Report.poison and pi = Report.poison_int in
   {
-    Jade.Metrics.tasks = 0;
-    elapsed_s = 1.0;
-    locality_pct = 0.0;
-    task_time_s = 1.0;
-    compute_time_s = 1.0;
-    comm_time_s = 0.0;
-    comm_mbytes = 0.0;
-    comm_to_comp = 0.0;
-    msg_count = 0;
-    fetches = 0;
-    object_latency_s = 0.0;
-    task_latency_s = 1.0;
-    latency_ratio = 1.0;
-    broadcast_count = 0;
-    eager_count = 0;
-    steal_count = 0;
+    Jade.Metrics.tasks = pi;
+    elapsed_s = p;
+    locality_pct = p;
+    task_time_s = p;
+    compute_time_s = p;
+    comm_time_s = p;
+    comm_mbytes = p;
+    comm_to_comp = p;
+    msg_count = pi;
+    fetches = pi;
+    object_latency_s = p;
+    task_latency_s = p;
+    latency_ratio = p;
+    broadcast_count = pi;
+    eager_count = pi;
+    steal_count = pi;
     event_count = 0;
-    retransmit_count = 0;
-    ack_count = 0;
-    give_up_count = 0;
-    dropped_count = 0;
-    duplicated_count = 0;
+    retransmit_count = pi;
+    ack_count = pi;
+    give_up_count = pi;
+    dropped_count = pi;
+    duplicated_count = pi;
   }
 
 let record t w =
@@ -224,12 +400,13 @@ let run t ~app ~machine ~nprocs ~config ~placed =
         planning_summary
       end
       else begin
-        let s = compute_sim t key in
-        cache_add_sim t key s;
+        let s, simulated = compute_sim t key in
+        cache_add_sim t key s ~simulated;
         s
       end
 
-(* A traced run bypasses the cache: tracing mutates external state. *)
+(* A traced run bypasses the cache and replay: tracing mutates external
+   state and wants the real execution. *)
 let run_traced t ~trace ~app ~machine ~nprocs ~config ~placed =
   let config = with_fault t config in
   let program = make_program t app ~kind:(kind_of machine) ~placed ~nprocs in
@@ -250,7 +427,7 @@ let flops_memo t table compute_it work_of app =
   | None ->
       if t.plan <> None then begin
         record t (work_of app);
-        1.0
+        Report.poison
       end
       else begin
         let f = compute_it t app in
@@ -269,6 +446,24 @@ let serial_time t ~app ~machine = serial_flops t app /. flops_of machine
 
 let stripped_time t ~app ~machine = total_flops t app /. flops_of machine
 
+let run_custom t ~key:name thunk =
+  match locked t (fun () -> Hashtbl.find_opt t.custom_results name) with
+  | Some v -> v
+  | None ->
+      if t.plan <> None then begin
+        locked t (fun () -> Hashtbl.replace t.customs name thunk);
+        record t (Custom name);
+        Report.poison
+      end
+      else begin
+        locked t (fun () -> Hashtbl.replace t.customs name thunk);
+        let v = compute_custom t name in
+        locked t (fun () ->
+            if not (Hashtbl.mem t.custom_results name) then
+              Hashtbl.add t.custom_results name v);
+        v
+      end
+
 let task_management_pct t ~app ~machine ~nprocs ~level =
   let placed = level = Tp in
   let config = config_of_level level in
@@ -281,40 +476,78 @@ let task_management_pct t ~app ~machine ~nprocs ~level =
 (* ------------------------------------------------------------------ *)
 (* Parallel evaluation: plan, warm, replay. *)
 
-type warm_result = W_sim of Jade.Metrics.summary | W_flops of float
+type warm_result =
+  | W_sim of Jade.Metrics.summary * bool
+  | W_flops of float
+  | W_custom of float
 
 let not_cached t = function
   | Sim key -> locked t (fun () -> not (Hashtbl.mem t.cache key))
   | Serial_flops app -> locked t (fun () -> not (Hashtbl.mem t.serial_flops app))
   | Total_flops app -> locked t (fun () -> not (Hashtbl.mem t.total_flops app))
+  | Custom name -> locked t (fun () -> not (Hashtbl.mem t.custom_results name))
+
+let warm_phase t works =
+  if works <> [] then begin
+    let thunks =
+      List.map
+        (fun w () ->
+          match w with
+          | Sim key ->
+              let s, simulated = compute_sim t key in
+              W_sim (s, simulated)
+          | Serial_flops app -> W_flops (compute_serial_flops t app)
+          | Total_flops app -> W_flops (compute_total_flops t app)
+          | Custom name -> W_custom (compute_custom t name))
+        works
+    in
+    let results = Pool.run ~jobs:t.jobs thunks in
+    List.iter2
+      (fun w r ->
+        match (w, r) with
+        | Sim key, W_sim (s, simulated) -> cache_add_sim t key s ~simulated
+        | Serial_flops app, W_flops f ->
+            locked t (fun () ->
+                if not (Hashtbl.mem t.serial_flops app) then
+                  Hashtbl.add t.serial_flops app f)
+        | Total_flops app, W_flops f ->
+            locked t (fun () ->
+                if not (Hashtbl.mem t.total_flops app) then
+                  Hashtbl.add t.total_flops app f)
+        | Custom name, W_custom f ->
+            locked t (fun () ->
+                if not (Hashtbl.mem t.custom_results name) then
+                  Hashtbl.add t.custom_results name f)
+        | _ -> assert false)
+      works results
+  end
 
 let warm t works =
   let works = List.sort_uniq compare works in
   let works = List.filter (not_cached t) works in
-  let thunks =
-    List.map
-      (fun w () ->
+  (* Two phases: each replay group's representative must finish recording
+     (and seal its store) before the group's other configurations can
+     replay from it. Phase one holds one simulation per group plus all
+     ungroupable work; phase two holds the replayers. *)
+  let seen = Hashtbl.create 16 in
+  let phase1, phase2 =
+    List.partition
+      (fun w ->
         match w with
-        | Sim key -> W_sim (compute_sim t key)
-        | Serial_flops app -> W_flops (compute_serial_flops t app)
-        | Total_flops app -> W_flops (compute_total_flops t app))
+        | Sim k when t.use_replay && not k.k_config.Jade.Config.work_free ->
+            let g =
+              { g_app = k.k_app; g_nprocs = k.k_nprocs; g_placed = k.k_placed }
+            in
+            if Hashtbl.mem seen g then false
+            else begin
+              Hashtbl.add seen g ();
+              true
+            end
+        | _ -> true)
       works
   in
-  let results = Pool.run ~jobs:t.jobs thunks in
-  List.iter2
-    (fun w r ->
-      match (w, r) with
-      | Sim key, W_sim s -> cache_add_sim t key s
-      | Serial_flops app, W_flops f ->
-          locked t (fun () ->
-              if not (Hashtbl.mem t.serial_flops app) then
-                Hashtbl.add t.serial_flops app f)
-      | Total_flops app, W_flops f ->
-          locked t (fun () ->
-              if not (Hashtbl.mem t.total_flops app) then
-                Hashtbl.add t.total_flops app f)
-      | _ -> assert false)
-    works results
+  warm_phase t phase1;
+  warm_phase t phase2
 
 let parallel t f =
   match t.plan with

@@ -1,6 +1,25 @@
 (** Experiment runner: executes (application x machine x processors x
     configuration) combinations and caches the metric summaries, since the
-    same run backs several tables and figures. *)
+    same run backs several tables and figures.
+
+    Two acceleration layers sit under the in-memory memo cache, both
+    output-preserving:
+
+    {ul
+    {- {b Cross-configuration record/replay} (on by default): for a fixed
+       (app, size, nprocs, placed), the task graph and every task's
+       numeric effect are identical across the machine and
+       optimization-configuration axes — only scheduling and
+       communication differ. The first simulated run of such a group
+       records each task body's op stream ({!Jade.Replay}); subsequent
+       runs in the group replay the streams instead of re-executing the
+       float kernels. Byte-identical by construction; [~replay:false]
+       turns it off.}
+    {- {b Persistent disk cache} ([?cache_dir]): work units are
+       content-addressed by schema version, app, actual size parameters,
+       machine, nprocs and the full [Jade.Config] including the fault
+       spec ({!Runcache}); results persist across processes, so a warm
+       invocation performs zero simulation.}} *)
 
 type app = Water | String_ | Ocean | Cholesky
 
@@ -30,14 +49,22 @@ val config_of_level : level -> Jade.Config.t
 
 type t
 
-(** [create ?jobs ?fault size] makes a runner whose result cache is
-    domain-safe. [jobs] (default {!Pool.default_jobs}, clamped to at least
-    1) is the number of domains {!parallel} fans uncached simulations out
-    across. [fault], when given, is a deterministic chaos plan
-    ({!Jade_net.Fault}) folded into the configuration of every run this
-    runner executes — it participates in the memo key, so chaos results
-    never alias fault-free ones. *)
-val create : ?jobs:int -> ?fault:Jade_net.Fault.spec -> size -> t
+(** [create ?jobs ?fault ?cache_dir ?replay size] makes a runner whose
+    result cache is domain-safe. [jobs] (default {!Pool.default_jobs},
+    clamped to at least 1) is the number of domains {!parallel} fans
+    uncached simulations out across. [fault], when given, is a
+    deterministic chaos plan ({!Jade_net.Fault}) folded into the
+    configuration of every run this runner executes — it participates in
+    the memo key and the disk-cache key, so chaos results never alias
+    fault-free ones. [cache_dir] enables the persistent disk cache.
+    [replay] (default [true]) enables cross-configuration record/replay. *)
+val create :
+  ?jobs:int ->
+  ?fault:Jade_net.Fault.spec ->
+  ?cache_dir:string ->
+  ?replay:bool ->
+  size ->
+  t
 
 val size : t -> size
 
@@ -45,17 +72,37 @@ val size : t -> size
 val jobs : t -> int
 
 (** Total discrete-event engine events across every simulation this runner
-    has executed (cache misses and traced runs). *)
+    has executed (cache misses and traced runs). Replayed runs count in
+    full — they process the same event stream, only skipping the numeric
+    kernels — while disk-cache hits simulate nothing and count zero. *)
 val events_simulated : t -> int
+
+type stats = {
+  cache_lookups : int;  (** disk-cache probes (0 without [cache_dir]) *)
+  cache_hits : int;  (** probes answered from disk, skipping simulation *)
+  replayed_tasks : int;  (** task bodies replayed instead of executed *)
+}
+
+val stats : t -> stats
+
+(** The configured disk-cache directory, if any. *)
+val cache_dir : t -> string option
+
+(** Persist this run's disk-cache hit statistics (for
+    [repro cache stats]). No-op without [cache_dir]. *)
+val flush_cache_stats : t -> unit
 
 (** [parallel t f] evaluates [f ()] with its uncached simulations fanned
     out across [jobs t] domains. Three passes: a planning pass records the
-    runs [f] needs (returning placeholders instead of simulating), the
-    recorded runs execute on a {!Pool} and are merged into the cache keyed
-    and deduplicated, and [f] is replayed against the warm cache. The
-    result is byte-for-byte identical to a plain sequential [f ()]
-    whatever the jobs count or completion order. Nested calls are safe:
-    inner [parallel]s inside a planning pass just keep recording. *)
+    runs [f] needs (returning poisoned placeholders instead of
+    simulating — see {!Report.poison}), the recorded runs execute on a
+    {!Pool} and are merged into the cache keyed and deduplicated, and [f]
+    is replayed against the warm cache. The result is byte-for-byte
+    identical to a plain sequential [f ()] whatever the jobs count or
+    completion order. Nested calls are safe: inner [parallel]s inside a
+    planning pass just keep recording. Collect tables inside [f]; render
+    them outside — rendering a planning-pass placeholder trips the
+    {!Report} poison assertion. *)
 val parallel : t -> (unit -> 'a) -> 'a
 
 (** [run t ~app ~machine ~nprocs ~config ~placed] executes one simulation
@@ -70,8 +117,8 @@ val run :
   placed:bool ->
   Jade.Metrics.summary
 
-(** Like {!run} but uncached and collecting task-lifecycle events into
-    [trace]. *)
+(** Like {!run} but uncached, unreplayed, and collecting task-lifecycle
+    events into [trace]. *)
 val run_traced :
   t ->
   trace:Jade.Tracing.t ->
@@ -86,6 +133,15 @@ val run_traced :
     placement follows the level. *)
 val run_level :
   t -> app:app -> machine:machine -> nprocs:int -> level:level -> Jade.Metrics.summary
+
+(** [run_custom t ~key thunk] memoizes an arbitrary float-valued
+    computation as a first-class work unit: planned, fanned out and
+    disk-cached like a simulation. For experiment cells that bypass the
+    (app x machine x config) grid — bespoke machine-cost records, ad-hoc
+    parameter sets. [key] is the unit's complete identity: it must encode
+    every input of the computation ([thunk] is looked up by it and only
+    by it). *)
+val run_custom : t -> key:string -> (unit -> float) -> float
 
 (** Virtual execution time of the original serial program (its measured
     flop count over the machine's rate). *)

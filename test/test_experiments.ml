@@ -185,27 +185,193 @@ let test_analyses_render () =
     (Analyses.all r)
 
 (* Regression: the regeneration output is a pure function of the inputs,
-   whatever the worker-domain count — the planning/warm/replay passes in
-   [Runner.parallel] must make --jobs 4 byte-identical to --jobs 1. Hash
-   the full test-size repro output (every table and figure) under both
-   and compare digests, so any divergence anywhere in the output fails. *)
-let repro_digest ~jobs =
-  let r = Runner.create ~jobs Runner.Test in
+   whatever the worker-domain count, replay setting, or disk-cache state —
+   the planning/warm/replay passes in [Runner.parallel], the
+   cross-configuration record/replay layer, and the persistent cache must
+   all be invisible in the bytes. Hash the full test-size repro output
+   (every table, figure and analysis) and compare digests, so any
+   divergence anywhere in the output fails.
+
+   Tables are collected inside [Runner.parallel] and rendered outside:
+   the planning pass evaluates the closure against poisoned placeholder
+   summaries, and [Report.render] asserts none of those ever reach
+   output. *)
+let repro_digest ?fault ?cache_dir ?(replay = true) ~jobs () =
+  let r = Runner.create ~jobs ?fault ?cache_dir ~replay Runner.Test in
+  let tables =
+    Runner.parallel r (fun () ->
+        List.map (fun n -> Tables.table r n) (List.init 14 (fun i -> i + 1))
+        @ List.map (fun n -> Figures.figure r n) (List.init 20 (fun i -> i + 2))
+        @ Analyses.all r)
+  in
   let buf = Buffer.create 4096 in
-  Runner.parallel r (fun () ->
-      List.iter
-        (fun n -> Buffer.add_string buf (Report.render (Tables.table r n)))
-        (List.init 14 (fun i -> i + 1));
-      List.iter
-        (fun n -> Buffer.add_string buf (Report.render (Figures.figure r n)))
-        (List.init 20 (fun i -> i + 2)));
-  Digest.string (Buffer.contents buf)
+  List.iter (fun t -> Buffer.add_string buf (Report.render t)) tables;
+  (r, Digest.to_hex (Digest.string (Buffer.contents buf)))
 
 let test_repro_jobs_identical () =
   Alcotest.(check string)
     "jobs=1 and jobs=4 regenerate identical bytes"
-    (Digest.to_hex (repro_digest ~jobs:1))
-    (Digest.to_hex (repro_digest ~jobs:4))
+    (snd (repro_digest ~jobs:1 ()))
+    (snd (repro_digest ~jobs:4 ()))
+
+let chaos_fault = Jade_net.Fault.spec ~seed:1 ~drop_rate:0.2 ()
+
+(* Parity suite (clean and chaos): replay on vs off, then cold vs warm
+   disk cache, must all produce byte-identical output. *)
+let parity_digests ?fault () =
+  let reference = snd (repro_digest ?fault ~replay:false ~jobs:2 ()) in
+  let replay_on = snd (repro_digest ?fault ~replay:true ~jobs:2 ()) in
+  let dir = Filename.temp_dir "jade-test-cache" "" in
+  let cache_cold, cold_runner =
+    let r, d = repro_digest ?fault ~cache_dir:dir ~jobs:2 () in
+    (d, r)
+  in
+  let warm_runner, cache_warm = repro_digest ?fault ~cache_dir:dir ~jobs:2 () in
+  (reference, replay_on, cache_cold, cache_warm, cold_runner, warm_runner, dir)
+
+let check_parity name ?fault () =
+  let reference, replay_on, cache_cold, cache_warm, cold_r, warm_r, dir =
+    parity_digests ?fault ()
+  in
+  Alcotest.(check string) (name ^ ": replay off vs on") reference replay_on;
+  Alcotest.(check string) (name ^ ": cold disk cache") reference cache_cold;
+  Alcotest.(check string) (name ^ ": warm disk cache") reference cache_warm;
+  (* The cold run simulated and replayed; the warm run answered everything
+     from disk without simulating an event. *)
+  Alcotest.(check bool)
+    (name ^ ": cold run replayed task bodies")
+    true
+    ((Runner.stats cold_r).Runner.replayed_tasks > 0);
+  Alcotest.(check int) (name ^ ": warm run simulates nothing") 0
+    (Runner.events_simulated warm_r);
+  let warm_stats = Runner.stats warm_r in
+  Alcotest.(check bool)
+    (name ^ ": warm run hit on every lookup")
+    true
+    (warm_stats.Runner.cache_lookups > 0
+    && warm_stats.Runner.cache_hits = warm_stats.Runner.cache_lookups);
+  ignore (Runcache.clear (Runcache.create ~dir))
+
+let test_parity_clean () = check_parity "clean" ()
+
+let test_parity_chaos () = check_parity "chaos" ~fault:chaos_fault ()
+
+(* Corrupted or schema-stale cache entries are rejected with a warning
+   and recomputed — never a crash, and never wrong bytes. *)
+let cache_entry_files dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".jrc")
+  |> List.sort String.compare
+  |> List.map (Filename.concat dir)
+
+let test_cache_corruption_recovers () =
+  let dir = Filename.temp_dir "jade-test-cache" "" in
+  let _, reference = repro_digest ~cache_dir:dir ~jobs:1 () in
+  let entries = cache_entry_files dir in
+  Alcotest.(check bool) "cache has entries" true (List.length entries > 2);
+  (* Truncate one entry mid-payload, replace another's header with a
+     future schema version, and zero a third's payload bytes. *)
+  (match entries with
+  | e1 :: e2 :: e3 :: _ ->
+      let truncate file n =
+        let ic = open_in_bin file in
+        let raw = really_input_string ic (min n (in_channel_length ic)) in
+        close_in ic;
+        let oc = open_out_bin file in
+        output_string oc raw;
+        close_out oc
+      in
+      truncate e1 10;
+      let oc = open_out_bin e2 in
+      output_string oc "jade-runcache 999999\nsome stale payload bytes here";
+      close_out oc;
+      let ic = open_in_bin e3 in
+      let raw = Bytes.of_string (really_input_string ic (in_channel_length ic)) in
+      close_in ic;
+      Bytes.fill raw (Bytes.length raw - 8) 8 '\000';
+      let oc = open_out_bin e3 in
+      output_bytes oc raw;
+      close_out oc
+  | _ -> Alcotest.fail "expected at least three cache entries");
+  let warm_r, redone = repro_digest ~cache_dir:dir ~jobs:1 () in
+  Alcotest.(check string) "damaged entries recomputed, output identical"
+    reference redone;
+  Alcotest.(check bool) "damaged entries were misses" true
+    ((Runner.stats warm_r).Runner.cache_hits
+    < (Runner.stats warm_r).Runner.cache_lookups);
+  ignore (Runcache.clear (Runcache.create ~dir))
+
+(* Unit tests of the record/replay store lifecycle. *)
+let test_replay_lifecycle () =
+  let store = Jade.Replay.create_store () in
+  let h = Jade.Replay.recorder store in
+  Jade.Replay.task_begin h ~tid:1;
+  Jade.Replay.record h ~tid:1 (Jade.Replay.Work 5.0);
+  Jade.Replay.record h ~tid:1 (Jade.Replay.Release 0);
+  Jade.Replay.task_end h ~tid:1 ~ok:true;
+  Alcotest.(check int) "one trace recorded" 1 (Jade.Replay.trace_count store);
+  Alcotest.check_raises "replayer requires a sealed store"
+    (Invalid_argument "Replay.replayer: store is not sealed") (fun () ->
+      ignore (Jade.Replay.replayer store));
+  Jade.Replay.seal store;
+  let rp = Jade.Replay.replayer store in
+  (match Jade.Replay.trace rp ~tid:1 with
+  | Some ops ->
+      Alcotest.(check int) "both ops kept, in order" 2 (Array.length ops);
+      Alcotest.(check bool) "first is the work charge" true
+        (ops.(0) = Jade.Replay.Work 5.0)
+  | None -> Alcotest.fail "recorded trace missing");
+  Alcotest.(check bool) "unknown tid has no trace" true
+    (Jade.Replay.trace rp ~tid:2 = None)
+
+let test_replay_poison () =
+  let store = Jade.Replay.create_store () in
+  let h = Jade.Replay.recorder store in
+  Jade.Replay.task_begin h ~tid:1;
+  Jade.Replay.record h ~tid:1 (Jade.Replay.Work 5.0);
+  (* ok:false = the body did something non-replayable (created a task or
+     object): the whole store is poisoned, not just this trace. *)
+  Jade.Replay.task_end h ~tid:1 ~ok:false;
+  Alcotest.(check bool) "store poisoned" true (Jade.Replay.poisoned store);
+  Alcotest.(check int) "traces discarded" 0 (Jade.Replay.trace_count store);
+  Jade.Replay.seal store;
+  let rp = Jade.Replay.replayer store in
+  Alcotest.(check bool) "replay falls back to execution" true
+    (Jade.Replay.trace rp ~tid:1 = None)
+
+(* Unit tests of the on-disk entry format. *)
+let test_runcache_roundtrip () =
+  let dir = Filename.temp_dir "jade-test-runcache" "" in
+  let c = Runcache.create ~dir in
+  let dg = Runcache.digest_key [ "a"; "b" ] in
+  Alcotest.(check bool) "fresh cache misses" true (Runcache.find c ~digest:dg = None);
+  Runcache.store c ~digest:dg (Runcache.Flops 42.0);
+  (match Runcache.find c ~digest:dg with
+  | Some (Runcache.Flops f) -> Alcotest.(check (float 0.0)) "roundtrip" 42.0 f
+  | _ -> Alcotest.fail "expected the stored Flops value");
+  Alcotest.(check bool) "components cannot alias across boundaries" true
+    (Runcache.digest_key [ "ab"; "" ] <> Runcache.digest_key [ "a"; "b" ]);
+  let entries, bytes = Runcache.dir_stats c in
+  Alcotest.(check int) "one entry" 1 entries;
+  Alcotest.(check bool) "entry has bytes" true (bytes > 0);
+  Runcache.write_last_run c ~lookups:10 ~hits:7;
+  Alcotest.(check (option (pair int int)))
+    "last-run stats roundtrip" (Some (10, 7))
+    (Runcache.read_last_run c);
+  Alcotest.(check int) "clear removes the entry" 1 (Runcache.clear c);
+  Alcotest.(check bool) "clear removes the stats" true
+    (Runcache.read_last_run c = None)
+
+(* Rendering a planning-pass placeholder is a bug; the poison assertion
+   must trip instead of letting fabricated numbers into output. *)
+let test_poison_render_raises () =
+  let r2 = Runner.create ~jobs:1 Runner.Test in
+  let tripped = ref false in
+  (try
+     ignore
+       (Runner.parallel r2 (fun () -> Report.render (Tables.table r2 2)))
+   with Assert_failure _ -> tripped := true);
+  Alcotest.(check bool) "poison assertion tripped" true !tripped
 
 let () =
   Alcotest.run "experiments"
@@ -244,5 +410,19 @@ let () =
         [
           Alcotest.test_case "jobs-count independence" `Quick
             test_repro_jobs_identical;
+        ] );
+      ( "replay and cache parity",
+        [
+          Alcotest.test_case "clean" `Quick test_parity_clean;
+          Alcotest.test_case "chaos" `Quick test_parity_chaos;
+          Alcotest.test_case "corruption recovery" `Quick
+            test_cache_corruption_recovers;
+          Alcotest.test_case "replay store lifecycle" `Quick
+            test_replay_lifecycle;
+          Alcotest.test_case "replay store poison" `Quick test_replay_poison;
+          Alcotest.test_case "runcache entry format" `Quick
+            test_runcache_roundtrip;
+          Alcotest.test_case "poisoned render trips" `Quick
+            test_poison_render_raises;
         ] );
     ]
