@@ -265,9 +265,10 @@ let write_json path ~size_name ~jobs ~(par : regen_stats)
     | Some v -> Printf.sprintf "%.6f" v
     | None -> "null"
   in
-  let events_per_sec =
-    if par.wall_s > 0.0 then float_of_int par.events /. par.wall_s else 0.0
+  let eps (s : regen_stats) =
+    if s.wall_s > 0.0 then float_of_int s.events /. s.wall_s else 0.0
   in
+  let events_per_sec = eps par in
   (* Minor-word accounting is per-domain, so allocation per simulated
      event is only meaningful from a single-domain regeneration. *)
   let seq = if jobs = 1 then Some par else baseline in
@@ -308,6 +309,39 @@ let write_json path ~size_name ~jobs ~(par : regen_stats)
   Printf.fprintf oc "  \"baseline_jobs1_wall_s\": %s,\n"
     (opt_float baseline_jobs1_wall);
   Printf.fprintf oc "  \"speedup_vs_jobs1\": %s,\n" (opt_float speedup);
+  (* One row per worker-domain count regenerated this invocation: the
+     jobs=1 reference and (when jobs > 1) the jobs=N run, each with its
+     own throughput and a real measured speedup ratio — so a multicore
+     scaling regression shows up as a number, not a trivial 1.0. Minor
+     words/event is per-domain GC accounting and only meaningful at
+     jobs=1. *)
+  let row ~jobs:j (s : regen_stats) ~speedup =
+    let words =
+      if j = 1 && s.events > 0 then
+        Printf.sprintf "%.6f" (s.minor_words /. float_of_int s.events)
+      else "null"
+    in
+    Printf.sprintf
+      "    {\"jobs\": %d, \"wall_s\": %.6f, \"events\": %d, \
+       \"events_per_sec\": %.1f, \"minor_words_per_event\": %s, \
+       \"speedup_vs_jobs1\": %s}"
+      j s.wall_s s.events (eps s) words (opt_float speedup)
+  in
+  let rows =
+    if jobs = 1 then [ row ~jobs:1 par ~speedup:(Some 1.0) ]
+    else
+      match baseline with
+      | Some b ->
+          [
+            row ~jobs:1 b ~speedup:(Some 1.0);
+            row ~jobs par
+              ~speedup:
+                (if par.wall_s > 0.0 then Some (b.wall_s /. par.wall_s)
+                 else None);
+          ]
+      | None -> [ row ~jobs par ~speedup ]
+  in
+  Printf.fprintf oc "  \"rows\": [\n%s\n  ],\n" (String.concat ",\n" rows);
   Printf.fprintf oc "  \"kernels\": [\n";
   let n = List.length par.kernel_ms in
   List.iteri

@@ -206,7 +206,10 @@ let dijkstra_from ~nx ~nz ~slowness src =
   dist.(src) <- 0.0;
   Jade_sim.Heap.push heap ~time:0.0 ~seq:0 src;
   while not (Jade_sim.Heap.is_empty heap) do
-    let d, _, u = Jade_sim.Heap.pop_min heap in
+    (* [min_time] + [pop_min_value] instead of the tuple-boxing [pop_min]:
+       this loop runs once per relaxed edge over the whole velocity grid. *)
+    let d = Jade_sim.Heap.min_time heap in
+    let u = Jade_sim.Heap.pop_min_value heap in
     if not settled.(u) && d <= dist.(u) then begin
       settled.(u) <- true;
       let ux = u mod nx and uz = u / nx in

@@ -30,6 +30,7 @@ type t = {
   costs : Costs.mp;
   sched : Scheduler_mp.t;
   fabric : Protocol.t Fabric.t;
+  pool : Protocol.Pool.t;  (** recycled message bodies, shared with [fabric] *)
   fault : Fault.t option;
       (** the fabric's chaos plan, kept for end-of-run accounting *)
   comm : Communicator.t;
@@ -38,8 +39,10 @@ type t = {
 }
 
 let send_assign b proc (task : Taskrec.t) =
+  let body = Protocol.Pool.alloc b.pool in
+  Protocol.set_assign body task;
   Fabric.send b.fabric ~src:0 ~dst:proc ~size:b.costs.Costs.small_msg
-    ~tag:Tag.Assign (Protocol.Assign task)
+    ~tag:Tag.Assign body
 
 (* The centralized scheduler process on processor 0 (§3.4.3). *)
 let scheduler_process b =
@@ -103,9 +106,10 @@ let dispatcher b proc =
         (match c.Backend.trace with
         | Some tr -> Tracing.record tr task
         | None -> ());
+        let body = Protocol.Pool.alloc b.pool in
+        Protocol.set_done body ~task ~proc;
         Fabric.send b.fabric ~src:proc ~dst:0 ~size:costs.Costs.small_msg
-          ~tag:Tag.Done
-          (Protocol.Done { task; proc });
+          ~tag:Tag.Done body;
         loop ()
   in
   loop ()
@@ -114,14 +118,16 @@ let dispatcher b proc =
    traffic is routed to the scheduler/dispatcher processes, object
    traffic to the communicator. *)
 let handler b proc (msg : Protocol.t Fabric.msg) =
-  match msg.Fabric.body with
-  | Protocol.Assign task ->
+  let body = msg.Fabric.body in
+  match body.Protocol.kind with
+  | Tag.Assign ->
+      let task = body.Protocol.task in
       Communicator.prefetch b.comm task ~proc;
       Mailbox.send b.core.Backend.eng b.dispatch_boxes.(proc) (Exec task)
-  | Protocol.Done { task; proc = executor } ->
-      Mailbox.send b.core.Backend.eng b.sched_events (Completed (executor, task))
-  | Protocol.Request _ | Protocol.Obj _ | Protocol.Bcast _ | Protocol.Eager _
-  | Protocol.Ack _ ->
+  | Tag.Done ->
+      Mailbox.send b.core.Backend.eng b.sched_events
+        (Completed (body.Protocol.peer, body.Protocol.task))
+  | Tag.Request | Tag.Obj | Tag.Bcast | Tag.Eager | Tag.Ack ->
       Communicator.handle b.comm msg
 
 let on_enable b (task : Taskrec.t) =
@@ -166,8 +172,26 @@ let create_with ~name ~topology (core : Backend.core) (costs : Costs.mp) :
   let bus =
     if costs.Costs.shared_bus then Some (Mnode.create eng (-1)) else None
   in
+  let pool = Protocol.Pool.create () in
+  (* Under the reliable protocol the owner retains [Bcast]/[Eager] bodies
+     for retransmission (see [Communicator.track_push]); the fabric's
+     release hook must leave those to the GC instead of recycling a
+     record that is still reachable. *)
+  let reliable =
+    match core.Backend.cfg.Config.fault with
+    | Some s when Fault.reliable s -> true
+    | _ -> false
+  in
+  let release body =
+    match body.Protocol.kind with
+    | Tag.Bcast | Tag.Eager when reliable -> ()
+    | _ -> Protocol.Pool.release pool body
+  in
   let fabric =
-    Fabric.create ?bus ?fault eng ~nodes:core.Backend.nodes ~topology
+    Fabric.create ?bus ?fault eng
+      ~dummy:(Protocol.Pool.dummy pool)
+      ~clone:(Protocol.Pool.clone pool)
+      ~release ~nodes:core.Backend.nodes ~topology
       ~startup:costs.Costs.msg_startup ~bandwidth:costs.Costs.bandwidth
       ~hop_latency:costs.Costs.hop_latency
   in
@@ -177,10 +201,11 @@ let create_with ~name ~topology (core : Backend.core) (costs : Costs.mp) :
       costs;
       sched = Scheduler_mp.create core.Backend.cfg ~nprocs;
       fabric;
+      pool;
       fault;
       comm =
         Communicator.create eng ~cfg:core.Backend.cfg ~costs
-          ~nodes:core.Backend.nodes ~fabric ~metrics:core.Backend.metrics
+          ~nodes:core.Backend.nodes ~fabric ~metrics:core.Backend.metrics ~pool
           ?trace:core.Backend.trace;
       sched_events = Mailbox.create ~name:"sched-events" ();
       dispatch_boxes =

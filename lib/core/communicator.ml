@@ -27,7 +27,10 @@ type t = {
   fabric : Protocol.t Fabric.t;
   metrics : Metrics.t;
   nprocs : int;
-  pending : (int * int, pending) Hashtbl.t;  (** (object id, proc) -> fetch *)
+  pool : Protocol.Pool.t;  (** recycled message bodies; shared with the fabric *)
+  pending : (int, pending) Hashtbl.t;
+      (** [object id * nprocs + proc] -> fetch; int-keyed so the per-install
+          lookup hashes a flat int instead of allocating a tuple *)
   reliable : Fault.spec option;
       (** Some = run the ack/retransmit protocol with these parameters.
           Only set when the fault plan can actually lose or delay messages,
@@ -39,7 +42,7 @@ type t = {
       (** when set, every arriving object transfer is recorded as a flow *)
 }
 
-let create ?trace ~cfg ~costs ~nodes ~fabric ~metrics eng =
+let create ?trace ~cfg ~costs ~nodes ~fabric ~metrics ~pool eng =
   {
     eng;
     cfg;
@@ -48,6 +51,7 @@ let create ?trace ~cfg ~costs ~nodes ~fabric ~metrics eng =
     fabric;
     metrics;
     trace;
+    pool;
     nprocs = Array.length nodes;
     (* Pending fetches peak around (objects in flight x processors):
        pre-size with the processor count so steady-state operation never
@@ -60,13 +64,14 @@ let create ?trace ~cfg ~costs ~nodes ~fabric ~metrics eng =
     pushes = Hashtbl.create 64;
   }
 
-let key (meta : Meta.t) proc = (meta.Meta.id, proc)
+let key t (meta : Meta.t) proc = (meta.Meta.id * t.nprocs) + proc
 
 let post_request t (meta : Meta.t) ~version ~proc =
-  let now = Engine.now t.eng in
+  let body = Protocol.Pool.alloc t.pool in
+  Protocol.set_request body ~meta ~version ~requester:proc
+    ~sent_at:(Engine.now t.eng);
   Fabric.post t.fabric ~src:proc ~dst:meta.Meta.owner
-    ~size:t.costs.Costs.small_msg ~tag:Tag.Request
-    (Protocol.Request { meta; version; requester = proc; sent_at = now })
+    ~size:t.costs.Costs.small_msg ~tag:Tag.Request body
 
 (* Requester-driven reliability for fetches: after [timeout] of silence,
    re-post the request (to the object's *current* owner — ownership may
@@ -104,7 +109,7 @@ let issue t (meta : Meta.t) ~version ~proc =
           ~timeout:s.Fault.retry_timeout
     | None -> ()
   in
-  match Hashtbl.find_opt t.pending (key meta proc) with
+  match Hashtbl.find_opt t.pending (key t meta proc) with
   | Some p when p.version >= version -> p
   | Some p when not (Ivar.is_full p.ivar) ->
       (* A newer version supersedes an in-flight fetch. Bump the existing
@@ -133,7 +138,7 @@ let issue t (meta : Meta.t) ~version ~proc =
           arrived_at = -1.0;
         }
       in
-      Hashtbl.replace t.pending (key meta proc) p;
+      Hashtbl.replace t.pending (key t meta proc) p;
       send_request p;
       p
 
@@ -143,18 +148,21 @@ let issue t (meta : Meta.t) ~version ~proc =
    pending fetch's) falls through without touching either. *)
 let installed t (meta : Meta.t) ~version ~proc =
   Meta.install_copy meta ~proc ~version;
-  match Hashtbl.find_opt t.pending (key meta proc) with
-  | Some p when p.version <= version ->
-      if not (Ivar.is_full p.ivar) then begin
+  (* Exception-style lookup: [find_opt] would box a [Some] per delivered
+     object message. *)
+  match Hashtbl.find t.pending (key t meta proc) with
+  | p ->
+      if p.version <= version && not (Ivar.is_full p.ivar) then begin
         p.arrived_at <- Engine.now t.eng;
         Ivar.fill t.eng p.ivar ()
       end
-  | _ -> ()
+  | exception Not_found -> ()
 
 let push_key (pu : push) =
-  match pu.push_body with
-  | Protocol.Bcast { meta; version; _ } | Protocol.Eager { meta; version; _ } ->
-      (meta.Meta.id, version, pu.push_dst)
+  let body = pu.push_body in
+  match body.Protocol.kind with
+  | Tag.Bcast | Tag.Eager ->
+      (body.Protocol.meta.Meta.id, body.Protocol.version, pu.push_dst)
   | _ -> invalid_arg "Communicator.push_key: not a push body"
 
 (* Owner-driven reliability for pushes: keep re-posting an unacknowledged
@@ -203,31 +211,45 @@ let record_flow t kind (meta : Meta.t) ~sent_at ~src ~dst =
         ~arrived_at:(Engine.now t.eng)
   | None -> ()
 
+(* A handler owns [msg] (and its body) only for the extent of the call:
+   the fabric recycles both once it returns. Anything sent onward — the
+   [Obj] reply to a request, the ack for a push — therefore rides a fresh
+   pool record rather than the incoming one. *)
 let handle t (msg : Protocol.t Fabric.msg) =
-  match msg.Fabric.body with
-  | Protocol.Request { meta; version; requester; sent_at } ->
+  let body = msg.Fabric.body in
+  match body.Protocol.kind with
+  | Tag.Request ->
       (* We are the owner: record the requester for the adaptive-broadcast
          detector and reply with the object. A duplicated request just
-         produces a second (idempotently installed) reply. *)
+         produces a second (idempotently installed) reply. The reply
+         forwards the request's [sent_at], so the recorded object latency
+         spans the whole round trip. *)
+      let meta = body.Protocol.meta in
+      let requester = body.Protocol.peer in
       if Meta.note_access meta requester && t.cfg.Config.adaptive_broadcast
       then meta.Meta.broadcast_mode <- true;
+      let reply = Protocol.Pool.alloc t.pool in
+      Protocol.set_obj reply ~meta ~version:body.Protocol.version
+        ~sent_at:body.Protocol.fl.Protocol.sent_at;
       Fabric.post t.fabric ~src:msg.Fabric.dst ~dst:requester
-        ~size:meta.Meta.size ~tag:Tag.Obj
-        (Protocol.Obj { meta; version; sent_at })
-  | Protocol.Obj { meta; version; sent_at } ->
+        ~size:meta.Meta.size ~tag:Tag.Obj reply
+  | Tag.Obj ->
+      let meta = body.Protocol.meta in
+      let sent_at = body.Protocol.fl.Protocol.sent_at in
       t.metrics.Metrics.fl.Metrics.comm_bytes <-
         t.metrics.Metrics.fl.Metrics.comm_bytes +. float_of_int meta.Meta.size;
       t.metrics.Metrics.fl.Metrics.object_latency <-
         t.metrics.Metrics.fl.Metrics.object_latency +. (Engine.now t.eng -. sent_at);
       record_flow t Tracing.Fetch meta ~sent_at ~src:msg.Fabric.src
         ~dst:msg.Fabric.dst;
-      installed t meta ~version ~proc:msg.Fabric.dst
-  | Protocol.Bcast { meta; version; sent_at }
-  | Protocol.Eager { meta; version; sent_at } ->
+      installed t meta ~version:body.Protocol.version ~proc:msg.Fabric.dst
+  | Tag.Bcast | Tag.Eager ->
+      let meta = body.Protocol.meta in
+      let version = body.Protocol.version in
+      let sent_at = body.Protocol.fl.Protocol.sent_at in
       let kind =
-        match msg.Fabric.body with
-        | Protocol.Bcast _ -> Tracing.Broadcast
-        | _ -> Tracing.Eager_update
+        if body.Protocol.kind = Tag.Bcast then Tracing.Broadcast
+        else Tracing.Eager_update
       in
       record_flow t kind meta ~sent_at ~src:msg.Fabric.src ~dst:msg.Fabric.dst;
       t.metrics.Metrics.fl.Metrics.comm_bytes <-
@@ -236,18 +258,22 @@ let handle t (msg : Protocol.t Fabric.msg) =
       (* Under the reliable protocol, confirm the pushed copy landed so the
          owner can stop retransmitting it. Duplicated pushes re-ack — the
          owner treats surplus acks as no-ops. *)
-      if t.reliable <> None && msg.Fabric.src <> msg.Fabric.dst then
+      if t.reliable <> None && msg.Fabric.src <> msg.Fabric.dst then begin
+        let ack = Protocol.Pool.alloc t.pool in
+        Protocol.set_ack ack ~id:meta.Meta.id ~version ~from:msg.Fabric.dst;
         Fabric.post t.fabric ~src:msg.Fabric.dst ~dst:msg.Fabric.src
-          ~size:t.costs.Costs.small_msg ~tag:Tag.Ack
-          (Protocol.Ack
-             { id = meta.Meta.id; version; from = msg.Fabric.dst })
-  | Protocol.Ack { id; version; from } -> (
+          ~size:t.costs.Costs.small_msg ~tag:Tag.Ack ack
+      end
+  | Tag.Ack -> (
+      let id = body.Protocol.id in
+      let version = body.Protocol.version in
+      let from = body.Protocol.peer in
       match Hashtbl.find_opt t.pushes (id, version, from) with
       | Some _ ->
           t.metrics.Metrics.acks <- t.metrics.Metrics.acks + 1;
           Hashtbl.remove t.pushes (id, version, from)
       | None -> () (* duplicate or post-give-up ack: already settled *))
-  | Protocol.Assign _ | Protocol.Done _ ->
+  | Tag.Assign | Tag.Done ->
       invalid_arg "Communicator.handle: not a communicator message"
 
 let remote_slots (task : Taskrec.t) ~proc =
@@ -290,7 +316,7 @@ let ensure_local t (task : Taskrec.t) ~proc =
       end
       else begin
         (* Arrived while we were waiting elsewhere: count its arrival. *)
-        match Hashtbl.find_opt t.pending (key meta proc) with
+        match Hashtbl.find_opt t.pending (key t meta proc) with
         | Some p when p.arrived_at > !last_arrival -> last_arrival := p.arrived_at
         | _ -> ()
       end
@@ -307,7 +333,7 @@ let ensure_local t (task : Taskrec.t) ~proc =
        superseded by a newer version another task wants) stay. *)
     List.iter
       (fun ((meta : Meta.t), _) ->
-        let k = key meta proc in
+        let k = key t meta proc in
         match Hashtbl.find_opt t.pending k with
         | Some p when Ivar.is_full p.ivar -> Hashtbl.remove t.pending k
         | _ -> ())
@@ -360,9 +386,8 @@ let eager_push t (meta : Meta.t) =
       then begin
         t.metrics.Metrics.eager_transfers <-
           t.metrics.Metrics.eager_transfers + 1;
-        let body =
-          Protocol.Eager { meta; version; sent_at = Engine.now t.eng }
-        in
+        let body = Protocol.Pool.alloc t.pool in
+        Protocol.set_eager body ~meta ~version ~sent_at:(Engine.now t.eng);
         Fabric.post t.fabric ~src:meta.Meta.owner ~dst:q ~size:meta.Meta.size
           ~tag:Tag.Eager body;
         track_push t ~src:meta.Meta.owner ~dst:q ~size:meta.Meta.size
@@ -398,12 +423,17 @@ let on_write_commit t (meta : Meta.t) (task : Taskrec.t) =
          (t.costs.Costs.broadcast_setup +. marshal));
     let sent_at = Engine.now t.eng in
     Fabric.broadcast t.fabric ~src:meta.Meta.owner ~size:meta.Meta.size
-      ~tag:Tag.Bcast (fun _dst -> Protocol.Bcast { meta; version; sent_at });
+      ~tag:Tag.Bcast (fun _dst ->
+        let body = Protocol.Pool.alloc t.pool in
+        Protocol.set_bcast body ~meta ~version ~sent_at;
+        body);
     if t.reliable <> None then
       for q = 0 to t.nprocs - 1 do
-        if q <> meta.Meta.owner then
+        if q <> meta.Meta.owner then begin
+          let body = Protocol.Pool.alloc t.pool in
+          Protocol.set_bcast body ~meta ~version ~sent_at;
           track_push t ~src:meta.Meta.owner ~dst:q ~size:meta.Meta.size
-            ~tag:Tag.Bcast
-            (Protocol.Bcast { meta; version; sent_at })
+            ~tag:Tag.Bcast body
+        end
       done
   end

@@ -9,9 +9,12 @@ type t
 
 (** [trace], when given, receives a {!Tracing.flow} record for every
     object transfer that arrives (fetch replies, broadcast copies, eager
-    pushes) — the data behind the Chrome-trace communication lanes. The
-    engine is the trailing positional argument so the optional [?trace]
-    is erased at every total application. *)
+    pushes) — the data behind the Chrome-trace communication lanes.
+    [pool] is the message-body pool shared with the fabric: the
+    communicator allocates every outgoing body from it, and the fabric's
+    release hook recycles bodies into it after delivery. The engine is
+    the trailing positional argument so the optional [?trace] is erased
+    at every total application. *)
 val create :
   ?trace:Tracing.t ->
   cfg:Config.t ->
@@ -19,6 +22,7 @@ val create :
   nodes:Jade_machines.Mnode.t array ->
   fabric:Protocol.t Jade_net.Fabric.t ->
   metrics:Metrics.t ->
+  pool:Protocol.Pool.t ->
   Jade_sim.Engine.t ->
   t
 

@@ -95,70 +95,80 @@ let enqueue t (task : Taskrec.t) =
   | Config.No_locality, None -> Deque.push_back t.shared task
   | (Config.Locality | Config.Task_placement), None -> enqueue_locality t task
 
-(* Pop the first task of the first (non-empty) object task queue. *)
+(* Pop the first task of the first (non-empty) object task queue. An
+   unsuccessful probe — the common outcome of every idle poll — touches
+   only ring-buffer fields and allocates nothing. *)
 let rec pop_local t proc =
-  match Deque.peek_front t.proc_queues.(proc) with
-  | None -> None
-  | Some otq -> (
-      match Deque.pop_front otq.tasks with
-      | None ->
-          (* Emptied by steals: unlink and keep looking. *)
-          ignore (Deque.pop_front t.proc_queues.(proc));
-          otq.linked <- false;
-          pop_local t proc
-      | Some task ->
-          if Deque.is_empty otq.tasks then begin
-            ignore (Deque.pop_front t.proc_queues.(proc));
-            otq.linked <- false
-          end;
-          Some task)
+  let pq = t.proc_queues.(proc) in
+  if Deque.is_empty pq then None
+  else begin
+    let otq = Deque.first pq in
+    if Deque.is_empty otq.tasks then begin
+      (* Emptied by steals: unlink and keep looking. *)
+      ignore (Deque.pop_front_exn pq);
+      otq.linked <- false;
+      pop_local t proc
+    end
+    else begin
+      let task = Deque.pop_front_exn otq.tasks in
+      if Deque.is_empty otq.tasks then begin
+        ignore (Deque.pop_front_exn pq);
+        otq.linked <- false
+      end;
+      Some task
+    end
+  end
 
 (* Steal the last task of the last object task queue of [victim]. *)
 let rec steal_from t victim =
-  match Deque.peek_back t.proc_queues.(victim) with
-  | None -> None
-  | Some otq -> (
-      match Deque.pop_back otq.tasks with
-      | None ->
-          ignore (Deque.pop_back t.proc_queues.(victim));
-          otq.linked <- false;
-          steal_from t victim
-      | Some task ->
-          if Deque.is_empty otq.tasks then begin
-            ignore (Deque.pop_back t.proc_queues.(victim));
-            otq.linked <- false
-          end;
-          Some task)
+  let pq = t.proc_queues.(victim) in
+  if Deque.is_empty pq then None
+  else begin
+    let otq = Deque.last pq in
+    if Deque.is_empty otq.tasks then begin
+      ignore (Deque.pop_back_exn pq);
+      otq.linked <- false;
+      steal_from t victim
+    end
+    else begin
+      let task = Deque.pop_back_exn otq.tasks in
+      if Deque.is_empty otq.tasks then begin
+        ignore (Deque.pop_back_exn pq);
+        otq.linked <- false
+      end;
+      Some task
+    end
+  end
 
 let next ?(allow_steal = true) t ~proc =
   let found =
-    match Deque.pop_front t.placed.(proc) with
-    | Some task -> Some task
-    | None -> (
-        match t.cfg.Config.locality with
-        | Config.No_locality -> Deque.pop_front t.shared
-        | Config.Locality -> (
-            match pop_local t proc with
-            | Some task -> Some task
-            | None when not allow_steal -> None
-            | None ->
-                let victims = t.victims.(proc) in
-                let n = Array.length victims in
-                let rec search i =
-                  if i >= n then None
-                  else
-                    match steal_from t victims.(i) with
-                    | Some task ->
-                        t.steal_count <- t.steal_count + 1;
-                        task.Taskrec.stolen <- true;
-                        Some task
-                    | None -> search (i + 1)
-                in
-                search 0)
-        | Config.Task_placement ->
-            (* No stealing: placed tasks are pinned; unplaced tasks still use
-               the locality structure but are only taken locally. *)
-            pop_local t proc)
+    if not (Deque.is_empty t.placed.(proc)) then
+      Some (Deque.pop_front_exn t.placed.(proc))
+    else
+      match t.cfg.Config.locality with
+      | Config.No_locality -> Deque.pop_front t.shared
+      | Config.Locality -> (
+          match pop_local t proc with
+          | Some task -> Some task
+          | None when not allow_steal -> None
+          | None ->
+              let victims = t.victims.(proc) in
+              let n = Array.length victims in
+              let rec search i =
+                if i >= n then None
+                else
+                  match steal_from t victims.(i) with
+                  | Some task ->
+                      t.steal_count <- t.steal_count + 1;
+                      task.Taskrec.stolen <- true;
+                      Some task
+                  | None -> search (i + 1)
+              in
+              search 0)
+      | Config.Task_placement ->
+          (* No stealing: placed tasks are pinned; unplaced tasks still use
+             the locality structure but are only taken locally. *)
+          pop_local t proc
   in
   (match found with
   | Some _ -> t.queued_count <- t.queued_count - 1

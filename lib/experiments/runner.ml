@@ -144,6 +144,8 @@ let locked t f = Mutex.protect t.lock f
 
 let events_simulated t = locked t (fun () -> t.events)
 
+let note_events t n = locked t (fun () -> t.events <- t.events + n)
+
 let stats t =
   locked t (fun () ->
       {

@@ -77,6 +77,15 @@ val jobs : t -> int
     kernels — while disk-cache hits simulate nothing and count zero. *)
 val events_simulated : t -> int
 
+(** [note_events t n] adds [n] to the {!events_simulated} counter. The
+    runner counts its own [Sim] work units automatically, but a
+    {!run_custom} thunk that runs simulations is opaque to it — such
+    thunks report their summaries' event counts here so the bench
+    harness's events/sec denominator covers everything that was actually
+    simulated. Call it only from inside the thunk (a disk-cache hit skips
+    the thunk, and must count zero events). *)
+val note_events : t -> int -> unit
+
 type stats = {
   cache_lookups : int;  (** disk-cache probes (0 without [cache_dir]) *)
   cache_hits : int;  (** probes answered from disk, skipping simulation *)

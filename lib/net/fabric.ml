@@ -1,7 +1,21 @@
 open Jade_sim
 open Jade_machines
 
-type 'a msg = { src : int; dst : int; size : int; tag : Tag.t; body : 'a }
+(* Message cells are pooled: a send pops a cell from the free list, fills
+   it, and schedules its preallocated [resume] closure; delivery runs the
+   destination handler and returns the cell (and, via the [release] hook,
+   its body) to the pool. The steady-state send–deliver round trip
+   therefore allocates nothing — neither the cell, nor the delivery
+   closure, nor (with a pooled payload type, see {!Protocol}) the body. *)
+type 'a msg = {
+  mutable src : int;
+  mutable dst : int;
+  mutable size : int;
+  mutable tag : Tag.t;
+  mutable body : 'a;
+  mutable resume : unit -> unit;
+      (** delivers this cell on its fabric; preallocated once per cell *)
+}
 
 type 'a t = {
   eng : Engine.t;
@@ -12,14 +26,26 @@ type 'a t = {
   hop_latency : float;
   bus : Mnode.t option;  (** shared medium all transfers serialize through *)
   fault : Fault.t option;  (** chaos plan for interrupt-context traffic *)
+  dummy : 'a;  (** inert body used to blank recycled cells *)
+  clone : 'a -> 'a;
+      (** copies a body for fault duplication, so the duplicate cannot
+          alias the original once the original is delivered and recycled *)
+  release : 'a -> unit;  (** body recycle hook, run after delivery *)
   handlers : ('a msg -> unit) option array;
   tag_counts : int array;  (** messages per tag, indexed by [Tag.index] *)
   tag_bytes : int array;  (** payload bytes per tag *)
+  mutable free : 'a msg array;  (** free-list stack of recycled cells *)
+  mutable free_n : int;
   mutable msgs : int;
   mutable bytes : int;
 }
 
-let create ?bus ?fault eng ~nodes ~topology ~startup ~bandwidth ~hop_latency =
+let nop () = ()
+
+let make ~src ~dst ~size ~tag body = { src; dst; size; tag; body; resume = nop }
+
+let create ?bus ?fault ?(clone = Fun.id) ?(release = ignore) eng ~dummy ~nodes
+    ~topology ~startup ~bandwidth ~hop_latency =
   if Array.length nodes <> Topology.nodes topology then
     invalid_arg "Fabric.create: node/topology size mismatch";
   {
@@ -31,9 +57,14 @@ let create ?bus ?fault eng ~nodes ~topology ~startup ~bandwidth ~hop_latency =
     hop_latency;
     bus;
     fault;
+    dummy;
+    clone;
+    release;
     handlers = Array.make (Array.length nodes) None;
     tag_counts = Array.make Tag.count 0;
     tag_bytes = Array.make Tag.count 0;
+    free = [||];
+    free_n = 0;
     msgs = 0;
     bytes = 0;
   }
@@ -49,33 +80,71 @@ let record t msg =
   t.tag_counts.(i) <- t.tag_counts.(i) + 1;
   t.tag_bytes.(i) <- t.tag_bytes.(i) + msg.size
 
-let deliver t msg =
-  match t.handlers.(msg.dst) with
-  | Some f -> f msg
+let release_cell t m =
+  t.release m.body;
+  m.body <- t.dummy;
+  if t.free_n = Array.length t.free then begin
+    let cap = max 64 (2 * t.free_n) in
+    let free = Array.make cap m in
+    Array.blit t.free 0 free 0 t.free_n;
+    t.free <- free
+  end;
+  t.free.(t.free_n) <- m;
+  t.free_n <- t.free_n + 1
+
+let deliver_cell t m =
+  (match t.handlers.(m.dst) with
+  | Some f -> f m
   | None ->
       invalid_arg
         (Printf.sprintf
-           "Fabric: no handler on node %d (tag %S, src %d, %d bytes)" msg.dst
-           (Tag.to_string msg.tag) msg.src msg.size)
+           "Fabric: no handler on node %d (tag %S, src %d, %d bytes)" m.dst
+           (Tag.to_string m.tag) m.src m.size));
+  release_cell t m
 
-let deliver_at t time msg =
-  record t msg;
-  let now = Engine.now t.eng in
-  let d = if time > now then time -. now else 0.0 in
-  Engine.schedule t.eng ~delay:d (fun () -> deliver t msg)
+let alloc t ~src ~dst ~size ~tag body =
+  if t.free_n = 0 then begin
+    let m = make ~src ~dst ~size ~tag body in
+    m.resume <- (fun () -> deliver_cell t m);
+    m
+  end
+  else begin
+    t.free_n <- t.free_n - 1;
+    let m = t.free.(t.free_n) in
+    m.src <- src;
+    m.dst <- dst;
+    m.size <- size;
+    m.tag <- tag;
+    m.body <- body;
+    m
+  end
+
+let deliver_at t time m =
+  record t m;
+  Engine.schedule_at t.eng time m.resume
 
 (* Faultable delivery: interrupt-context traffic and broadcast copies go
    through the chaos plan (when one is installed). Dropped messages vanish
-   without reaching the per-tag ledgers; duplicates are delivered — and
-   counted — twice, like a network that really carried two copies. *)
-let deliver_at_faulted t time msg =
+   without reaching the per-tag ledgers — their cell and body recycle
+   immediately; duplicates are delivered — and counted — twice, riding a
+   second cell whose body is a [clone] of the original's, so recycling the
+   first delivery cannot alias the copy still in flight. *)
+let deliver_at_faulted t time m =
   match t.fault with
-  | None -> deliver_at t time msg
+  | None -> deliver_at t time m
   | Some f ->
-      let d = Fault.next_decision f ~src:msg.src ~dst:msg.dst ~tag:msg.tag in
-      if not d.Fault.drop then begin
-        deliver_at t (time +. d.Fault.delay) msg;
-        if d.Fault.duplicate then deliver_at t (time +. d.Fault.dup_delay) msg
+      let d = Fault.next_decision f ~src:m.src ~dst:m.dst ~tag:m.tag in
+      if d.Fault.drop then release_cell t m
+      else begin
+        if d.Fault.duplicate then begin
+          let c =
+            alloc t ~src:m.src ~dst:m.dst ~size:m.size ~tag:m.tag
+              (t.clone m.body)
+          in
+          deliver_at t (time +. d.Fault.delay) m;
+          deliver_at t (time +. d.Fault.dup_delay) c
+        end
+        else deliver_at t (time +. d.Fault.delay) m
       end
 
 let wire t ~src ~dst = float_of_int (Topology.hops t.topo src dst) *. t.hop_latency
@@ -90,21 +159,21 @@ let bus_time t ~size ~earliest =
       Float.max earliest finish
 
 let send t ~src ~dst ~size ~tag body =
-  let msg = { src; dst; size; tag; body } in
-  if src = dst then deliver_at t (Engine.now t.eng) msg
+  let m = alloc t ~src ~dst ~size ~tag body in
+  if src = dst then deliver_at t (Engine.now t.eng) m
   else begin
     Mnode.occupy t.nodes.(src) (send_occupancy t ~size);
     let earliest = Engine.now t.eng +. wire t ~src ~dst in
-    deliver_at t (bus_time t ~size ~earliest) msg
+    deliver_at t (bus_time t ~size ~earliest) m
   end
 
 let post t ~src ~dst ~size ~tag body =
-  let msg = { src; dst; size; tag; body } in
-  if src = dst then deliver_at t (Engine.now t.eng) msg
+  let m = alloc t ~src ~dst ~size ~tag body in
+  if src = dst then deliver_at t (Engine.now t.eng) m
   else
     let done_at = Mnode.charge t.nodes.(src) (send_occupancy t ~size) in
     let earliest = done_at +. wire t ~src ~dst in
-    deliver_at_faulted t (bus_time t ~size ~earliest) msg
+    deliver_at_faulted t (bus_time t ~size ~earliest) m
 
 let broadcast t ~src ~size ~tag body_of_node =
   let n = Array.length t.nodes in
@@ -118,8 +187,9 @@ let broadcast t ~src ~size ~tag body_of_node =
       if dst <> src then begin
         let r = float_of_int rounds.(dst) in
         let time = base +. (r *. (per_round +. t.hop_latency)) in
-        deliver_at_faulted t (bus_time t ~size ~earliest:time)
-          { src; dst; size; tag; body = body_of_node dst }
+        deliver_at_faulted t
+          (bus_time t ~size ~earliest:time)
+          (alloc t ~src ~dst ~size ~tag (body_of_node dst))
       end
     done
   end

@@ -9,16 +9,33 @@
     ledger without blocking (a handler replying to an object request).
 
     The payload type ['a] is chosen by the client (the Jade communicator
-    instantiates it with its protocol messages). *)
+    instantiates it with its protocol messages).
 
-type 'a msg = { src : int; dst : int; size : int; tag : Tag.t; body : 'a }
+    Message records are pooled: the fabric recycles a message cell — and,
+    through the [release] hook, its body — as soon as the delivery handler
+    returns, so a steady-state send–deliver round trip allocates nothing.
+    A handler owns its message argument only for the duration of the call;
+    retaining the record or (unless [release] is arranged to skip it) the
+    body beyond that is a bug. *)
+
+type 'a msg = {
+  mutable src : int;
+  mutable dst : int;
+  mutable size : int;
+  mutable tag : Tag.t;
+  mutable body : 'a;
+  mutable resume : unit -> unit;  (** internal: preallocated delivery thunk *)
+}
 
 type 'a t
 
 val create :
   ?bus:Jade_machines.Mnode.t ->
   ?fault:Fault.t ->
+  ?clone:('a -> 'a) ->
+  ?release:('a -> unit) ->
   Jade_sim.Engine.t ->
+  dummy:'a ->
   nodes:Jade_machines.Mnode.t array ->
   topology:Topology.t ->
   startup:float ->
@@ -30,11 +47,24 @@ val create :
     is a chaos plan ({!Fault}): every {!post} to another node and every
     broadcast copy consults it and may be dropped, duplicated, or delayed.
     {!send} and node-local deliveries are never faulted. An inactive plan
-    ([Fault.active] false) leaves the trajectory identical to no plan. *)
+    ([Fault.active] false) leaves the trajectory identical to no plan.
+
+    [dummy] is an inert body used to blank recycled message cells.
+    [clone] (default identity) copies a body when the chaos plan
+    duplicates a message, so the duplicate cannot alias the original's
+    recycled record. [release] (default [ignore]) is called with the body
+    after the delivery handler returns — pooled payload types recycle the
+    body here (and may skip bodies a handler legitimately retains, e.g.
+    push bodies kept for retransmission under the reliable protocol). *)
 
 (** [set_handler t p f] installs the message handler for node [p]. [f] runs
     as a plain callback at delivery time (interrupt context). *)
 val set_handler : 'a t -> int -> ('a msg -> unit) -> unit
+
+(** [make ~src ~dst ~size ~tag body] builds a standalone message record
+    not owned by any fabric pool — for tests that feed handlers
+    directly. *)
+val make : src:int -> dst:int -> size:int -> tag:Tag.t -> 'a -> 'a msg
 
 (** Process-context send: blocks the caller until the sending node has
     worked off the send occupancy; delivery is scheduled after the wire

@@ -1,0 +1,375 @@
+(* Calendar queue: the engine's far lane.
+
+   A bucketed priority queue keyed by [(time, seq)]. The near future — one
+   "year" of [nbuckets * width] virtual seconds starting at [fl.start] —
+   is spread across [nbuckets] buckets of [width] seconds each; an event
+   lands in bucket [(time - start) / width] and each bucket keeps its
+   entries sorted by [(time, seq)] in place. With the width sized so that
+   the average bucket holds about one event, both [push] and
+   [pop_min_value] are O(1) amortized: a push is an index computation plus
+   an append, a pop takes the head of the first non-empty bucket (cached
+   between operations). The binary {!Heap} this replaces pays an O(log n)
+   sift on every operation; at the engine's event density the constant
+   sift traffic dominates, which is why the calendar wins. The heap
+   remains as the far-future overflow lane below — and as the oracle the
+   property tests compare against.
+
+   Far-future events (watchdog timeouts, retransmit backoffs — anything
+   scheduled beyond the current year) go to an overflow {!Heap}. The
+   invariant is strict: every overflow entry's time is [>= fl.year_end],
+   every calendar entry's is [< fl.year_end], so the calendar always holds
+   the global minimum and the overflow is only consulted when the calendar
+   drains. Draining triggers a {!refill}: the queue re-anchors its year
+   around the earliest overflow events, re-sizing the bucket count toward
+   one event per bucket and re-deriving the width from the actual spread
+   of the batch it pulls.
+
+   Determinism: the pop order is the exact total order on [(time, seq)] —
+   the same order the binary heap produces — regardless of bucket
+   geometry. Bucket assignment is monotone in [time] (float subtract,
+   divide and truncate are monotone for a positive width), entries within
+   a bucket are kept sorted, and ties on [time] are broken by [seq], so
+   the bucket layout can only affect constant factors, never the sequence
+   of events a simulation observes.
+
+   Clamping: [cur] is the first bucket that can still hold the minimum;
+   buckets below it are empty and stay empty (the engine never schedules
+   into the past), so an index that computes below [cur] — a push at a
+   time between the clock and the cached minimum, or float rounding at a
+   bucket edge — is clamped up to [cur]. Bucket [cur] therefore holds
+   "everything at or below its range", which keeps cross-bucket ordering
+   intact because such entries are smaller than anything in later
+   buckets. *)
+
+(* All-float geometry record: these are stored on every re-anchor and
+   refill; a mixed record would box each store. *)
+type fl = {
+  mutable start : float;  (** left edge of bucket 0 *)
+  mutable width : float;  (** bucket width, always > 0 *)
+  mutable year_end : float;  (** [start +. width *. float nbuckets] *)
+}
+
+type 'a t = {
+  dummy : 'a;
+  fl : fl;
+  mutable nbuckets : int;  (** power of two *)
+  (* Per-bucket parallel arrays. Entries of bucket [b] live at indices
+     [bhead.(b) .. btail.(b) - 1] of [bt.(b)]/[bs.(b)]/[bv.(b)], sorted
+     ascending by [(time, seq)]. Bucket storage is allocated lazily on
+     first insert and reused forever after. *)
+  mutable bt : float array array;
+  mutable bs : int array array;
+  mutable bv : 'a array array;
+  mutable bhead : int array;
+  mutable btail : int array;
+  mutable cal_size : int;  (** entries currently in buckets *)
+  mutable size : int;  (** total entries, including overflow *)
+  mutable cur : int;  (** first bucket that can hold the minimum *)
+  mutable minb : int;  (** bucket whose head is the cached minimum; -1 unknown *)
+  overflow : 'a Heap.t;  (** far-future lane: every entry [>= year_end] *)
+  (* Refill/rebuild scratch, reused across calls. *)
+  mutable st : float array;
+  mutable ss : int array;
+  mutable sv : 'a array;
+}
+
+let min_buckets = 16
+
+let max_buckets = 1 lsl 16
+
+let pow2_ge n =
+  let p = ref min_buckets in
+  while !p < n do
+    p := !p * 2
+  done;
+  !p
+
+let no_floats : float array = [||]
+
+let no_ints : int array = [||]
+
+let create ?(capacity = 16) ~dummy () =
+  let nbuckets = min max_buckets (pow2_ge capacity) in
+  {
+    dummy;
+    fl = { start = 0.0; width = 1.0; year_end = float_of_int nbuckets };
+    nbuckets;
+    bt = Array.make nbuckets no_floats;
+    bs = Array.make nbuckets no_ints;
+    bv = Array.make nbuckets [||];
+    bhead = Array.make nbuckets 0;
+    btail = Array.make nbuckets 0;
+    cal_size = 0;
+    size = 0;
+    cur = 0;
+    minb = -1;
+    overflow = Heap.create ~capacity:16 ~dummy ();
+    st = Array.make 16 0.0;
+    ss = Array.make 16 0;
+    sv = Array.make 16 dummy;
+  }
+
+let length t = t.size
+
+let is_empty t = t.size = 0
+
+let bucket_count t = t.nbuckets
+
+let overflow_length t = Heap.length t.overflow
+
+(* --- bucket insertion --- *)
+
+let grow_bucket t b =
+  let cap = Array.length t.bt.(b) in
+  let cap' = if cap = 0 then 4 else 2 * cap in
+  let bt = Array.make cap' 0.0 in
+  let bs = Array.make cap' 0 in
+  let bv = Array.make cap' t.dummy in
+  Array.blit t.bt.(b) 0 bt 0 cap;
+  Array.blit t.bs.(b) 0 bs 0 cap;
+  Array.blit t.bv.(b) 0 bv 0 cap;
+  t.bt.(b) <- bt;
+  t.bs.(b) <- bs;
+  t.bv.(b) <- bv
+
+(* Slide bucket [b]'s live entries back to index 0, reclaiming the space
+   popped heads left behind. *)
+let compact_bucket t b =
+  let head = t.bhead.(b) and tail = t.btail.(b) in
+  let n = tail - head in
+  Array.blit t.bt.(b) head t.bt.(b) 0 n;
+  Array.blit t.bs.(b) head t.bs.(b) 0 n;
+  Array.blit t.bv.(b) head t.bv.(b) 0 n;
+  Array.fill t.bv.(b) n (tail - n) t.dummy;
+  t.bhead.(b) <- 0;
+  t.btail.(b) <- n
+
+let bucket_insert t b ~time ~seq v =
+  (if t.btail.(b) = Array.length t.bt.(b) then
+     if t.bhead.(b) > 0 then compact_bucket t b else grow_bucket t b);
+  let bt = t.bt.(b) and bs = t.bs.(b) and bv = t.bv.(b) in
+  let head = t.bhead.(b) and tail = t.btail.(b) in
+  if tail = head || time > bt.(tail - 1)
+     || (time = bt.(tail - 1) && seq > bs.(tail - 1))
+  then begin
+    (* Append: the common case — events arrive in near-sorted order. *)
+    bt.(tail) <- time;
+    bs.(tail) <- seq;
+    bv.(tail) <- v;
+    t.btail.(b) <- tail + 1
+  end
+  else if head > 0 && (time < bt.(head) || (time = bt.(head) && seq < bs.(head)))
+  then begin
+    (* Prepend into the space popped heads vacated: a new minimum. *)
+    let h = head - 1 in
+    bt.(h) <- time;
+    bs.(h) <- seq;
+    bv.(h) <- v;
+    t.bhead.(b) <- h
+  end
+  else begin
+    (* Insertion sort from the tail; buckets average ~1 entry, so the
+       shift is short. *)
+    let j = ref (tail - 1) in
+    let continue = ref true in
+    while !continue && !j >= head do
+      let jt = bt.(!j) in
+      if jt > time || (jt = time && bs.(!j) > seq) then begin
+        bt.(!j + 1) <- jt;
+        bs.(!j + 1) <- bs.(!j);
+        bv.(!j + 1) <- bv.(!j);
+        decr j
+      end
+      else continue := false
+    done;
+    bt.(!j + 1) <- time;
+    bs.(!j + 1) <- seq;
+    bv.(!j + 1) <- v;
+    t.btail.(b) <- tail + 1
+  end
+
+(* --- year geometry --- *)
+
+let set_year t ~start ~width ~last =
+  let fl = t.fl in
+  fl.start <- start;
+  fl.width <- width;
+  fl.year_end <- start +. (width *. float_of_int t.nbuckets);
+  (* Guard against absorption and underflow: the year must strictly cover
+     [last] (and extend past [start] at all) or boundary events would
+     bounce between the lanes for ever. Doubling escapes any denormal or
+     magnitude mismatch in a handful of iterations. *)
+  while fl.year_end <= last || fl.year_end <= start do
+    fl.width <- fl.width *. 2.0;
+    fl.year_end <- start +. (fl.width *. float_of_int t.nbuckets)
+  done
+
+let bucket_of t time =
+  let fl = t.fl in
+  let i = int_of_float ((time -. fl.start) /. fl.width) in
+  if i <= t.cur then t.cur else if i >= t.nbuckets then t.nbuckets - 1 else i
+
+let resize_buckets t want =
+  if want <> t.nbuckets then begin
+    t.nbuckets <- want;
+    t.bt <- Array.make want no_floats;
+    t.bs <- Array.make want no_ints;
+    t.bv <- Array.make want [||];
+    t.bhead <- Array.make want 0;
+    t.btail <- Array.make want 0
+  end
+
+let ensure_scratch t n =
+  if Array.length t.st < n then begin
+    let cap = max n (2 * Array.length t.st) in
+    t.st <- Array.make cap 0.0;
+    t.ss <- Array.make cap 0;
+    t.sv <- Array.make cap t.dummy
+  end
+
+(* Spread [n] scratch entries (sorted) into freshly-anchored buckets, then
+   pull any overflow entries the new year now covers, restoring the
+   [overflow >= year_end] invariant. *)
+let spread_and_drain t n =
+  t.cur <- 0;
+  t.minb <- -1;
+  for i = 0 to n - 1 do
+    let v = t.sv.(i) in
+    t.sv.(i) <- t.dummy;
+    bucket_insert t (bucket_of t t.st.(i)) ~time:t.st.(i) ~seq:t.ss.(i) v
+  done;
+  t.cal_size <- t.cal_size + n;
+  let continue = ref true in
+  while !continue && not (Heap.is_empty t.overflow) do
+    let time = Heap.min_time t.overflow in
+    if time < t.fl.year_end then begin
+      let seq = Heap.min_seq t.overflow in
+      let v = Heap.pop_min_value t.overflow in
+      bucket_insert t (bucket_of t time) ~time ~seq v;
+      t.cal_size <- t.cal_size + 1
+    end
+    else continue := false
+  done
+
+(* The calendar drained but the overflow has events: re-anchor the year
+   around the earliest of them. Bucket count tracks the overflow
+   population (one event per bucket) with hysteresis so alternating
+   sparse/dense phases don't thrash the bucket arrays; the width comes
+   from the measured spread of the batch actually pulled. *)
+let refill t =
+  let len = Heap.length t.overflow in
+  let want = min max_buckets (pow2_ge len) in
+  if want > t.nbuckets || want * 4 < t.nbuckets then resize_buckets t want;
+  let k = min len t.nbuckets in
+  ensure_scratch t k;
+  for i = 0 to k - 1 do
+    t.st.(i) <- Heap.min_time t.overflow;
+    t.ss.(i) <- Heap.min_seq t.overflow;
+    t.sv.(i) <- Heap.pop_min_value t.overflow
+  done;
+  let first = t.st.(0) and last = t.st.(k - 1) in
+  let width =
+    if last > first then (last -. first) /. float_of_int k else t.fl.width
+  in
+  let width = if width > 0.0 then width else 1.0 in
+  set_year t ~start:first ~width ~last;
+  spread_and_drain t k
+
+(* The calendar outgrew its buckets: collect every entry (bucket order is
+   globally sorted), re-derive the geometry from the population and
+   re-spread. *)
+let rebuild t =
+  let n = t.cal_size in
+  ensure_scratch t n;
+  let j = ref 0 in
+  for b = t.cur to t.nbuckets - 1 do
+    let head = t.bhead.(b) and tail = t.btail.(b) in
+    for i = head to tail - 1 do
+      t.st.(!j) <- t.bt.(b).(i);
+      t.ss.(!j) <- t.bs.(b).(i);
+      t.sv.(!j) <- t.bv.(b).(i);
+      t.bv.(b).(i) <- t.dummy;
+      incr j
+    done;
+    t.bhead.(b) <- 0;
+    t.btail.(b) <- 0
+  done;
+  t.cal_size <- 0;
+  resize_buckets t (min max_buckets (pow2_ge n));
+  let first = t.st.(0) and last = t.st.(n - 1) in
+  let width =
+    if last > first then (last -. first) /. float_of_int n else t.fl.width
+  in
+  let width = if width > 0.0 then width else 1.0 in
+  set_year t ~start:first ~width ~last;
+  spread_and_drain t n
+
+(* --- queue operations --- *)
+
+let push t ~time ~seq v =
+  if t.size = 0 then begin
+    (* Empty queue: re-anchor the year at the new event. *)
+    t.cur <- 0;
+    t.minb <- -1;
+    set_year t ~start:time ~width:t.fl.width ~last:time
+  end;
+  t.size <- t.size + 1;
+  if time >= t.fl.year_end then Heap.push t.overflow ~time ~seq v
+  else begin
+    let b = bucket_of t time in
+    bucket_insert t b ~time ~seq v;
+    t.cal_size <- t.cal_size + 1;
+    (* Keep the cached minimum current: a push into an earlier bucket is
+       the new minimum (pushes into [minb] itself sort into place and the
+       head stays correct either way). *)
+    if t.minb >= 0 && b < t.minb then t.minb <- b;
+    if t.cal_size > 2 * t.nbuckets && t.nbuckets < max_buckets then rebuild t
+  end
+
+(* Locate the minimum: cached bucket head, or a forward scan from [cur]
+   (buckets behind it can never be refilled, so the scan never revisits
+   them — across a year the total scan work is one pass over the
+   buckets). *)
+let ensure_min t =
+  if t.minb < 0 then begin
+    if t.cal_size = 0 then refill t;
+    let b = ref t.cur in
+    while t.bhead.(!b) = t.btail.(!b) do
+      incr b
+    done;
+    t.cur <- !b;
+    t.minb <- !b
+  end
+
+let min_time t =
+  if t.size = 0 then raise Not_found;
+  ensure_min t;
+  t.bt.(t.minb).(t.bhead.(t.minb))
+
+let min_seq t =
+  if t.size = 0 then raise Not_found;
+  ensure_min t;
+  t.bs.(t.minb).(t.bhead.(t.minb))
+
+let pop_min_value t =
+  if t.size = 0 then raise Not_found;
+  ensure_min t;
+  let b = t.minb in
+  let h = t.bhead.(b) in
+  let v = t.bv.(b).(h) in
+  t.bv.(b).(h) <- t.dummy;
+  let h' = h + 1 in
+  if h' = t.btail.(b) then begin
+    t.bhead.(b) <- 0;
+    t.btail.(b) <- 0;
+    (* The drained bucket's successor is unknown; the next access scans
+       forward from [cur]. *)
+    t.minb <- -1
+  end
+  else
+    (* The bucket's new head is still the global minimum: earlier buckets
+       are empty and later buckets hold strictly larger keys. *)
+    t.bhead.(b) <- h';
+  t.cal_size <- t.cal_size - 1;
+  t.size <- t.size - 1;
+  v

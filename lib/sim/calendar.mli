@@ -1,0 +1,46 @@
+(** Calendar queue keyed by [(time, seq)]: the engine's far lane.
+
+    Near-future events are spread over a ring of time buckets ("one year")
+    sized so the average bucket holds about one event, making push and
+    pop-min O(1) amortized — versus the O(log n) sift of the binary
+    {!Heap} it replaces. Far-future events (beyond the current year) wait
+    in an overflow heap and are pulled in when the calendar drains, which
+    also re-derives the bucket geometry from the measured event spread.
+
+    The pop order is the exact total order on [(time, seq)] — identical to
+    the binary heap's — regardless of bucket geometry; the property tests
+    in [test/test_sim.ml] check this against the heap as oracle. *)
+
+type 'a t
+
+(** [create ?capacity ~dummy ()] makes an empty queue. [dummy] is an
+    inert value of the element type used to blank vacated payload slots
+    (never returned). [capacity] hints the initial bucket count; the
+    queue re-sizes itself as the population changes. *)
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+(** [push t ~time ~seq v] inserts [v] with priority [(time, seq)].
+    Requires [time] at or after the earliest element currently in the
+    queue (the engine never schedules into the past). *)
+val push : 'a t -> time:float -> seq:int -> 'a -> unit
+
+(** Key of the minimum element, without removing it. Raise [Not_found]
+    when empty. Allocation-free. *)
+val min_time : 'a t -> float
+
+val min_seq : 'a t -> int
+
+(** [pop_min_value t] removes the minimum element and returns only its
+    payload (key available beforehand via {!min_time} / {!min_seq}).
+    Raises [Not_found] when empty. *)
+val pop_min_value : 'a t -> 'a
+
+(** Introspection for tests: current bucket count and number of events
+    parked in the far-future overflow heap. *)
+val bucket_count : 'a t -> int
+
+val overflow_length : 'a t -> int

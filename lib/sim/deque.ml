@@ -1,73 +1,98 @@
-(* Two-list representation: [front] in order, [back] reversed. *)
-type 'a t = { mutable front : 'a list; mutable back : 'a list; mutable size : int }
+(* Growable ring buffer. The task-queue structures sit on the scheduler's
+   hot path (every dispatch pops, every idle poll peeks, a DASH steal
+   search probes every victim), so the representation is a circular array:
+   pushes and the [_exn]/[first]/[last] accessors allocate nothing, unlike
+   the classic two-list deque whose every operation conses or boxes an
+   option. Capacity is always a power of two; slots outside the live
+   window hold [filler] so a popped element is never pinned. *)
+type 'a t = { mutable buf : Obj.t array; mutable head : int; mutable size : int }
 
-let create () = { front = []; back = []; size = 0 }
+let filler = Obj.repr ()
+
+let create () = { buf = [||]; head = 0; size = 0 }
 
 let length t = t.size
 
 let is_empty t = t.size = 0
 
-let push_front t v =
-  t.front <- v :: t.front;
-  t.size <- t.size + 1
+let grow t =
+  let cap = Array.length t.buf in
+  let cap' = if cap = 0 then 8 else 2 * cap in
+  let buf = Array.make cap' filler in
+  for i = 0 to t.size - 1 do
+    buf.(i) <- t.buf.((t.head + i) land (cap - 1))
+  done;
+  t.buf <- buf;
+  t.head <- 0
 
 let push_back t v =
-  t.back <- v :: t.back;
+  if t.size = Array.length t.buf then grow t;
+  t.buf.((t.head + t.size) land (Array.length t.buf - 1)) <- Obj.repr v;
   t.size <- t.size + 1
 
-let pop_front t =
-  match t.front with
-  | v :: rest ->
-      t.front <- rest;
-      t.size <- t.size - 1;
-      Some v
-  | [] -> (
-      match List.rev t.back with
-      | [] -> None
-      | v :: rest ->
-          t.back <- [];
-          t.front <- rest;
-          t.size <- t.size - 1;
-          Some v)
+let push_front t v =
+  if t.size = Array.length t.buf then grow t;
+  t.head <- (t.head - 1) land (Array.length t.buf - 1);
+  t.buf.(t.head) <- Obj.repr v;
+  t.size <- t.size + 1
 
-let pop_back t =
-  match t.back with
-  | v :: rest ->
-      t.back <- rest;
-      t.size <- t.size - 1;
-      Some v
-  | [] -> (
-      match List.rev t.front with
-      | [] -> None
-      | v :: rest ->
-          t.front <- [];
-          t.back <- rest;
-          t.size <- t.size - 1;
-          Some v)
+let first (t : 'a t) : 'a =
+  if t.size = 0 then invalid_arg "Deque.first: empty";
+  Obj.obj t.buf.(t.head)
 
-let peek_front t =
-  match t.front with
-  | v :: _ -> Some v
-  | [] -> ( match List.rev t.back with v :: _ -> Some v | [] -> None)
+let last (t : 'a t) : 'a =
+  if t.size = 0 then invalid_arg "Deque.last: empty";
+  Obj.obj t.buf.((t.head + t.size - 1) land (Array.length t.buf - 1))
 
-let peek_back t =
-  match t.back with
-  | v :: _ -> Some v
-  | [] -> ( match List.rev t.front with v :: _ -> Some v | [] -> None)
+let pop_front_exn (t : 'a t) : 'a =
+  if t.size = 0 then invalid_arg "Deque.pop_front_exn: empty";
+  let v = t.buf.(t.head) in
+  t.buf.(t.head) <- filler;
+  t.head <- (t.head + 1) land (Array.length t.buf - 1);
+  t.size <- t.size - 1;
+  Obj.obj v
 
-let to_list t = t.front @ List.rev t.back
+let pop_back_exn (t : 'a t) : 'a =
+  if t.size = 0 then invalid_arg "Deque.pop_back_exn: empty";
+  let i = (t.head + t.size - 1) land (Array.length t.buf - 1) in
+  let v = t.buf.(i) in
+  t.buf.(i) <- filler;
+  t.size <- t.size - 1;
+  Obj.obj v
 
-let remove_first t p =
-  let rec split acc = function
-    | [] -> None
-    | v :: rest -> if p v then Some (v, List.rev_append acc rest) else split (v :: acc) rest
+let pop_front t = if t.size = 0 then None else Some (pop_front_exn t)
+
+let pop_back t = if t.size = 0 then None else Some (pop_back_exn t)
+
+let peek_front t = if t.size = 0 then None else Some (first t)
+
+let peek_back t = if t.size = 0 then None else Some (last t)
+
+let iter f (t : 'a t) =
+  let mask = Array.length t.buf - 1 in
+  for i = 0 to t.size - 1 do
+    f (Obj.obj t.buf.((t.head + i) land mask) : 'a)
+  done
+
+let to_list (t : 'a t) =
+  let mask = Array.length t.buf - 1 in
+  List.init t.size (fun i -> (Obj.obj t.buf.((t.head + i) land mask) : 'a))
+
+let remove_first (t : 'a t) p =
+  let mask = Array.length t.buf - 1 in
+  let rec find i =
+    if i >= t.size then None
+    else if p (Obj.obj t.buf.((t.head + i) land mask) : 'a) then Some i
+    else find (i + 1)
   in
-  match split [] (to_list t) with
+  match find 0 with
   | None -> None
-  | Some (v, rest) ->
-      t.front <- rest;
-      t.back <- [];
+  | Some i ->
+      let v : 'a = Obj.obj t.buf.((t.head + i) land mask) in
+      (* Close the gap by shifting the tail left one slot. *)
+      for j = i to t.size - 2 do
+        t.buf.((t.head + j) land mask) <- t.buf.((t.head + j + 1) land mask)
+      done;
+      t.buf.((t.head + t.size - 1) land mask) <- filler;
       t.size <- t.size - 1;
       Some v
-
-let iter f t = List.iter f (to_list t)

@@ -1,6 +1,11 @@
 (** Double-ended queues, used for the paper's task-queue structures (the
     shared-memory scheduler pops from the front of its own queue and steals
-    from the back of other processors' queues). *)
+    from the back of other processors' queues).
+
+    Backed by a growable ring buffer: pushes and the [_exn]/[first]/[last]
+    accessors are allocation-free, which is what keeps the scheduler's
+    idle-poll and steal-search loops off the minor heap. The option-typed
+    accessors remain for cold callers. *)
 
 type 'a t
 
@@ -13,6 +18,19 @@ val is_empty : 'a t -> bool
 val push_front : 'a t -> 'a -> unit
 
 val push_back : 'a t -> 'a -> unit
+
+(** [first]/[last] return the front/back element without removing it;
+    [pop_front_exn]/[pop_back_exn] remove and return it. All four raise
+    [Invalid_argument] on an empty deque and allocate nothing — hot loops
+    pair them with {!is_empty}. *)
+
+val first : 'a t -> 'a
+
+val last : 'a t -> 'a
+
+val pop_front_exn : 'a t -> 'a
+
+val pop_back_exn : 'a t -> 'a
 
 val pop_front : 'a t -> 'a option
 

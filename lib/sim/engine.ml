@@ -18,18 +18,27 @@ let no_process = Named ""
 type fl = { mutable clock : float; mutable pending : float }
 
 type t = {
-  events : (unit -> unit) Heap.t;  (** future events, keyed by (time, seq) *)
+  events : (unit -> unit) Calendar.t;  (** future events, keyed by (time, seq) *)
   fl : fl;
   mutable seq : int;
   (* Now lane: FIFO ring of events scheduled at exactly the current
-     clock. They fire before any later heap entry, interleaved with
-     same-time heap entries by seq, so delivery order is identical to a
-     single heap — but the dominant zero-delay wakeup skips the heap's
-     sift entirely. Capacity is always a power of two. Invariant: every
-     entry's implied time is [fl.clock] (the lane is drained before the
-     clock advances). *)
+     clock. They fire before any later far-lane entry, interleaved with
+     same-time far-lane entries by seq, so delivery order is identical to
+     a single queue — but the dominant zero-delay wakeup skips the
+     calendar entirely. Capacity is always a power of two. Invariant:
+     every entry's implied time is [fl.clock] (the lane is drained before
+     the clock advances).
+
+     An entry is an (fn, arg) pair, both stored as [Obj.t]: firing it
+     applies [fn] to [arg]. A plain thunk rides with [arg = ()] — the
+     application [f ()] and [f x] have the same calling convention, so
+     one lane carries both — which lets wakeups that deliver a value
+     (ivar fills, mailbox sends) schedule the waiter's resume function
+     directly instead of allocating a [fun () -> resume v] wrapper per
+     wakeup. *)
   mutable now_seqs : int array;
-  mutable now_fns : (unit -> unit) array;
+  mutable now_fns : Obj.t array;
+  mutable now_args : Obj.t array;
   mutable now_head : int;
   mutable now_len : int;
   mutable live : int;
@@ -62,38 +71,52 @@ let no_what () = ""
 
 let nowhere : (unit -> unit) -> unit = fun _ -> ()
 
+let nop_fn = Obj.repr nop
+
+let unit_arg = Obj.repr ()
+
 let grow_now t =
   let cap = Array.length t.now_fns in
   let cap' = 2 * cap in
-  let seqs = Array.make cap' 0 and fns = Array.make cap' nop in
+  let seqs = Array.make cap' 0 in
+  let fns = Array.make cap' nop_fn and args = Array.make cap' unit_arg in
   for i = 0 to t.now_len - 1 do
     let j = (t.now_head + i) land (cap - 1) in
     seqs.(i) <- t.now_seqs.(j);
-    fns.(i) <- t.now_fns.(j)
+    fns.(i) <- t.now_fns.(j);
+    args.(i) <- t.now_args.(j)
   done;
   t.now_seqs <- seqs;
   t.now_fns <- fns;
+  t.now_args <- args;
   t.now_head <- 0
 
-let push_now t f =
+(* [push_call t f x] enqueues the application [f x]; [push_now t f] is
+   the thunk case, [push_call t f ()]. *)
+let push_call : 'a. t -> ('a -> unit) -> 'a -> unit =
+ fun t f x ->
   let cap = Array.length t.now_fns in
   if t.now_len = cap then grow_now t;
   let cap = Array.length t.now_fns in
   t.seq <- t.seq + 1;
   let i = (t.now_head + t.now_len) land (cap - 1) in
   t.now_seqs.(i) <- t.seq;
-  t.now_fns.(i) <- f;
+  t.now_fns.(i) <- Obj.repr f;
+  t.now_args.(i) <- Obj.repr x;
   t.now_len <- t.now_len + 1
+
+let push_now t (f : unit -> unit) = push_call t f ()
 
 let create ?(events_hint = 16) () =
   let bl_cap = 16 in
   let t =
     {
-      events = Heap.create ~capacity:events_hint ~dummy:nop ();
+      events = Calendar.create ~capacity:events_hint ~dummy:nop ();
       fl = { clock = 0.0; pending = 0.0 };
       seq = 0;
       now_seqs = Array.make 64 0;
-      now_fns = Array.make 64 nop;
+      now_fns = Array.make 64 nop_fn;
+      now_args = Array.make 64 unit_arg;
       now_head = 0;
       now_len = 0;
       live = 0;
@@ -114,12 +137,14 @@ let create ?(events_hint = 16) () =
   t.reg_after <-
     (fun resume ->
       t.seq <- t.seq + 1;
-      Heap.push t.events ~time:(t.fl.clock +. t.fl.pending) ~seq:t.seq resume);
+      Calendar.push t.events ~time:(t.fl.clock +. t.fl.pending) ~seq:t.seq resume);
   t
 
 let now t = t.fl.clock
 
 let schedule_now t f = push_now t f
+
+let schedule_call t f x = push_call t f x
 
 let schedule_after t delay f =
   if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
@@ -127,10 +152,25 @@ let schedule_after t delay f =
   if time = t.fl.clock then push_now t f
   else begin
     t.seq <- t.seq + 1;
-    Heap.push t.events ~time ~seq:t.seq f
+    Calendar.push t.events ~time ~seq:t.seq f
   end
 
 let schedule t ?(delay = 0.0) f = schedule_after t delay f
+
+(* Absolute-time scheduling for clients that computed a target instant
+   (the fabric's delivery times). The arithmetic deliberately goes
+   through a delay — [clock +. (time -. clock)] is not [time] in float —
+   because that is the arithmetic the fabric has always performed;
+   keeping it bit-for-bit preserves regeneration digests. *)
+let schedule_at t time f =
+  let clock = t.fl.clock in
+  let d = if time > clock then time -. clock else 0.0 in
+  let tt = clock +. d in
+  if tt = clock then push_now t f
+  else begin
+    t.seq <- t.seq + 1;
+    Calendar.push t.events ~time:tt ~seq:t.seq f
+  end
 
 (* --- blocked-waiter slab --- *)
 
@@ -253,33 +293,32 @@ let run t =
   let continue_run = ref true in
   while !continue_run do
     if t.now_len > 0 then begin
-      (* Same-time heap entries (scheduled before the clock reached this
-         instant, or via sub-ulp positive delays) interleave with the
-         now lane by seq. *)
-      let take_heap =
-        (not (Heap.is_empty t.events))
-        && Heap.min_time t.events = t.fl.clock
-        && Heap.min_seq t.events < t.now_seqs.(t.now_head)
-      in
-      let f =
-        if take_heap then Heap.pop_min_value t.events
-        else begin
-          let i = t.now_head in
-          let f = t.now_fns.(i) in
-          t.now_fns.(i) <- nop;
-          t.now_head <- (i + 1) land (Array.length t.now_fns - 1);
-          t.now_len <- t.now_len - 1;
-          f
-        end
+      (* Same-time far-lane entries (scheduled before the clock reached
+         this instant, or via sub-ulp positive delays) interleave with
+         the now lane by seq. [min_time]/[min_seq] are cached-field reads
+         on the calendar, performed once per iteration. *)
+      let take_far =
+        (not (Calendar.is_empty t.events))
+        && Calendar.min_time t.events = t.fl.clock
+        && Calendar.min_seq t.events < t.now_seqs.(t.now_head)
       in
       t.processed <- t.processed + 1;
-      f ()
+      if take_far then (Calendar.pop_min_value t.events) ()
+      else begin
+        let i = t.now_head in
+        let fn = t.now_fns.(i) and arg = t.now_args.(i) in
+        t.now_fns.(i) <- nop_fn;
+        t.now_args.(i) <- unit_arg;
+        t.now_head <- (i + 1) land (Array.length t.now_fns - 1);
+        t.now_len <- t.now_len - 1;
+        (Obj.obj fn : Obj.t -> unit) arg
+      end
     end
-    else if not (Heap.is_empty t.events) then begin
-      let time = Heap.min_time t.events in
+    else if not (Calendar.is_empty t.events) then begin
+      let time = Calendar.min_time t.events in
       if time < t.fl.clock then invalid_arg "Engine.run: time went backwards";
       t.fl.clock <- time;
-      let f = Heap.pop_min_value t.events in
+      let f = Calendar.pop_min_value t.events in
       t.processed <- t.processed + 1;
       f ()
     end

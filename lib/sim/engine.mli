@@ -31,12 +31,28 @@ val now : t -> float
     that. [delay] must be non-negative. *)
 val schedule : t -> ?delay:float -> (unit -> unit) -> unit
 
+(** [schedule_at t time f] runs plain callback [f] at absolute virtual
+    time [time] ([now] if [time] is in the past). Equivalent to
+    [schedule t ~delay:(time -. now)] — including its float arithmetic —
+    but with the clamp and the delay computation done inside the engine,
+    so callers holding a target instant (e.g. the network fabric's
+    delivery times) need no arithmetic of their own. *)
+val schedule_at : t -> float -> (unit -> unit) -> unit
+
 (** [schedule_now t f] is [schedule t f]: [f] fires at the current
     virtual time, after everything already scheduled for it. Zero-delay
     events live in a FIFO "now lane" rather than the time-ordered heap,
     so this is the engine's cheapest (allocation-free) scheduling path —
     it is the one wakeups (ivar fills, mailbox sends) ride. *)
 val schedule_now : t -> (unit -> unit) -> unit
+
+(** [schedule_call t f x] is [schedule_now t (fun () -> f x)] without the
+    wrapper closure: the function and its argument ride the now lane as a
+    preformed application. This is the wakeup path for suspensions that
+    resume with a value (ivar fills, mailbox sends) — the engine applies
+    [f] to [x] when the event fires, allocating nothing at schedule
+    time. *)
+val schedule_call : t -> ('a -> unit) -> 'a -> unit
 
 (** [spawn ?name t f] starts [f] as a simulation process at the current
     time. [f] may perform {!delay} / {!await}. [name] identifies the

@@ -23,7 +23,10 @@ val is_empty : 'a t -> bool
 val push : 'a t -> time:float -> seq:int -> 'a -> unit
 
 (** [pop_min t] removes and returns the minimum element as
-    [(time, seq, v)]. Raises [Not_found] when empty. *)
+    [(time, seq, v)]. Raises [Not_found] when empty. The tuple-boxing
+    accessors ([pop_min], {!peek_min}) exist for tests and for use as the
+    {!Calendar} property-test oracle; runtime paths use {!min_time} /
+    {!min_seq} / {!pop_min_value}, which allocate nothing. *)
 val pop_min : 'a t -> float * int * 'a
 
 (** Key of the minimum element, without removing it. Raise [Not_found]

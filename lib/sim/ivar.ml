@@ -3,7 +3,7 @@ type 'a state = Empty | Full of 'a
 type 'a t = {
   mutable name : unit -> string;
   mutable state : 'a state;
-  waiters : ('a -> unit) Queue.t;
+  waiters : ('a -> unit) Deque.t;
   reg : ('a -> unit) -> unit;
       (** preallocated [await] registration closure: every blocking read
           reuses it instead of building a fresh one *)
@@ -18,8 +18,8 @@ let create ?name ?name_fn () =
     | None, Some s -> fun () -> s
     | None, None -> default_name
   in
-  let waiters = Queue.create () in
-  { name; state = Empty; waiters; reg = (fun resume -> Queue.add resume waiters) }
+  let waiters = Deque.create () in
+  { name; state = Empty; waiters; reg = (fun resume -> Deque.push_back waiters resume) }
 
 let name t = t.name ()
 
@@ -30,10 +30,12 @@ let fill eng t v =
   | Full _ -> invalid_arg ("Ivar.fill: already filled: " ^ t.name ())
   | Empty ->
       t.state <- Full v;
-      Queue.iter
-        (fun resume -> Engine.schedule_now eng (fun () -> resume v))
-        t.waiters;
-      Queue.clear t.waiters
+      (* Waiters resume in registration order; [schedule_call] carries the
+         resume function and the value as a preformed application, so a
+         fill allocates nothing per waiter. *)
+      while not (Deque.is_empty t.waiters) do
+        Engine.schedule_call eng (Deque.pop_front_exn t.waiters) v
+      done
 
 let read eng t =
   match t.state with

@@ -1,35 +1,33 @@
 type 'a t = {
   name : string;
   on_name : unit -> string;
-  items : 'a Queue.t;
-  waiters : ('a -> unit) Queue.t;
+  items : 'a Deque.t;
+  waiters : ('a -> unit) Deque.t;
   reg : ('a -> unit) -> unit;
       (** preallocated [await] registration closure, shared by every
           blocking receive *)
 }
 
 let create ?(name = "mailbox") () =
-  let waiters = Queue.create () in
+  let waiters = Deque.create () in
   {
     name;
     on_name = (fun () -> name);
-    items = Queue.create ();
+    items = Deque.create ();
     waiters;
-    reg = (fun resume -> Queue.add resume waiters);
+    reg = (fun resume -> Deque.push_back waiters resume);
   }
 
 let name t = t.name
 
 let send eng t v =
-  match Queue.take_opt t.waiters with
-  | Some resume -> Engine.schedule_now eng (fun () -> resume v)
-  | None -> Queue.add v t.items
+  if Deque.is_empty t.waiters then Deque.push_back t.items v
+  else Engine.schedule_call eng (Deque.pop_front_exn t.waiters) v
 
 let recv eng t =
-  match Queue.take_opt t.items with
-  | Some v -> v
-  | None -> Engine.await ~on:t.on_name eng t.reg
+  if Deque.is_empty t.items then Engine.await ~on:t.on_name eng t.reg
+  else Deque.pop_front_exn t.items
 
-let try_recv t = Queue.take_opt t.items
+let try_recv t = Deque.pop_front t.items
 
-let length t = Queue.length t.items
+let length t = Deque.length t.items

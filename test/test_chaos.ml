@@ -294,8 +294,13 @@ let test_dup_reply_after_supersede () =
   let eng = E.create () in
   let nodes = Array.init 2 (Jade_machines.Mnode.create eng) in
   let costs = C.ipsc860 in
+  let pool = Jade.Protocol.Pool.create () in
   let fabric =
-    Jade_net.Fabric.create eng ~nodes
+    Jade_net.Fabric.create eng
+      ~dummy:(Jade.Protocol.Pool.dummy pool)
+      ~clone:(Jade.Protocol.Pool.clone pool)
+      ~release:(Jade.Protocol.Pool.release pool)
+      ~nodes
       ~topology:(Jade_net.Topology.hypercube 2)
       ~startup:costs.C.msg_startup ~bandwidth:costs.C.bandwidth
       ~hop_latency:costs.C.hop_latency
@@ -303,7 +308,7 @@ let test_dup_reply_after_supersede () =
   let metrics = Jade.Metrics.create () in
   let comm =
     Jade.Communicator.create eng ~cfg:Jade.Config.default ~costs ~nodes
-      ~fabric ~metrics
+      ~fabric ~metrics ~pool
   in
   (* Node 0 (the owner) swallows requests: replies are injected by hand. *)
   Jade_net.Fabric.set_handler fabric 0 (fun _ -> ());
@@ -328,14 +333,13 @@ let test_dup_reply_after_supersede () =
       Jade.Communicator.ensure_local comm task1 ~proc:1;
       incr resumed);
   let reply version =
+    (* Hand-built reply fed straight to the handler (no fabric delivery,
+       so the body is ours to leak — the handler must not recycle it). *)
+    let body = Jade.Protocol.Pool.alloc pool in
+    Jade.Protocol.set_obj body ~meta ~version ~sent_at:0.0;
     Jade.Communicator.handle comm
-      {
-        Jade_net.Fabric.src = 0;
-        dst = 1;
-        size = meta.Jade.Meta.size;
-        tag = Tag.Obj;
-        body = Jade.Protocol.Obj { meta; version; sent_at = 0.0 };
-      }
+      (Jade_net.Fabric.make ~src:0 ~dst:1 ~size:meta.Jade.Meta.size
+         ~tag:Tag.Obj body)
   in
   E.schedule eng ~delay:1e-6 (fun () ->
       (* Supersede the in-flight v1 fetch... *)

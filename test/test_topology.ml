@@ -103,7 +103,7 @@ let bus_invariants_prop =
 let make_fabric ?(n = 4) eng =
   let nodes = Array.init n (Mnode.create eng) in
   let fab =
-    Fabric.create eng ~nodes ~topology:(Topology.hypercube n) ~startup:1e-3
+    Fabric.create eng ~dummy:() ~nodes ~topology:(Topology.hypercube n) ~startup:1e-3
       ~bandwidth:1e6 ~hop_latency:1e-4
   in
   (nodes, fab)
