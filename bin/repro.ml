@@ -57,14 +57,73 @@ let fault_term =
       & info [ "jitter" ] ~docv:"SEC"
           ~doc:"Maximum extra delivery latency, in virtual seconds.")
   in
-  let make seed drop_rate dup_rate jitter =
-    match (seed, drop_rate, dup_rate, jitter) with
-    | None, 0.0, 0.0, 0.0 -> None
+  let crash_rate_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "crash-rate" ] ~docv:"R"
+          ~doc:
+            "Probability in [0,1] that each non-root processor suffers a \
+             crash-stop failure (at a seeded virtual time inside the crash \
+             horizon). The run recovers using the tasks' access \
+             specifications and finishes with the same numeric results.")
+  in
+  let crash_at_conv =
+    let parse s =
+      try
+        Ok
+          (String.split_on_char ',' s
+          |> List.filter (fun e -> String.trim e <> "")
+          |> List.map (fun entry ->
+                 match String.split_on_char '@' (String.trim entry) with
+                 | [ p; t ] -> (int_of_string p, float_of_string t)
+                 | _ -> failwith "syntax"))
+      with _ ->
+        Error (`Msg (Printf.sprintf "invalid crash schedule %S: want P@T,P@T,..." s))
+    in
+    let print ppf l =
+      Format.pp_print_string ppf
+        (String.concat ","
+           (List.map (fun (p, t) -> Printf.sprintf "%d@%g" p t) l))
+    in
+    Arg.conv (parse, print)
+  in
+  let crash_at_arg =
+    Arg.(
+      value
+      & opt crash_at_conv []
+      & info [ "crash-at" ] ~docv:"P@T,..."
+          ~doc:
+            "Scripted crash-stop failures: processor P crashes at virtual \
+             time T (e.g. $(b,--crash-at 2\\@0.01)). Entries naming a \
+             processor outside the run's range are ignored.")
+  in
+  let crash_seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "crash-seed" ] ~docv:"S"
+          ~doc:"Seed of the rate-mode crash draws (independent of --fault-seed).")
+  in
+  let crash_restart_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "crash-restart" ] ~docv:"SEC"
+          ~doc:
+            "When positive, a crashed processor restarts (cold caches, \
+             empty queue) this many virtual seconds after its crash.")
+  in
+  let make seed drop_rate dup_rate jitter crash_rate crash_at crash_seed
+      crash_restart =
+    match (seed, drop_rate, dup_rate, jitter, crash_rate, crash_at) with
+    | None, 0.0, 0.0, 0.0, 0.0, [] -> None
     | _ ->
         let seed = Option.value seed ~default:1 in
-        Some (Jade_net.Fault.spec ~seed ~drop_rate ~dup_rate ~jitter ())
+        Some
+          (Jade_net.Fault.spec ~seed ~drop_rate ~dup_rate ~jitter ~crash_rate
+             ~crash_at ~crash_seed ~crash_restart ())
   in
-  Term.(const make $ seed_arg $ drop_arg $ dup_arg $ jitter_arg)
+  Term.(
+    const make $ seed_arg $ drop_arg $ dup_arg $ jitter_arg $ crash_rate_arg
+    $ crash_at_arg $ crash_seed_arg $ crash_restart_arg)
 
 (* Replay and persistent-cache controls, shared by every Runner-backed
    subcommand. Both layers are output-preserving: toggling them can only
@@ -337,7 +396,15 @@ let run_cmd =
            give-ups=%d@."
           s.Jade.Metrics.dropped_count s.Jade.Metrics.duplicated_count
           s.Jade.Metrics.retransmit_count s.Jade.Metrics.ack_count
-          s.Jade.Metrics.give_up_count
+          s.Jade.Metrics.give_up_count;
+        if Jade_net.Fault.crash_active spec then
+          Format.printf
+            "  recovery: crashes=%d detected=%d reexecuted=%d \
+             reconstructed=%d recovery_s=%.6f@."
+            s.Jade.Metrics.crash_injected_count
+            s.Jade.Metrics.crash_detected_count
+            s.Jade.Metrics.reexecuted_count
+            s.Jade.Metrics.reconstructed_count s.Jade.Metrics.recovery_s
     | None -> ()
   in
   Cmd.v

@@ -46,6 +46,10 @@ type core = {
   mutable stop_hook : unit -> unit;
       (** backend's shutdown (stop dispatch loops); wired by [Runtime]
           right after backend construction, before any task can exist *)
+  mutable recovery : Recovery.t option;
+      (** crash supervisor, present only when the fault plan is
+          crash-active; wired by [Runtime] right after backend
+          construction *)
 }
 
 (** What a machine backend provides. One record per machine; the core
@@ -64,6 +68,12 @@ type ops = {
   start : unit -> unit;  (** spawn the backend's simulation processes *)
   stop : unit -> unit;  (** all work done: stop the dispatch loops *)
   finalize : unit -> unit;  (** end-of-run metrics accounting *)
+  comm_stats : unit -> (int * int * int) list;
+      (** per-processor (proc, in-flight fetches, retransmits), for
+          deadlock / unrecoverable reports; [[]] where meaningless *)
+  recovery_actions : Recovery.actions option;
+      (** crash-recovery mechanics, present when the fault plan is
+          crash-active and the backend supports recovery *)
 }
 
 (* ------------------------------------------------------------------ *)

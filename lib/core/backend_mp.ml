@@ -36,9 +36,16 @@ type t = {
   comm : Communicator.t;
   sched_events : sched_event Mailbox.t;
   dispatch_boxes : dispatch_item Mailbox.t array;
+  track : bool;  (** crash plan active: maintain the assignment ledger *)
+  doomed : bool array;
+      (** crash injected; the dispatcher halts at its next boundary *)
+  assigned : (int, Taskrec.t) Hashtbl.t array;
+      (** per-processor unfinished assignments (tid -> task), the ledger
+          recovery re-enqueues from; only populated when [track] *)
 }
 
 let send_assign b proc (task : Taskrec.t) =
+  if b.track then Hashtbl.replace b.assigned.(proc) task.Taskrec.tid task;
   let body = Protocol.Pool.alloc b.pool in
   Protocol.set_assign body task;
   Fabric.send b.fabric ~src:0 ~dst:proc ~size:b.costs.Costs.small_msg
@@ -57,7 +64,17 @@ let scheduler_process b =
         | `Assign p -> send_assign b p task
         | `Pooled -> ());
         loop ()
+    | Completed (proc, task)
+      when b.track && task.Taskrec.state = Taskrec.Completed ->
+        (* Duplicate completion: the task was already retired (it completed
+           elsewhere after crash recovery reassigned it). Release the
+           sender's load but skip retirement. *)
+        Mnode.occupy c.Backend.nodes.(0) b.costs.Costs.completion_handling;
+        let handed = Scheduler_mp.on_completed b.sched ~proc in
+        List.iter (fun task -> send_assign b proc task) handed;
+        loop ()
     | Completed (proc, task) ->
+        if b.track then Hashtbl.remove b.assigned.(proc) task.Taskrec.tid;
         Mnode.occupy c.Backend.nodes.(0) b.costs.Costs.completion_handling;
         c.Backend.ctx_proc <- proc;
         Synchronizer.complete c.Backend.sync task;
@@ -70,13 +87,43 @@ let scheduler_process b =
   in
   loop ()
 
+(* Crash boundary: the dispatcher halts, and only now does the
+   processor's NIC go dark and the halt become observable to the
+   supervisor. Queued work stays in the assignment ledger for recovery. *)
+let halt b proc =
+  Fabric.set_down b.fabric proc;
+  match b.core.Backend.recovery with
+  | Some r -> Recovery.note_stopped r proc
+  | None -> ()
+
 let dispatcher b proc =
   let c = b.core in
   let costs = b.costs in
   let rec loop () =
-    match Mailbox.recv c.Backend.eng b.dispatch_boxes.(proc) with
-    | Stop_disp -> ()
-    | Exec task ->
+    if b.track && b.doomed.(proc) then halt b proc
+    else
+      match Mailbox.recv c.Backend.eng b.dispatch_boxes.(proc) with
+      | Stop_disp ->
+          if b.track && b.doomed.(proc) then halt b proc
+          else if not c.Backend.stopped then
+            (* Stale poison from a crash that a restart cancelled before
+               the boundary was reached: ignore it. *)
+            loop ()
+      | Exec _ when b.track && b.doomed.(proc) ->
+          (* Crashed between enqueue and receive: the task stays in the
+             assignment ledger for recovery; halt at this boundary. *)
+          halt b proc
+      | Exec task when b.track && task.Taskrec.state = Taskrec.Completed ->
+          (* Stale assignment: the task already completed elsewhere after
+             crash recovery reassigned it. Send the completion so the
+             scheduler unwinds this processor's load, but do not run the
+             body twice. *)
+          let body = Protocol.Pool.alloc b.pool in
+          Protocol.set_done body ~task ~proc;
+          Fabric.send b.fabric ~src:proc ~dst:0 ~size:costs.Costs.small_msg
+            ~tag:Tag.Done body;
+          loop ()
+      | Exec task ->
         if proc = 0 then Backend.wait_for_main_release c ~poll:1e-3;
         Communicator.ensure_local b.comm task ~proc;
         Communicator.assert_coherent b.comm task ~proc;
@@ -127,8 +174,102 @@ let handler b proc (msg : Protocol.t Fabric.msg) =
   | Tag.Done ->
       Mailbox.send b.core.Backend.eng b.sched_events
         (Completed (body.Protocol.peer, body.Protocol.task))
+  | Tag.Ping ->
+      (* Heartbeat probe from the supervisor: reply in interrupt context.
+         A crashed processor stops answering once its NIC goes dark (the
+         fabric drops both the probe and any reply). *)
+      let reply = Protocol.Pool.alloc b.pool in
+      Protocol.set_pong reply ~from:proc;
+      Fabric.post b.fabric ~src:proc ~dst:0 ~size:b.costs.Costs.small_msg
+        ~tag:Tag.Pong reply
+  | Tag.Pong -> (
+      match b.core.Backend.recovery with
+      | Some r -> Recovery.note_pong r body.Protocol.peer
+      | None -> ())
+  | Tag.Reassign ->
+      (* Ownership-transfer notice: metadata is already consistent (the
+         supervisor rewrote the shared [Meta.t]); the message models the
+         protocol traffic survivors would need to learn the new owner. *)
+      ()
   | Tag.Request | Tag.Obj | Tag.Bcast | Tag.Eager | Tag.Ack ->
       Communicator.handle b.comm msg
+
+(* ---- crash-recovery actions (wired into the supervisor) -------------- *)
+
+let doom b p =
+  b.doomed.(p) <- true;
+  (* Wake the dispatcher if it is idle so it reaches the halt boundary;
+     a busy dispatcher sees the flag when its current task finishes. *)
+  Mailbox.send b.core.Backend.eng b.dispatch_boxes.(p) Stop_disp
+
+(* Detection-time recovery: exclude the victim from placement and re-route
+   its unfinished assignments through the scheduler. Sorted by task id so
+   recovery order is deterministic regardless of ledger hashing. *)
+let recover b p =
+  Scheduler_mp.mark_down b.sched p;
+  let tasks = Hashtbl.fold (fun _ task acc -> task :: acc) b.assigned.(p) [] in
+  Hashtbl.reset b.assigned.(p);
+  let tasks =
+    List.sort
+      (fun (x : Taskrec.t) (y : Taskrec.t) ->
+        compare x.Taskrec.tid y.Taskrec.tid)
+      tasks
+  in
+  let moved = ref 0 in
+  List.iter
+    (fun (task : Taskrec.t) ->
+      if task.Taskrec.state <> Taskrec.Completed then begin
+        incr moved;
+        match Scheduler_mp.on_enabled b.sched task with
+        | `Assign q -> send_assign b q task
+        | `Pooled -> ()
+      end)
+    tasks;
+  !moved
+
+let restart b p ~was_detected =
+  if b.doomed.(p) then begin
+    b.doomed.(p) <- false;
+    if Fabric.is_down b.fabric p then begin
+      (* The dispatcher halted: revive the NIC and respawn it. If the
+         victim's queue was already recovered, purge the stale mailbox so
+         nothing runs twice; an undetected victim keeps its queue. *)
+      Fabric.clear_down b.fabric p;
+      if was_detected then begin
+        let rec drain () =
+          match Mailbox.try_recv b.dispatch_boxes.(p) with
+          | Some _ -> drain ()
+          | None -> ()
+        in
+        drain ();
+        Scheduler_mp.mark_up b.sched p
+      end;
+      Engine.spawn
+        ~name:(Printf.sprintf "dispatcher-%d" p)
+        b.core.Backend.eng
+        (fun () -> dispatcher b p)
+    end
+    (* else: the crash was cancelled before the boundary — the dispatcher
+       never halted and simply keeps running; its stale poison message is
+       ignored on receipt. *)
+  end
+
+let ping b p =
+  let body = Protocol.Pool.alloc b.pool in
+  Protocol.set_ping body ~probe:p;
+  Fabric.post b.fabric ~src:0 ~dst:p ~size:b.costs.Costs.small_msg
+    ~tag:Tag.Ping body
+
+let announce b (meta : Meta.t) =
+  for q = 1 to b.core.Backend.nprocs - 1 do
+    if not (Fabric.is_down b.fabric q) then begin
+      let body = Protocol.Pool.alloc b.pool in
+      Protocol.set_reassign body ~meta ~version:meta.Meta.committed
+        ~owner:meta.Meta.owner;
+      Fabric.post b.fabric ~src:0 ~dst:q ~size:b.costs.Costs.small_msg
+        ~tag:Tag.Reassign body
+    end
+  done
 
 let on_enable b (task : Taskrec.t) =
   Mailbox.send b.core.Backend.eng b.sched_events (Enabled task)
@@ -195,6 +336,11 @@ let create_with ~name ~topology (core : Backend.core) (costs : Costs.mp) :
       ~startup:costs.Costs.msg_startup ~bandwidth:costs.Costs.bandwidth
       ~hop_latency:costs.Costs.hop_latency
   in
+  let track =
+    match core.Backend.cfg.Config.fault with
+    | Some s -> Fault.crash_active s
+    | None -> false
+  in
   let b =
     {
       core;
@@ -211,6 +357,9 @@ let create_with ~name ~topology (core : Backend.core) (costs : Costs.mp) :
       dispatch_boxes =
         Array.init nprocs (fun p ->
             Mailbox.create ~name:(Printf.sprintf "dispatch-box-%d" p) ());
+      track;
+      doomed = Array.make nprocs false;
+      assigned = Array.init nprocs (fun _ -> Hashtbl.create 16);
     }
   in
   {
@@ -225,6 +374,18 @@ let create_with ~name ~topology (core : Backend.core) (costs : Costs.mp) :
     start = start b;
     stop = stop b;
     finalize = finalize b;
+    comm_stats = (fun () -> Communicator.stats b.comm);
+    recovery_actions =
+      (if track then
+         Some
+           {
+             Recovery.act_doom = doom b;
+             act_recover = recover b;
+             act_restart = restart b;
+             act_ping = Some (ping b);
+             act_announce = Some (announce b);
+           }
+       else None);
   }
 
 let machine_name = "iPSC/860"

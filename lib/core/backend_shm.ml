@@ -16,6 +16,10 @@ type t = {
   sched : Scheduler_shm.t;
   model : Shm_model.t;
   idle_wakers : (unit -> unit) option array;
+  track : bool;  (** crash plan active *)
+  doomed : bool array;
+      (** crash injected; the dispatcher halts at its next boundary *)
+  halted : bool array;  (** dispatcher reached its halt boundary *)
 }
 
 (* Wake idle dispatchers. [first] (a task's target processor) is woken
@@ -71,8 +75,17 @@ let execute b proc (task : Taskrec.t) =
   (match c.Backend.trace with Some tr -> Tracing.record tr task | None -> ());
   Backend.complete_task c task ~proc
 
+(* Crash boundary: the dispatcher halts; the supervisor's watchdog
+   observes the halt (shared memory has no fabric to probe over). *)
+let halt b proc =
+  b.halted.(proc) <- true;
+  match b.core.Backend.recovery with
+  | Some r -> Recovery.note_stopped r proc
+  | None -> ()
+
 let dispatcher b proc =
   let c = b.core in
+  let doomed () = b.track && b.doomed.(proc) in
   let run_and_yield task =
     execute b proc task;
     (* Yield through the event queue so dispatchers woken by this task's
@@ -82,7 +95,8 @@ let dispatcher b proc =
     Engine.delay c.Backend.eng 0.0
   in
   let rec loop () =
-    if not c.Backend.stopped then begin
+    if doomed () then halt b proc
+    else if not c.Backend.stopped then begin
       if proc = 0 then
         Backend.wait_for_main_release c ~poll:b.costs.Costs.steal_patience;
       match Scheduler_shm.next b.sched ~allow_steal:false ~proc with
@@ -94,7 +108,8 @@ let dispatcher b proc =
              queue, and only then steal — the balancer should not move a
              task off its target processor the instant it appears. *)
           Engine.delay c.Backend.eng b.costs.Costs.steal_patience;
-          if not c.Backend.stopped then begin
+          if doomed () then halt b proc
+          else if not c.Backend.stopped then begin
             match Scheduler_shm.next b.sched ~proc with
             | Some task ->
                 run_and_yield task;
@@ -109,6 +124,36 @@ let dispatcher b proc =
     end
   in
   loop ()
+
+(* Crash-recovery hooks (watchdog mode: no fabric, so the supervisor
+   relies on the doomed/halted handshake instead of heartbeat probes). *)
+
+let doom b p =
+  b.doomed.(p) <- true;
+  (* Wake the victim if it is parked so it reaches its halt boundary
+     instead of sleeping through the failure. *)
+  match b.idle_wakers.(p) with
+  | Some f ->
+      b.idle_wakers.(p) <- None;
+      Engine.schedule_now b.core.Backend.eng f
+  | None -> ()
+
+let recover b p =
+  Scheduler_shm.mark_down b.sched p;
+  let moved = Scheduler_shm.fail_over b.sched ~proc:p in
+  if moved > 0 then wake_idle b;
+  moved
+
+let restart b p ~was_detected:_ =
+  b.doomed.(p) <- false;
+  if b.halted.(p) then begin
+    b.halted.(p) <- false;
+    Scheduler_shm.mark_up b.sched p;
+    Engine.spawn
+      ~name:(Printf.sprintf "dispatcher-%d" p)
+      b.core.Backend.eng
+      (fun () -> dispatcher b p)
+  end
 
 let on_enable b (task : Taskrec.t) =
   let c = b.core in
@@ -143,6 +188,11 @@ let validate ~nprocs =
   if nprocs < 1 then Backend.invalid_nprocs ~machine:machine_name ~nprocs
 
 let create (core : Backend.core) (costs : Costs.shm) : Backend.ops =
+  let track =
+    match core.Backend.cfg.Config.fault with
+    | Some s -> Jade_net.Fault.crash_active s
+    | None -> false
+  in
   let b =
     {
       core;
@@ -152,6 +202,9 @@ let create (core : Backend.core) (costs : Costs.shm) : Backend.ops =
           core.Backend.cfg ~nprocs:core.Backend.nprocs;
       model = Shm_model.create costs ~nprocs:core.Backend.nprocs;
       idle_wakers = Array.make core.Backend.nprocs None;
+      track;
+      doomed = Array.make core.Backend.nprocs false;
+      halted = Array.make core.Backend.nprocs false;
     }
   in
   {
@@ -164,4 +217,16 @@ let create (core : Backend.core) (costs : Costs.shm) : Backend.ops =
     start = start b;
     stop = (fun () -> wake_idle b);
     finalize = finalize b;
+    comm_stats = (fun () -> []);
+    recovery_actions =
+      (if track then
+         Some
+           {
+             Recovery.act_doom = doom b;
+             act_recover = recover b;
+             act_restart = restart b;
+             act_ping = None;
+             act_announce = None;
+           }
+       else None);
   }

@@ -38,6 +38,10 @@ type t = {
           to builds without this machinery). *)
   pushes : (int * int * int, push) Hashtbl.t;
       (** (object id, version, dst) -> unacknowledged push *)
+  retrans_by_proc : int array;
+      (** retransmissions charged per processor (fetch retries to the
+          requester, push retries to the destination) — the diagnostic a
+          stuck chaos run is read from *)
   trace : Tracing.t option;
       (** when set, every arriving object transfer is recorded as a flow *)
 }
@@ -62,6 +66,7 @@ let create ?trace ~cfg ~costs ~nodes ~fabric ~metrics ~pool eng =
       | Some s when Fault.reliable s -> Some s
       | _ -> None);
     pushes = Hashtbl.create 64;
+    retrans_by_proc = Array.make (Array.length nodes) 0;
   }
 
 let key t (meta : Meta.t) proc = (meta.Meta.id * t.nprocs) + proc
@@ -90,6 +95,7 @@ let rec arm_fetch_timer t (meta : Meta.t) p ~version ~proc ~attempt ~timeout =
             else begin
               t.metrics.Metrics.retransmits <-
                 t.metrics.Metrics.retransmits + 1;
+              t.retrans_by_proc.(proc) <- t.retrans_by_proc.(proc) + 1;
               post_request t meta ~version ~proc;
               arm_fetch_timer t meta p ~version ~proc ~attempt:(attempt + 1)
                 ~timeout:(timeout *. 2.0)
@@ -185,6 +191,8 @@ let rec arm_push_timer t pu ~timeout =
                 pu.push_attempt <- pu.push_attempt + 1;
                 t.metrics.Metrics.retransmits <-
                   t.metrics.Metrics.retransmits + 1;
+                t.retrans_by_proc.(pu.push_dst) <-
+                  t.retrans_by_proc.(pu.push_dst) + 1;
                 Fabric.post t.fabric ~src:pu.push_src ~dst:pu.push_dst
                   ~size:pu.push_size ~tag:pu.push_tag pu.push_body;
                 arm_push_timer t pu ~timeout:(timeout *. 2.0)
@@ -273,8 +281,25 @@ let handle t (msg : Protocol.t Fabric.msg) =
           t.metrics.Metrics.acks <- t.metrics.Metrics.acks + 1;
           Hashtbl.remove t.pushes (id, version, from)
       | None -> () (* duplicate or post-give-up ack: already settled *))
-  | Tag.Assign | Tag.Done ->
+  | Tag.Assign | Tag.Done | Tag.Ping | Tag.Pong | Tag.Reassign ->
+      (* Assign/Done are scheduler traffic; Ping/Pong/Reassign are
+         recovery-supervisor traffic. Both are routed by the backend's own
+         handler before it delegates here. *)
       invalid_arg "Communicator.handle: not a communicator message"
+
+(* Per-processor (proc, in-flight fetches, retransmits) — the payload of
+   deadlock / unrecoverable reports. In-flight fetches are counted from
+   the pending table on demand (it is keyed [object id * nprocs + proc]). *)
+let stats t =
+  let inflight = Array.make t.nprocs 0 in
+  Hashtbl.iter
+    (fun k (p : pending) ->
+      if not (Ivar.is_full p.ivar) then begin
+        let proc = k mod t.nprocs in
+        inflight.(proc) <- inflight.(proc) + 1
+      end)
+    t.pending;
+  List.init t.nprocs (fun p -> (p, inflight.(p), t.retrans_by_proc.(p)))
 
 let remote_slots (task : Taskrec.t) ~proc =
   let acc = ref [] in

@@ -56,3 +56,8 @@ val note_accesses : t -> Taskrec.t -> proc:int -> unit
 (** A writer committed a new version: if the object is in broadcast mode,
     broadcast the new version to all processors. *)
 val on_write_commit : t -> Meta.t -> Taskrec.t -> unit
+
+(** Per-processor [(proc, in-flight fetches, retransmits)], one entry per
+    processor — the diagnostic payload of deadlock and unrecoverable
+    reports. *)
+val stats : t -> (int * int * int) list

@@ -22,6 +22,7 @@ module Communicator = Communicator
 module Metrics = Metrics
 module Tracing = Tracing
 module Replay = Replay
+module Recovery = Recovery
 module Backend = Backend
 module Backend_shm = Backend_shm
 module Backend_mp = Backend_mp

@@ -21,6 +21,9 @@ type fl = {
       (** sum over tasks of (last object arrival - first request) *)
   mutable broadcast_bytes : float;
   mutable elapsed : float;  (** virtual completion time of the run *)
+  mutable recovery_time : float;
+      (** crash mode: virtual seconds the supervisor spent detecting and
+          repairing failures (reassignment, replica reconstruction) *)
 }
 
 type t = {
@@ -43,6 +46,14 @@ type t = {
   mutable dropped_messages : int;  (** messages the fault plan dropped *)
   mutable duplicated_messages : int;
       (** messages the fault plan duplicated *)
+  mutable crashes_injected : int;  (** crash mode: processors crash-stopped *)
+  mutable crashes_detected : int;
+      (** crash mode: failures the supervisor detected and recovered *)
+  mutable tasks_reexecuted : int;
+      (** crash mode: tasks re-enqueued or re-executed after a crash *)
+  mutable objects_reconstructed : int;
+      (** crash mode: object replicas rebuilt from survivors or by
+          deterministic re-execution *)
 }
 
 let create () =
@@ -57,6 +68,7 @@ let create () =
         task_latency = 0.0;
         broadcast_bytes = 0.0;
         elapsed = 0.0;
+        recovery_time = 0.0;
       };
     tasks_created = 0;
     tasks_executed = 0;
@@ -73,6 +85,10 @@ let create () =
     fetch_give_ups = 0;
     dropped_messages = 0;
     duplicated_messages = 0;
+    crashes_injected = 0;
+    crashes_detected = 0;
+    tasks_reexecuted = 0;
+    objects_reconstructed = 0;
   }
 
 type summary = {
@@ -98,6 +114,11 @@ type summary = {
   give_up_count : int;  (** chaos mode: retransmit loops that hit the cap *)
   dropped_count : int;  (** messages the fault plan dropped *)
   duplicated_count : int;  (** messages the fault plan duplicated *)
+  crash_injected_count : int;  (** crash mode: processors crash-stopped *)
+  crash_detected_count : int;  (** crash mode: failures recovered *)
+  reexecuted_count : int;  (** crash mode: tasks re-enqueued / re-executed *)
+  reconstructed_count : int;  (** crash mode: object replicas rebuilt *)
+  recovery_s : float;  (** crash mode: virtual seconds spent in recovery *)
 }
 
 let summary m =
@@ -136,6 +157,11 @@ let summary m =
     give_up_count = m.fetch_give_ups;
     dropped_count = m.dropped_messages;
     duplicated_count = m.duplicated_messages;
+    crash_injected_count = m.crashes_injected;
+    crash_detected_count = m.crashes_detected;
+    reexecuted_count = m.tasks_reexecuted;
+    reconstructed_count = m.objects_reconstructed;
+    recovery_s = m.fl.recovery_time;
   }
 
 let pp_summary fmt s =

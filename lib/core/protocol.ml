@@ -15,6 +15,8 @@
     - [Obj] / [Bcast] / [Eager]: [meta], [version], [fl.sent_at]
     - [Done]: [task], [peer] (the executor)
     - [Ack]: [id] (object id), [version], [peer] (the acking node)
+    - [Ping] / [Pong]: [peer] (the probed / replying node)
+    - [Reassign]: [meta], [version], [peer] (the new owner)
 
     Unused fields hold the pool's inert dummies; handlers must only read
     the fields their kind defines.
@@ -158,3 +160,17 @@ let set_ack m ~id ~version ~from =
   m.id <- id;
   m.version <- version;
   m.peer <- from
+
+let set_ping m ~probe =
+  m.kind <- Jade_net.Tag.Ping;
+  m.peer <- probe
+
+let set_pong m ~from =
+  m.kind <- Jade_net.Tag.Pong;
+  m.peer <- from
+
+let set_reassign m ~meta ~version ~owner =
+  m.kind <- Jade_net.Tag.Reassign;
+  m.meta <- meta;
+  m.version <- version;
+  m.peer <- owner

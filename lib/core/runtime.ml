@@ -16,9 +16,13 @@ type deadlock_report = {
   dl_live : int;  (** simulation processes that never terminated *)
   dl_blocked : (string * string) list;
       (** (process, what it is blocked on), in blocking order *)
+  dl_fetches : (int * int * int) list;
+      (** per-processor (proc, in-flight fetches, retransmits) *)
 }
 
 exception Deadlock of deadlock_report
+
+exception Unrecoverable = Recovery.Unrecoverable
 
 let deadlock_to_string r =
   let b = Buffer.create 256 in
@@ -33,6 +37,13 @@ let deadlock_to_string r =
       (fun (who, what) ->
         Buffer.add_string b (Printf.sprintf "\n  %s blocked on %s" who what))
       r.dl_blocked;
+  List.iter
+    (fun (p, inflight, retrans) ->
+      if inflight > 0 || retrans > 0 then
+        Buffer.add_string b
+          (Printf.sprintf "\n  P%d: %d fetches in flight, %d retransmits" p
+             inflight retrans))
+    r.dl_fetches;
   Buffer.contents b
 
 let () =
@@ -49,6 +60,9 @@ type t = {
   replay : Replay.t option;
   mutable obj_counter : int;
   mutable task_counter : int;
+  mutable objects : Meta.t list;
+      (** shared-object registry, newest first; maintained only when a
+          crash plan is active (the recovery supervisor walks it) *)
 }
 
 type env = { env_task : Taskrec.t; proc : int; env_rt : t }
@@ -68,6 +82,31 @@ let validate_machine ~machine ~nprocs =
   | Dash _ -> Backend_shm.validate ~nprocs
   | Ipsc _ -> Backend_mp.validate ~nprocs
   | Lan _ -> Backend_lan.validate ~nprocs
+
+(* Heartbeat/watchdog tuning from the machine's latency floors: the
+   period must dwarf one probe round-trip so supervision stays off the
+   critical path, and the timeout must tolerate probe replies serialized
+   behind a busy node's backlog. *)
+let recovery_tuning machine =
+  match machine with
+  | Dash c ->
+      let period = 20.0 *. c.Costs.steal_patience in
+      ( period,
+        3.0 *. period,
+        c.Costs.flops_shm,
+        fun size ->
+          (* reconstruction = pulling the object through remote memory *)
+          c.Costs.cycle
+          *. float_of_int
+               ((size + c.Costs.cache_line - 1)
+               / c.Costs.cache_line * c.Costs.remote_cycles) )
+  | Ipsc c | Lan c ->
+      let period = 50.0 *. (c.Costs.msg_startup +. c.Costs.hop_latency) in
+      ( period,
+        6.0 *. period,
+        c.Costs.flops,
+        fun size ->
+          c.Costs.msg_startup +. (float_of_int size /. c.Costs.bandwidth) )
 
 let make ?trace ?replay cfg machine nprocs =
   (* Event-queue population scales with the processor count (dispatchers,
@@ -104,6 +143,7 @@ let make ?trace ?replay cfg machine nprocs =
       ctx_proc = 0;
       drain_waiters = [];
       stop_hook = (fun () -> ());
+      recovery = None;
     }
   in
   let backend =
@@ -112,10 +152,49 @@ let make ?trace ?replay cfg machine nprocs =
     | Ipsc c -> Backend_mp.create core c
     | Lan c -> Backend_lan.create core c
   in
+  (match (cfg.Config.fault, backend.Backend.recovery_actions) with
+  | Some spec, Some actions when Jade_net.Fault.crash_active spec ->
+      let period, timeout, flop_rate, copy_cost = recovery_tuning machine in
+      let trace_work =
+        match replay with
+        | Some h ->
+            Some
+              (fun tid ->
+                match Replay.trace h ~tid with
+                | Some ops ->
+                    Some
+                      (Array.fold_left
+                         (fun acc op ->
+                           match op with
+                           | Replay.Work f -> acc +. f
+                           | Replay.Release _ -> acc)
+                         0.0 ops)
+                | None -> None)
+        | None -> None
+      in
+      let r =
+        Recovery.create ?trace_work ~spec ~nprocs ~period ~timeout ~flop_rate
+          ~copy_cost ~actions eng metrics
+      in
+      Recovery.set_should_stop r (fun () -> core.Backend.stopped);
+      core.Backend.recovery <- Some r
+  | _ -> ());
   enable_cell := backend.Backend.on_enable;
-  commit_cell := backend.Backend.on_write_commit;
+  (commit_cell :=
+     match core.Backend.recovery with
+     | Some r ->
+         fun meta task ->
+           Recovery.note_commit r meta task;
+           backend.Backend.on_write_commit meta task
+     | None -> backend.Backend.on_write_commit);
   core.Backend.stop_hook <- backend.Backend.stop;
-  { core; backend; replay; obj_counter = 0; task_counter = 0 }
+  let t =
+    { core; backend; replay; obj_counter = 0; task_counter = 0; objects = [] }
+  in
+  (match core.Backend.recovery with
+  | Some r -> Recovery.set_objects r (fun () -> List.rev t.objects)
+  | None -> ());
+  t
 
 (* ------------------------------------------------------------------ *)
 (* Public program API *)
@@ -128,6 +207,9 @@ let create_object t ?(home = 0) ~name ~size data =
   let meta =
     Meta.create ~id:t.obj_counter ~name ~size ~home ~nprocs:c.Backend.nprocs
   in
+  (match c.Backend.recovery with
+  | Some _ -> t.objects <- meta :: t.objects
+  | None -> ());
   Shared.make meta data
 
 (* Apply one recorded body effect. Mirrors exactly what [work] and
@@ -269,11 +351,25 @@ let run_with ?(config = Config.default) ?trace ?replay ~machine ~nprocs main
   let t = make ?trace ?replay config machine nprocs in
   let c = t.core in
   t.backend.Backend.start ();
+  (match c.Backend.recovery with
+  | Some r -> Recovery.start r
+  | None -> ());
   Engine.spawn ~name:"main" c.Backend.eng (fun () ->
       main t;
       c.Backend.main_done <- true;
       Backend.maybe_finish c);
   ignore (Engine.run c.Backend.eng);
+  (* An unrecoverable crash takes precedence over the deadlock watchdog:
+     a dead root or lost object legitimately leaves work outstanding. *)
+  (match c.Backend.recovery with
+  | Some r -> (
+      match Recovery.fatal r with
+      | Some f ->
+          raise
+            (Unrecoverable
+               { f with Recovery.ur_fetches = t.backend.Backend.comm_stats () })
+      | None -> ())
+  | None -> ());
   if c.Backend.outstanding > 0 || Engine.live_processes c.Backend.eng > 0 then
     (* The heap drained with work still pending: a lost wakeup. Name the
        stuck processes and what each is blocked on instead of leaving the
@@ -284,6 +380,7 @@ let run_with ?(config = Config.default) ?trace ?replay ~machine ~nprocs main
            dl_outstanding = c.Backend.outstanding;
            dl_live = Engine.live_processes c.Backend.eng;
            dl_blocked = Engine.blocked_report c.Backend.eng;
+           dl_fetches = t.backend.Backend.comm_stats ();
          });
   c.Backend.metrics.Metrics.fl.Metrics.elapsed <- c.Backend.finish_time;
   c.Backend.metrics.Metrics.events <- Engine.events_processed c.Backend.eng;

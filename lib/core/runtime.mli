@@ -42,12 +42,23 @@ type deadlock_report = {
   dl_blocked : (string * string) list;
       (** (process, what it is blocked on — an ivar, mailbox, or resource
           name), in blocking order *)
+  dl_fetches : (int * int * int) list;
+      (** per-processor (proc, in-flight fetches, retransmits) — which
+          processors were still waiting on the network when the run hung *)
 }
 
 (** Raised by {!run} on deadlock. A printer is registered, so an uncaught
     [Deadlock] prints each stuck process and the synchronization object it
     is blocked on. *)
 exception Deadlock of deadlock_report
+
+(** Raised by {!run} when a crash plan ({!Jade_net.Fault.spec} crash
+    fields) killed a processor whose state cannot be recovered — the root
+    processor died, or an object version was lost beyond reconstruction.
+    The report names every lost object; the run never hangs and never
+    returns a wrong answer. Same exception as
+    {!Recovery.Unrecoverable}. *)
+exception Unrecoverable of Recovery.failure
 
 (** Human-readable rendering of a deadlock report (what the registered
     exception printer shows). *)

@@ -5,10 +5,26 @@ type t = {
   nprocs : int;
   loads : int array;
   pool : Taskrec.t Deque.t;
+  down : bool array;  (** crashed processors: never assignment candidates *)
 }
 
 let create cfg ~nprocs =
-  { cfg; nprocs; loads = Array.make nprocs 0; pool = Deque.create () }
+  {
+    cfg;
+    nprocs;
+    loads = Array.make nprocs 0;
+    pool = Deque.create ();
+    down = Array.make nprocs false;
+  }
+
+(* Crash recovery: a down processor keeps whatever load count it had (its
+   tasks are re-enqueued separately by the supervisor), but is excluded
+   from every placement decision until it restarts. *)
+let mark_down t p = t.down.(p) <- true
+
+let mark_up t p = t.down.(p) <- false
+
+let is_down t p = t.down.(p)
 
 let set_target _t (task : Taskrec.t) =
   let target =
@@ -22,12 +38,19 @@ let set_target _t (task : Taskrec.t) =
   task.Taskrec.target <- target
 
 let min_load t =
-  Array.fold_left (fun acc l -> if l < acc then l else acc) max_int t.loads
+  let m = ref max_int in
+  for p = 0 to t.nprocs - 1 do
+    if (not t.down.(p)) && t.loads.(p) < !m then m := t.loads.(p)
+  done;
+  !m
 
 let least_loaded t =
   let m = min_load t in
   let rec go p acc =
-    if p < 0 then acc else go (p - 1) (if t.loads.(p) = m then p :: acc else acc)
+    if p < 0 then acc
+    else
+      go (p - 1)
+        (if (not t.down.(p)) && t.loads.(p) = m then p :: acc else acc)
   in
   (m, go (t.nprocs - 1) [])
 
@@ -35,12 +58,21 @@ let assign t p =
   t.loads.(p) <- t.loads.(p) + 1;
   `Assign p
 
+(* A live processor to stand in for a down placement/target: the
+   least-loaded survivor (lowest index on ties). *)
+let survivor_for t =
+  match least_loaded t with
+  | _, p :: _ -> p
+  | _, [] -> invalid_arg "Scheduler_mp: no live processor"
+
 let on_enabled t (task : Taskrec.t) =
   set_target t task;
+  if t.down.(task.Taskrec.target) then task.Taskrec.target <- survivor_for t;
   match task.Taskrec.placement with
   | Some p ->
-      (* Explicitly placed tasks are sent straight to their processor. *)
-      assign t p
+      (* Explicitly placed tasks are sent straight to their processor —
+         unless it has crashed, in which case a survivor stands in. *)
+      assign t (if t.down.(p) then survivor_for t else p)
   | None -> (
       match t.cfg.Config.locality with
       | Config.No_locality -> (

@@ -31,3 +31,12 @@ val on_completed : t -> proc:int -> Taskrec.t list
 val load : t -> int -> int
 
 val pooled : t -> int
+
+(** Crash recovery: a marked-down processor is excluded from every
+    placement decision (placed tasks and down targets are redirected to
+    the least-loaded survivor) until {!mark_up}. *)
+val mark_down : t -> int -> unit
+
+val mark_up : t -> int -> unit
+
+val is_down : t -> int -> bool

@@ -20,6 +20,7 @@ type t = {
           (nprocs, cluster_size), and idle processors re-run the search on
           every poll, so it is computed once rather than rebuilt (three
           list allocations per attempt) on the idle path. *)
+  down : bool array;  (** crashed processors: queues drained, no dispatch *)
   mutable steal_count : int;
   mutable queued_count : int;
 }
@@ -45,9 +46,31 @@ let create ?(cluster_size = 1) cfg ~nprocs =
     shared = Deque.create ();
     placed = Array.init nprocs (fun _ -> Deque.create ());
     victims = Array.init nprocs (victim_order ~cluster_size ~nprocs);
+    down = Array.make nprocs false;
     steal_count = 0;
     queued_count = 0;
   }
+
+let mark_down t p = t.down.(p) <- true
+
+let mark_up t p = t.down.(p) <- false
+
+let is_down t p = t.down.(p)
+
+(* A down processor's stand-in: the next live processor in cyclic order —
+   within the cluster first, matching the steal-search bias. *)
+let redirect t p =
+  if not t.down.(p) then p
+  else begin
+    let victims = t.victims.(p) in
+    let n = Array.length victims in
+    let rec go i =
+      if i >= n then invalid_arg "Scheduler_shm: no live processor"
+      else if t.down.(victims.(i)) then go (i + 1)
+      else victims.(i)
+    in
+    go 0
+  end
 
 let target_of _t (task : Taskrec.t) =
   match task.Taskrec.placement with
@@ -68,7 +91,7 @@ let otq_of t (meta : Meta.t) =
 let enqueue_locality t (task : Taskrec.t) =
   let owner_queue, otq =
     match Taskrec.locality_object task with
-    | Some meta -> (t.proc_queues.(meta.Meta.home), otq_of t meta)
+    | Some meta -> (t.proc_queues.(redirect t meta.Meta.home), otq_of t meta)
     | None ->
         (* Objectless tasks live in a pseudo object queue on processor 0. *)
         let q =
@@ -91,7 +114,7 @@ let enqueue t (task : Taskrec.t) =
   task.Taskrec.target <- target_of t task;
   t.queued_count <- t.queued_count + 1;
   match (t.cfg.Config.locality, task.Taskrec.placement) with
-  | _, Some p -> Deque.push_back t.placed.(p) task
+  | _, Some p -> Deque.push_back t.placed.(redirect t p) task
   | Config.No_locality, None -> Deque.push_back t.shared task
   | (Config.Locality | Config.Task_placement), None -> enqueue_locality t task
 
@@ -178,3 +201,29 @@ let next ?(allow_steal = true) t ~proc =
 let steals t = t.steal_count
 
 let queued t = t.queued_count
+
+(* Crash recovery: hand everything still queued on [proc] to survivors.
+   Pinned tasks are retargeted to the stand-in processor; whole object
+   task queues move to the stand-in's queue (their tasks keep their
+   ordering and remain stealable). Returns the number of tasks moved.
+   Call after {!mark_down}. *)
+let fail_over t ~proc =
+  let moved = ref 0 in
+  let pinned = t.placed.(proc) in
+  while not (Deque.is_empty pinned) do
+    let task = Deque.pop_front_exn pinned in
+    let q = redirect t proc in
+    task.Taskrec.target <- q;
+    Deque.push_back t.placed.(q) task;
+    incr moved
+  done;
+  let pq = t.proc_queues.(proc) in
+  while not (Deque.is_empty pq) do
+    let otq = Deque.pop_front_exn pq in
+    if Deque.is_empty otq.tasks then otq.linked <- false
+    else begin
+      moved := !moved + Deque.length otq.tasks;
+      Deque.push_back t.proc_queues.(redirect t proc) otq
+    end
+  done;
+  !moved

@@ -42,3 +42,17 @@ val steals : t -> int
 
 (** Tasks currently queued. *)
 val queued : t -> int
+
+(** Crash recovery: a marked-down processor receives no new queue entries
+    (its home/placement traffic is redirected to the next live processor
+    in its steal-search order) until {!mark_up}. *)
+val mark_down : t -> int -> unit
+
+val mark_up : t -> int -> unit
+
+val is_down : t -> int -> bool
+
+(** [fail_over t ~proc] moves everything still queued on [proc] (pinned
+    tasks and whole object task queues) to live processors; returns the
+    number of tasks moved. Call after {!mark_down}. *)
+val fail_over : t -> proc:int -> int

@@ -376,6 +376,11 @@ let planning_summary =
     give_up_count = pi;
     dropped_count = pi;
     duplicated_count = pi;
+    crash_injected_count = pi;
+    crash_detected_count = pi;
+    reexecuted_count = pi;
+    reconstructed_count = pi;
+    recovery_s = p;
   }
 
 let record t w =

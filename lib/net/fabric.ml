@@ -34,6 +34,9 @@ type 'a t = {
   handlers : ('a msg -> unit) option array;
   tag_counts : int array;  (** messages per tag, indexed by [Tag.index] *)
   tag_bytes : int array;  (** payload bytes per tag *)
+  down : bool array;  (** crashed nodes: their NIC neither sends nor receives *)
+  mutable any_down : bool;  (** fast guard so clean runs never scan [down] *)
+  mutable crash_dropped : int;  (** messages lost to a down endpoint *)
   mutable free : 'a msg array;  (** free-list stack of recycled cells *)
   mutable free_n : int;
   mutable msgs : int;
@@ -63,6 +66,9 @@ let create ?bus ?fault ?(clone = Fun.id) ?(release = ignore) eng ~dummy ~nodes
     handlers = Array.make (Array.length nodes) None;
     tag_counts = Array.make Tag.count 0;
     tag_bytes = Array.make Tag.count 0;
+    down = Array.make (Array.length nodes) false;
+    any_down = false;
+    crash_dropped = 0;
     free = [||];
     free_n = 0;
     msgs = 0;
@@ -119,9 +125,18 @@ let alloc t ~src ~dst ~size ~tag body =
     m
   end
 
+(* Crash-stop: a down node's NIC is dark — anything it would send or
+   receive is silently lost at schedule time. Checked before recording so
+   the per-tag ledgers only count messages that actually hit the wire. *)
 let deliver_at t time m =
-  record t m;
-  Engine.schedule_at t.eng time m.resume
+  if t.any_down && (t.down.(m.src) || t.down.(m.dst)) then begin
+    t.crash_dropped <- t.crash_dropped + 1;
+    release_cell t m
+  end
+  else begin
+    record t m;
+    Engine.schedule_at t.eng time m.resume
+  end
 
 (* Faultable delivery: interrupt-context traffic and broadcast copies go
    through the chaos plan (when one is installed). Dropped messages vanish
@@ -132,6 +147,13 @@ let deliver_at t time m =
 let deliver_at_faulted t time m =
   match t.fault with
   | None -> deliver_at t time m
+  | Some _ when m.tag = Tag.Ping || m.tag = Tag.Pong ->
+      (* Heartbeats bypass the message-level chaos plan: losing a probe to
+         a random drop would turn suspicion into a false positive, and a
+         heartbeat consuming fault indices would perturb the decisions every
+         data message sees. Down-endpoint loss still applies in
+         [deliver_at] — a dead node answers nothing. *)
+      deliver_at t time m
   | Some f ->
       let d = Fault.next_decision f ~src:m.src ~dst:m.dst ~tag:m.tag in
       if d.Fault.drop then release_cell t m
@@ -195,6 +217,18 @@ let broadcast t ~src ~size ~tag body_of_node =
   end
 
 let broadcast_rounds t = Topology.broadcast_rounds t.topo
+
+let set_down t p =
+  t.down.(p) <- true;
+  t.any_down <- true
+
+let clear_down t p =
+  t.down.(p) <- false;
+  t.any_down <- Array.exists Fun.id t.down
+
+let is_down t p = t.down.(p)
+
+let crash_dropped t = t.crash_dropped
 
 let message_count t = t.msgs
 

@@ -85,6 +85,21 @@ val broadcast : 'a t -> src:int -> size:int -> tag:Tag.t -> (int -> 'a) -> unit
 (** Number of rounds a broadcast takes on this fabric's topology. *)
 val broadcast_rounds : 'a t -> int
 
+(** [set_down t p] marks node [p] crashed: from now on any message sent by
+    or addressed to [p] is silently lost at schedule time (its NIC is
+    dark). Heartbeat probes to [p] die too, which is exactly how the
+    supervisor's suspicion timeout fires. *)
+val set_down : 'a t -> int -> unit
+
+(** [clear_down t p] brings node [p]'s NIC back (processor restart). *)
+val clear_down : 'a t -> int -> unit
+
+(** [is_down t p] reports whether [p] is currently marked down. *)
+val is_down : 'a t -> int -> bool
+
+(** Messages lost because an endpoint was down. *)
+val crash_dropped : 'a t -> int
+
 (** Total messages delivered or scheduled for delivery. *)
 val message_count : 'a t -> int
 

@@ -9,6 +9,11 @@ type spec = {
   retry_timeout : float;
   max_retries : int;
   drop_tagged : (Tag.t * int) list;
+  crash_seed : int;
+  crash_rate : float;
+  crash_horizon : float;
+  crash_at : (int * float) list;
+  crash_restart : float;
 }
 
 let default_spec =
@@ -21,29 +26,96 @@ let default_spec =
     retry_timeout = 0.05;
     max_retries = 10;
     drop_tagged = [];
+    crash_seed = 1;
+    crash_rate = 0.0;
+    crash_horizon = 0.01;
+    crash_at = [];
+    crash_restart = 0.0;
   }
 
 let spec ?(seed = 1) ?(drop_rate = 0.0) ?(dup_rate = 0.0) ?(jitter = 0.0)
     ?(degrade = 0.0) ?(retry_timeout = default_spec.retry_timeout)
-    ?(max_retries = default_spec.max_retries) ?(drop_tagged = []) () =
+    ?(max_retries = default_spec.max_retries) ?(drop_tagged = [])
+    ?(crash_seed = 1) ?(crash_rate = 0.0)
+    ?(crash_horizon = default_spec.crash_horizon) ?(crash_at = [])
+    ?(crash_restart = 0.0) () =
   if drop_rate < 0.0 || drop_rate > 1.0 then
     invalid_arg "Fault.spec: drop_rate outside [0,1]";
   if dup_rate < 0.0 || dup_rate > 1.0 then
     invalid_arg "Fault.spec: dup_rate outside [0,1]";
   if jitter < 0.0 then invalid_arg "Fault.spec: negative jitter";
   if degrade < 0.0 then invalid_arg "Fault.spec: negative degrade";
+  if crash_rate < 0.0 || crash_rate > 1.0 then
+    invalid_arg "Fault.spec: crash_rate outside [0,1]";
+  if crash_horizon <= 0.0 then
+    invalid_arg "Fault.spec: crash_horizon must be positive";
+  if crash_restart < 0.0 then invalid_arg "Fault.spec: negative crash_restart";
+  List.iter
+    (fun (p, at) ->
+      if p < 0 then invalid_arg "Fault.spec: negative crash_at processor";
+      if at < 0.0 then invalid_arg "Fault.spec: negative crash_at time")
+    crash_at;
   { seed; drop_rate; dup_rate; jitter; degrade; retry_timeout; max_retries;
-    drop_tagged }
+    drop_tagged; crash_seed; crash_rate; crash_horizon; crash_at;
+    crash_restart }
 
 let active s =
   s.drop_rate > 0.0 || s.dup_rate > 0.0 || s.jitter > 0.0 || s.degrade > 0.0
   || s.drop_tagged <> []
 
-let reliable s = active s && s.max_retries > 0 && s.retry_timeout > 0.0
+let crash_active s = s.crash_rate > 0.0 || s.crash_at <> []
+
+let reliable s =
+  (active s || crash_active s) && s.max_retries > 0 && s.retry_timeout > 0.0
+
+(* The crash plan is a pure function of (spec, nprocs): scripted entries
+   (dropping any processor outside [0, nprocs)) plus, in rate mode, one
+   independent per-processor draw seeded by (crash_seed, proc). Rate mode
+   never crashes processor 0 — root failure is whole-machine failure and
+   only makes sense as a scripted scenario. Each processor crashes at most
+   once; the earliest time wins. Sorted by (time, proc). *)
+let crash_plan s ~nprocs =
+  if not (crash_active s) then []
+  else begin
+    let scripted =
+      List.filter (fun (p, _) -> p >= 0 && p < nprocs) s.crash_at
+    in
+    let drawn =
+      if s.crash_rate <= 0.0 then []
+      else begin
+        let acc = ref [] in
+        for p = nprocs - 1 downto 1 do
+          let g =
+            Srandom.create ((s.crash_seed * 2_147_483_629) lxor (p * 1_000_003))
+          in
+          let u = Srandom.float g 1.0 in
+          let frac = Srandom.float g 1.0 in
+          if u < s.crash_rate then acc := (p, frac *. s.crash_horizon) :: !acc
+        done;
+        !acc
+      end
+    in
+    let all =
+      List.sort
+        (fun (p1, t1) (p2, t2) ->
+          let c = compare t1 t2 in
+          if c <> 0 then c else compare p1 p2)
+        (scripted @ drawn)
+    in
+    let seen = Array.make nprocs false in
+    List.filter
+      (fun (p, _) ->
+        if seen.(p) then false
+        else begin
+          seen.(p) <- true;
+          true
+        end)
+      all
+  end
 
 let pp_spec ppf s =
   Format.fprintf ppf
-    "fault(seed=%d drop=%g dup=%g jitter=%g degrade=%g timeout=%g retries=%d%s)"
+    "fault(seed=%d drop=%g dup=%g jitter=%g degrade=%g timeout=%g retries=%d%s%s)"
     s.seed s.drop_rate s.dup_rate s.jitter s.degrade s.retry_timeout
     s.max_retries
     (if s.drop_tagged = [] then ""
@@ -53,6 +125,17 @@ let pp_spec ppf s =
            (List.map
               (fun (tag, i) -> Printf.sprintf "%s#%d" (Tag.to_string tag) i)
               s.drop_tagged))
+    (if not (crash_active s) then ""
+     else
+       Printf.sprintf " crash(seed=%d rate=%g horizon=%g restart=%g%s)"
+         s.crash_seed s.crash_rate s.crash_horizon s.crash_restart
+         (if s.crash_at = [] then ""
+          else
+            " at="
+            ^ String.concat ","
+                (List.map
+                   (fun (p, at) -> Printf.sprintf "%d@%g" p at)
+                   s.crash_at)))
 
 type decision = {
   drop : bool;

@@ -31,10 +31,25 @@ type spec = {
       (** scripted drops: [(tag, n)] unconditionally drops the [n]-th
           (0-based) faultable message carrying [tag] — for deterministic
           lost-message tests *)
+  crash_seed : int;  (** root of the rate-mode crash draws *)
+  crash_rate : float;
+      (** per-processor probability of a crash-stop failure, in [0,1];
+          rate mode never crashes processor 0 *)
+  crash_horizon : float;
+      (** virtual-time window (seconds) over which rate-mode crash times
+          are drawn *)
+  crash_at : (int * float) list;
+      (** scripted crashes: [(proc, virtual_time)]; entries naming a
+          processor outside the run's range are ignored, so one scripted
+          plan works across processor counts *)
+  crash_restart : float;
+      (** when positive, a crashed processor restarts (with cold caches
+          and an empty queue) this many virtual seconds after its crash *)
 }
 
 val default_spec : spec
-(** Zero rates, [retry_timeout = 0.05], [max_retries = 10]. *)
+(** Zero rates, [retry_timeout = 0.05], [max_retries = 10],
+    [crash_horizon = 0.01]. *)
 
 val spec :
   ?seed:int ->
@@ -45,6 +60,11 @@ val spec :
   ?retry_timeout:float ->
   ?max_retries:int ->
   ?drop_tagged:(Tag.t * int) list ->
+  ?crash_seed:int ->
+  ?crash_rate:float ->
+  ?crash_horizon:float ->
+  ?crash_at:(int * float) list ->
+  ?crash_restart:float ->
   unit ->
   spec
 (** {!default_spec} with overrides; validates the rates. *)
@@ -53,11 +73,25 @@ val active : spec -> bool
 (** True when the plan can actually perturb delivery (some rate positive or
     a scripted drop present). An inactive plan is guaranteed to leave the
     simulation trajectory bit-for-bit identical to running with no plan at
-    all. *)
+    all. Crash fields are separate: see {!crash_active}. *)
+
+val crash_active : spec -> bool
+(** True when the plan can crash a processor (positive [crash_rate] or a
+    scripted [crash_at] entry). A crash-inactive plan spawns no recovery
+    machinery and leaves the trajectory bit-identical to no plan. *)
+
+val crash_plan : spec -> nprocs:int -> (int * float) list
+(** The pure crash schedule for an [nprocs]-processor run:
+    [(proc, virtual_time)] sorted by time then processor, at most one entry
+    per processor (earliest wins). Scripted entries outside [0, nprocs) are
+    dropped; rate mode draws one seeded decision per non-root processor.
+    Empty when not {!crash_active}. *)
 
 val reliable : spec -> bool
 (** True when the communicator should run its ack/retransmit machinery:
-    the plan is {!active} and retries are enabled. *)
+    the plan is {!active} or {!crash_active} and retries are enabled.
+    (Crash plans need retransmits so fetches re-aim at an object's current
+    owner after ownership transfer.) *)
 
 val pp_spec : Format.formatter -> spec -> unit
 

@@ -17,9 +17,12 @@ type t =
   | Eager  (** owner -> prior consumers: update-protocol push *)
   | Done  (** executor -> main: task completion *)
   | Ack  (** receiver -> owner: pushed-copy acknowledgement *)
+  | Ping  (** supervisor -> worker: heartbeat probe (crash detection) *)
+  | Pong  (** worker -> supervisor: heartbeat reply *)
+  | Reassign  (** supervisor -> survivors: ownership transfer notice *)
 
 (** Number of tags; the length of every per-tag ledger array. *)
-let count = 7
+let count = 10
 
 (** Dense index in [0, count): constant constructors are already small
     ints, so this is a bounds-free array subscript for the ledgers. *)
@@ -31,6 +34,9 @@ let index = function
   | Eager -> 4
   | Done -> 5
   | Ack -> 6
+  | Ping -> 7
+  | Pong -> 8
+  | Reassign -> 9
 
 (** Wire name, matching the historical string tags (reports, error
     messages, scripted-drop rendering). *)
@@ -42,6 +48,9 @@ let to_string = function
   | Eager -> "eager"
   | Done -> "done"
   | Ack -> "ack"
+  | Ping -> "ping"
+  | Pong -> "pong"
+  | Reassign -> "reassign"
 
 (** Every tag, in {!index} order. *)
-let all = [| Assign; Request; Obj; Bcast; Eager; Done; Ack |]
+let all = [| Assign; Request; Obj; Bcast; Eager; Done; Ack; Ping; Pong; Reassign |]
