@@ -95,7 +95,8 @@ let fault_term =
           ~doc:
             "Scripted crash-stop failures: processor P crashes at virtual \
              time T (e.g. $(b,--crash-at 2\\@0.01)). Entries naming a \
-             processor outside the run's range are ignored.")
+             processor outside the run's range are dropped with a stderr \
+             warning.")
   in
   let crash_seed_arg =
     Arg.(
@@ -125,6 +126,40 @@ let fault_term =
     const make $ seed_arg $ drop_arg $ dup_arg $ jitter_arg $ crash_rate_arg
     $ crash_at_arg $ crash_seed_arg $ crash_restart_arg)
 
+(* Engine selection: --engine pdes runs every simulation on the
+   conservatively time-windowed parallel engine (one event shard per
+   simulated processor); --domains picks how many worker domains commit
+   its windows. Outputs are byte-identical to the sequential engine by
+   construction — the CI parity matrix diffs the two. *)
+let engine_term =
+  let engine_arg =
+    Arg.(
+      value
+      & opt (some (enum [ ("seq", `Seq); ("pdes", `Pdes) ])) None
+      & info [ "engine" ] ~docv:"E"
+          ~doc:
+            "Discrete-event engine: $(b,seq) (default; one calendar queue) \
+             or $(b,pdes) (conservative time-windowed parallel engine with \
+             one event shard per simulated processor). Every rendered byte \
+             is identical across engines; only wall-clock time may differ.")
+  in
+  let domains_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"D"
+          ~doc:
+            "Worker domains the pdes engine extracts windows across \
+             (meaningful only with $(b,--engine pdes); 1 = windowed but \
+             single-domain).")
+  in
+  let make engine domains =
+    match engine with
+    | None -> None
+    | Some `Seq -> Some Jade.Config.Seq
+    | Some `Pdes -> Some (Jade.Config.Pdes { domains = max 1 domains })
+  in
+  Term.(const make $ engine_arg $ domains_arg)
+
 (* Replay and persistent-cache controls, shared by every Runner-backed
    subcommand. Both layers are output-preserving: toggling them can only
    change wall-clock time, never a rendered byte. *)
@@ -153,11 +188,12 @@ let cache_dir_arg =
            results from disk without simulating.")
 
 let runner_term =
-  let make size jobs fault replay cache_dir =
-    Runner.create ~jobs ?fault ?cache_dir ~replay size
+  let make size jobs fault engine replay cache_dir =
+    Runner.create ~jobs ?fault ?engine ?cache_dir ~replay size
   in
   Term.(
-    const make $ size_arg $ jobs_arg $ fault_term $ replay_arg $ cache_dir_arg)
+    const make $ size_arg $ jobs_arg $ fault_term $ engine_term $ replay_arg
+    $ cache_dir_arg)
 
 let print_table ?paper t =
   print_string (Report.render_comparison ~ours:t ~paper);
@@ -228,13 +264,13 @@ let regen_cmd =
       & info [ "no-cache" ]
           ~doc:"Disable the persistent run cache for this regeneration.")
   in
-  let run size jobs fault replay cache_dir no_cache =
+  let run size jobs fault engine replay cache_dir no_cache =
     let cache_dir =
       if no_cache then None
       else Some (Option.value cache_dir ~default:(default_cache_dir ()))
     in
     let t0 = Unix.gettimeofday () in
-    let r = Runner.create ~jobs ?fault ?cache_dir ~replay size in
+    let r = Runner.create ~jobs ?fault ?engine ?cache_dir ~replay size in
     print_everything r;
     Runner.flush_cache_stats r;
     let wall = Unix.gettimeofday () -. t0 in
@@ -255,7 +291,7 @@ let regen_cmd =
           statistics on stderr. A second run against the same cache \
           simulates nothing.")
     Term.(
-      const run $ size_arg $ jobs_arg $ fault_term $ replay_arg
+      const run $ size_arg $ jobs_arg $ fault_term $ engine_term $ replay_arg
       $ cache_dir_arg $ no_cache_arg)
 
 let cache_cmd =
@@ -356,8 +392,8 @@ let run_cmd =
           ~doc:"Write a Chrome trace-event JSON of the task schedule to FILE.")
   in
   let run app machine nprocs level no_bcast no_fetch no_repl target size trace
-      fault =
-    let r = Runner.create ?fault size in
+      fault engine =
+    let r = Runner.create ?fault ?engine size in
     let config =
       {
         (Runner.config_of_level level) with
@@ -412,7 +448,7 @@ let run_cmd =
     Term.(
       const run $ app_arg $ machine_arg $ procs_arg $ level_arg $ broadcast_arg
       $ fetch_arg $ replication_arg $ target_arg $ size_arg $ trace_arg
-      $ fault_term)
+      $ fault_term $ engine_term)
 
 (* One summary line per (app, level, nprocs) on a single machine backend.
    The output is deterministic and jobs-independent, so CI hashes it at

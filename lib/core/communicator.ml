@@ -9,11 +9,16 @@ type pending = {
 }
 
 (* A pushed copy (broadcast or eager transfer) the owner is waiting to see
-   acknowledged; only tracked when the reliable-delivery protocol is on. *)
+   acknowledged; only tracked when the reliable-delivery protocol is on.
+   The table key (object id, version, dst) is captured as flat ints at
+   track time, so the retransmit timers and the ack matcher never chase
+   the body's [meta] pointer. *)
 type push = {
   push_src : int;
   push_dst : int;
   push_size : int;
+  push_id : int;  (** object id — mirrors [push_body.id] *)
+  push_version : int;
   push_tag : Tag.t;
   push_body : Protocol.t;
   mutable push_attempt : int;
@@ -164,12 +169,7 @@ let installed t (meta : Meta.t) ~version ~proc =
       end
   | exception Not_found -> ()
 
-let push_key (pu : push) =
-  let body = pu.push_body in
-  match body.Protocol.kind with
-  | Tag.Bcast | Tag.Eager ->
-      (body.Protocol.meta.Meta.id, body.Protocol.version, pu.push_dst)
-  | _ -> invalid_arg "Communicator.push_key: not a push body"
+let push_key (pu : push) = (pu.push_id, pu.push_version, pu.push_dst)
 
 (* Owner-driven reliability for pushes: keep re-posting an unacknowledged
    broadcast/eager copy with exponential backoff until the receiver's ack
@@ -204,8 +204,9 @@ let track_push t ~src ~dst ~size ~tag body =
   | None -> ()
   | Some s ->
       let pu =
-        { push_src = src; push_dst = dst; push_size = size; push_tag = tag;
-          push_body = body; push_attempt = 0 }
+        { push_src = src; push_dst = dst; push_size = size;
+          push_id = body.Protocol.id; push_version = body.Protocol.version;
+          push_tag = tag; push_body = body; push_attempt = 0 }
       in
       Hashtbl.replace t.pushes (push_key pu) pu;
       arm_push_timer t pu ~timeout:s.Fault.retry_timeout
@@ -268,7 +269,7 @@ let handle t (msg : Protocol.t Fabric.msg) =
          owner treats surplus acks as no-ops. *)
       if t.reliable <> None && msg.Fabric.src <> msg.Fabric.dst then begin
         let ack = Protocol.Pool.alloc t.pool in
-        Protocol.set_ack ack ~id:meta.Meta.id ~version ~from:msg.Fabric.dst;
+        Protocol.set_ack ack ~id:body.Protocol.id ~version ~from:msg.Fabric.dst;
         Fabric.post t.fabric ~src:msg.Fabric.dst ~dst:msg.Fabric.src
           ~size:t.costs.Costs.small_msg ~tag:Tag.Ack ack
       end

@@ -1,5 +1,7 @@
 type locality_level = No_locality | Locality | Task_placement
 
+type engine_kind = Seq | Pdes of { domains : int }
+
 type t = {
   locality : locality_level;
   adaptive_broadcast : bool;
@@ -9,6 +11,7 @@ type t = {
   work_free : bool;
   eager_transfer : bool;
   fault : Jade_net.Fault.spec option;
+  engine : engine_kind;
 }
 
 let default =
@@ -21,7 +24,12 @@ let default =
     work_free = false;
     eager_transfer = false;
     fault = None;
+    engine = Seq;
   }
+
+let engine_to_string = function
+  | Seq -> "seq"
+  | Pdes { domains } -> Printf.sprintf "pdes:%d" domains
 
 let locality_to_string = function
   | No_locality -> "no-locality"

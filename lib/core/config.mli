@@ -6,6 +6,16 @@ type locality_level =
   | Locality  (** the implementation's locality heuristic (§3.2.1 / §3.4.3) *)
   | Task_placement  (** honour the programmer's explicit task placement *)
 
+type engine_kind =
+  | Seq  (** the sequential event engine — the digest-parity oracle *)
+  | Pdes of { domains : int }
+      (** conservative time-windowed PDES: one event shard per simulated
+          processor, windows sized by the machine's cross-node latency
+          floor, window extraction parallelized over [domains] worker
+          domains (1 = sharded data structures, no host parallelism).
+          Bit-identical results to [Seq] at any domain count — the knob
+          trades host execution strategy, never simulation output. *)
+
 type t = {
   locality : locality_level;
   adaptive_broadcast : bool;  (** §3.4.2 *)
@@ -31,6 +41,11 @@ type t = {
           that let the communicator survive it. [None] (and any plan with
           all rates zero) leaves the simulation bit-identical to the
           fault-free baseline. Only meaningful on message-passing machines. *)
+  engine : engine_kind;
+      (** which event-engine execution strategy drives the simulation.
+          Deliberately NOT printed by {!pp}: every rendered output
+          (digests, tables, figures) must be byte-identical across
+          engines, which is what the PDES-parity CI checks compare. *)
 }
 
 (** All optimizations on, no latency hiding ([target_tasks = 1]) — the
@@ -39,4 +54,7 @@ val default : t
 
 val locality_to_string : locality_level -> string
 
+val engine_to_string : engine_kind -> string
+
+(** Renders every field except [engine] — see its doc above. *)
 val pp : Format.formatter -> t -> unit

@@ -11,12 +11,18 @@
 
     Field usage by kind:
     - [Assign]: [task]
-    - [Request]: [meta], [version], [peer] (the requester), [fl.sent_at]
-    - [Obj] / [Bcast] / [Eager]: [meta], [version], [fl.sent_at]
+    - [Request]: [meta], [id], [version], [peer] (the requester),
+      [fl.sent_at]
+    - [Obj] / [Bcast] / [Eager]: [meta], [id], [version], [fl.sent_at]
     - [Done]: [task], [peer] (the executor)
     - [Ack]: [id] (object id), [version], [peer] (the acking node)
     - [Ping] / [Pong]: [peer] (the probed / replying node)
-    - [Reassign]: [meta], [version], [peer] (the new owner)
+    - [Reassign]: [meta], [id], [version], [peer] (the new owner)
+
+    Every object-bearing kind mirrors the object id into the flat [id]
+    int: consumers that only need to key a table (the ack matcher, the
+    push retransmit timers) read one immediate field instead of chasing
+    [meta] — the [Meta.t] block is cold on those paths.
 
     Unused fields hold the pool's inert dummies; handlers must only read
     the fields their kind defines.
@@ -128,6 +134,7 @@ let set_assign m task =
 let set_request m ~meta ~version ~requester ~sent_at =
   m.kind <- Jade_net.Tag.Request;
   m.meta <- meta;
+  m.id <- meta.Meta.id;
   m.version <- version;
   m.peer <- requester;
   m.fl.sent_at <- sent_at
@@ -135,18 +142,21 @@ let set_request m ~meta ~version ~requester ~sent_at =
 let set_obj m ~meta ~version ~sent_at =
   m.kind <- Jade_net.Tag.Obj;
   m.meta <- meta;
+  m.id <- meta.Meta.id;
   m.version <- version;
   m.fl.sent_at <- sent_at
 
 let set_bcast m ~meta ~version ~sent_at =
   m.kind <- Jade_net.Tag.Bcast;
   m.meta <- meta;
+  m.id <- meta.Meta.id;
   m.version <- version;
   m.fl.sent_at <- sent_at
 
 let set_eager m ~meta ~version ~sent_at =
   m.kind <- Jade_net.Tag.Eager;
   m.meta <- meta;
+  m.id <- meta.Meta.id;
   m.version <- version;
   m.fl.sent_at <- sent_at
 
@@ -172,5 +182,6 @@ let set_pong m ~from =
 let set_reassign m ~meta ~version ~owner =
   m.kind <- Jade_net.Tag.Reassign;
   m.meta <- meta;
+  m.id <- meta.Meta.id;
   m.version <- version;
   m.peer <- owner

@@ -1,4 +1,6 @@
-let schema_version = 2
+(* v3: Config grew the [engine] field (seq vs pdes), which rides the
+   Marshal'd Config into every cache key. *)
+let schema_version = 3
 
 type value = Summary of Jade.Metrics.summary | Flops of float
 

@@ -95,6 +95,9 @@ type t = {
   fault : Jade_net.Fault.spec option;
       (** chaos plan folded into every run's config (before the memo key is
           built, so chaos results never alias fault-free ones) *)
+  engine : Jade.Config.engine_kind option;
+      (** event-engine selection folded into every run's config, like
+          [fault] — it participates in the memo and disk-cache keys *)
   use_replay : bool;  (** cross-configuration record/replay enabled *)
   disk : Runcache.t option;  (** persistent result cache, when configured *)
   lock : Mutex.t;  (** guards every mutable field below *)
@@ -114,12 +117,13 @@ type t = {
   mutable n_replayed_tasks : int;  (** task bodies replayed, not executed *)
 }
 
-let create ?jobs ?fault ?cache_dir ?(replay = true) sz =
+let create ?jobs ?fault ?engine ?cache_dir ?(replay = true) sz =
   let jobs = match jobs with Some j -> max 1 j | None -> Pool.default_jobs () in
   {
     sz;
     jobs;
     fault;
+    engine;
     use_replay = replay;
     disk = Option.map (fun dir -> Runcache.create ~dir) cache_dir;
     lock = Mutex.create ();
@@ -388,13 +392,21 @@ let record t w =
   | Some acc -> t.plan <- Some (w :: acc)
   | None -> assert false
 
-let with_fault t (config : Jade.Config.t) =
-  match t.fault with
+(* Fold the runner-wide fault plan and engine selection into a run's
+   config before the memo key is built — both change (or for the engine,
+   must provably not change) the computation, so both live in the key. *)
+let with_overrides t (config : Jade.Config.t) =
+  let config =
+    match t.fault with
+    | None -> config
+    | Some f -> { config with Jade.Config.fault = Some f }
+  in
+  match t.engine with
   | None -> config
-  | Some f -> { config with Jade.Config.fault = Some f }
+  | Some e -> { config with Jade.Config.engine = e }
 
 let run t ~app ~machine ~nprocs ~config ~placed =
-  let config = with_fault t config in
+  let config = with_overrides t config in
   let key =
     { k_app = app; k_machine = machine; k_nprocs = nprocs; k_config = config;
       k_placed = placed }
@@ -415,7 +427,7 @@ let run t ~app ~machine ~nprocs ~config ~placed =
 (* A traced run bypasses the cache and replay: tracing mutates external
    state and wants the real execution. *)
 let run_traced t ~trace ~app ~machine ~nprocs ~config ~placed =
-  let config = with_fault t config in
+  let config = with_overrides t config in
   let program = make_program t app ~kind:(kind_of machine) ~placed ~nprocs in
   let s =
     Jade.Runtime.run ~config ~trace ~machine:(jade_machine machine) ~nprocs

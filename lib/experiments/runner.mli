@@ -49,18 +49,24 @@ val config_of_level : level -> Jade.Config.t
 
 type t
 
-(** [create ?jobs ?fault ?cache_dir ?replay size] makes a runner whose
-    result cache is domain-safe. [jobs] (default {!Pool.default_jobs},
-    clamped to at least 1) is the number of domains {!parallel} fans
-    uncached simulations out across. [fault], when given, is a
-    deterministic chaos plan ({!Jade_net.Fault}) folded into the
-    configuration of every run this runner executes — it participates in
-    the memo key and the disk-cache key, so chaos results never alias
-    fault-free ones. [cache_dir] enables the persistent disk cache.
-    [replay] (default [true]) enables cross-configuration record/replay. *)
+(** [create ?jobs ?fault ?engine ?cache_dir ?replay size] makes a runner
+    whose result cache is domain-safe. [jobs] (default
+    {!Pool.default_jobs}, clamped to at least 1) is the number of domains
+    {!parallel} fans uncached simulations out across. [fault], when
+    given, is a deterministic chaos plan ({!Jade_net.Fault}) folded into
+    the configuration of every run this runner executes — it participates
+    in the memo key and the disk-cache key, so chaos results never alias
+    fault-free ones. [engine], when given, selects the event engine
+    ({!Jade.Config.engine_kind}) the same way: folded into every config
+    and into both cache keys, so sequential and PDES results are cached
+    separately (they must be byte-identical, and keeping them apart is
+    what lets the parity checks prove it). [cache_dir] enables the
+    persistent disk cache. [replay] (default [true]) enables
+    cross-configuration record/replay. *)
 val create :
   ?jobs:int ->
   ?fault:Jade_net.Fault.spec ->
+  ?engine:Jade.Config.engine_kind ->
   ?cache_dir:string ->
   ?replay:bool ->
   size ->

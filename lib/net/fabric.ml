@@ -26,6 +26,11 @@ type 'a t = {
   hop_latency : float;
   bus : Mnode.t option;  (** shared medium all transfers serialize through *)
   fault : Fault.t option;  (** chaos plan for interrupt-context traffic *)
+  sharded : bool;
+      (** engine has one event shard per node: deliveries route to the
+          destination's shard so remote traffic is the only cross-shard
+          edge (and it carries at least one hop of latency — the
+          engine's lookahead) *)
   dummy : 'a;  (** inert body used to blank recycled cells *)
   clone : 'a -> 'a;
       (** copies a body for fault duplication, so the duplicate cannot
@@ -60,6 +65,7 @@ let create ?bus ?fault ?(clone = Fun.id) ?(release = ignore) eng ~dummy ~nodes
     hop_latency;
     bus;
     fault;
+    sharded = Engine.shards eng >= Array.length nodes && Engine.shards eng > 1;
     dummy;
     clone;
     release;
@@ -135,7 +141,8 @@ let deliver_at t time m =
   end
   else begin
     record t m;
-    Engine.schedule_at t.eng time m.resume
+    if t.sharded then Engine.schedule_at_shard t.eng ~shard:m.dst time m.resume
+    else Engine.schedule_at t.eng time m.resume
   end
 
 (* Faultable delivery: interrupt-context traffic and broadcast copies go

@@ -78,7 +78,20 @@ let crash_plan s ~nprocs =
   if not (crash_active s) then []
   else begin
     let scripted =
-      List.filter (fun (p, _) -> p >= 0 && p < nprocs) s.crash_at
+      List.filter
+        (fun (p, at) ->
+          let ok = p >= 0 && p < nprocs in
+          (* Out-of-range entries are unusable on this machine size; say so
+             instead of silently weakening the scenario (a --crash-at typo
+             would otherwise pass as a clean run). Warning only — the plan
+             itself stays a pure function of (spec, nprocs). *)
+          if not ok then
+            Printf.eprintf
+              "warning: --crash-at %d@%g dropped: processor %d out of range \
+               for %d-processor machine\n%!"
+              p at p nprocs;
+          ok)
+        s.crash_at
     in
     let drawn =
       if s.crash_rate <= 0.0 then []

@@ -40,8 +40,9 @@ type spec = {
           are drawn *)
   crash_at : (int * float) list;
       (** scripted crashes: [(proc, virtual_time)]; entries naming a
-          processor outside the run's range are ignored, so one scripted
-          plan works across processor counts *)
+          processor outside the run's range are dropped with a one-line
+          stderr warning, so one scripted plan works across processor
+          counts without a typo passing as a clean run *)
   crash_restart : float;
       (** when positive, a crashed processor restarts (with cold caches
           and an empty queue) this many virtual seconds after its crash *)
@@ -84,7 +85,8 @@ val crash_plan : spec -> nprocs:int -> (int * float) list
 (** The pure crash schedule for an [nprocs]-processor run:
     [(proc, virtual_time)] sorted by time then processor, at most one entry
     per processor (earliest wins). Scripted entries outside [0, nprocs) are
-    dropped; rate mode draws one seeded decision per non-root processor.
+    dropped, each with a one-line stderr warning naming the entry; rate
+    mode draws one seeded decision per non-root processor.
     Empty when not {!crash_active}. *)
 
 val reliable : spec -> bool

@@ -20,8 +20,48 @@ type t
     event queue (number of simultaneously scheduled events it can hold
     before growing); callers that know the simulation's fan-out — e.g. the
     Jade runtime, which scales it with the processor count — pass it to
-    skip the doubling cascade on large runs. *)
-val create : ?events_hint:int -> unit -> t
+    skip the doubling cascade on large runs.
+
+    [shards] > 1 selects the conservative time-windowed PDES engine: each
+    shard owns a calendar far lane (one per simulated node in the Jade
+    runtime), and far events commit in global (time, seq) order through
+    an index heap over the shard heads — so results are bit-identical to
+    the [shards = 1] engine, at any shard or domain count, by
+    construction. [lookahead] (required positive when sharded) is the
+    conservative window width: the minimum cross-shard latency floor of
+    the machine model. [domains] > 1 runs the per-window extraction phase
+    — draining each shard's below-horizon calendar entries into sorted
+    staging runs — on a persistent {!Team} of worker domains; commits
+    stay serial, preserving determinism. *)
+val create :
+  ?events_hint:int ->
+  ?shards:int ->
+  ?lookahead:float ->
+  ?domains:int ->
+  unit ->
+  t
+
+(** Number of event shards ([1] for a sequential engine). *)
+val shards : t -> int
+
+(** Conservative-window evidence of a sharded run, for tests and
+    diagnostics. On a sequential engine [ws_windows = 0] and both margins
+    are [+inf]. *)
+type window_stats = {
+  ws_shards : int;
+  ws_lookahead : float;
+  ws_windows : int;  (** windows opened so far *)
+  ws_min_floor_margin : float;
+      (** minimum over committed far events of (commit time - window
+          start); [>= 0] — an event never commits before its window's
+          floor *)
+  ws_min_end_margin : float;
+      (** minimum over committed far events of (window end - commit
+          time); [> 0] — an event never commits at or beyond the window
+          end it was extracted under *)
+}
+
+val window_stats : t -> window_stats
 
 (** Current virtual time in seconds. *)
 val now : t -> float
@@ -39,6 +79,18 @@ val schedule : t -> ?delay:float -> (unit -> unit) -> unit
     delivery times) need no arithmetic of their own. *)
 val schedule_at : t -> float -> (unit -> unit) -> unit
 
+(** [schedule_at_shard t ~shard time f] is {!schedule_at} with an explicit
+    destination shard — the cross-shard scheduling entry point (the
+    network fabric routes each delivery to its destination node's shard).
+    On a sequential engine it is exactly [schedule_at]. On a sharded
+    engine, an event bound for another shard must land at or beyond the
+    end of the currently open window; violating that means the caller's
+    cross-shard latency is below the engine's lookahead, and raises
+    [Invalid_argument] naming both (the conservative-execution contract —
+    commit order would still be correct, but the window's parallel
+    extraction claim would not). *)
+val schedule_at_shard : t -> shard:int -> float -> (unit -> unit) -> unit
+
 (** [schedule_now t f] is [schedule t f]: [f] fires at the current
     virtual time, after everything already scheduled for it. Zero-delay
     events live in a FIFO "now lane" rather than the time-ordered heap,
@@ -54,11 +106,15 @@ val schedule_now : t -> (unit -> unit) -> unit
     time. *)
 val schedule_call : t -> ('a -> unit) -> 'a -> unit
 
-(** [spawn ?name t f] starts [f] as a simulation process at the current
-    time. [f] may perform {!delay} / {!await}. [name] identifies the
-    process in deadlock reports ({!blocked_report}); unnamed processes get
-    ["process-<n>"] in spawn order. *)
-val spawn : ?name:string -> t -> (unit -> unit) -> unit
+(** [spawn ?name ?shard t f] starts [f] as a simulation process at the
+    current time. [f] may perform {!delay} / {!await}. [name] identifies
+    the process in deadlock reports ({!blocked_report}); unnamed processes
+    get ["process-<n>"] in spawn order. [shard] binds the process to an
+    event shard: its delays and schedules land in that shard's far lane
+    (the Jade backends bind each node's dispatcher to the node's shard).
+    Defaults to the spawning context's shard; irrelevant (but accepted as
+    [0]) on a sequential engine. *)
+val spawn : ?name:string -> ?shard:int -> t -> (unit -> unit) -> unit
 
 (** Name of the currently executing process, or [""] outside any. *)
 val current_name : t -> string

@@ -1,0 +1,33 @@
+(** Persistent worker-domain team for data-parallel phases inside a
+    single simulation (the PDES engine's window-extraction phase).
+
+    Unlike {!Pool}, which spawns fresh domains per batch of coarse jobs,
+    a team keeps its domains alive: {!parallel_for} publishes a job,
+    wakes the sleeping workers, has the calling domain claim items
+    alongside them, and returns once every item has run. Between batches
+    workers block on a condition variable, so an idle team costs nothing
+    even when the host has fewer cores than domains. *)
+
+type t
+
+(** [create ~workers] spawns [workers] additional domains (the caller's
+    domain also participates in every batch, so the team's total
+    parallelism is [workers + 1]). [workers = 0] makes every
+    {!parallel_for} run inline. *)
+val create : workers:int -> t
+
+(** Total domains participating in a batch, including the caller's. *)
+val size : t -> int
+
+(** [parallel_for t ~n job] runs [job 0 .. job (n-1)], each item exactly
+    once, distributed over the team by atomic work claiming. Returns when
+    all items have completed; worker writes made by the items are visible
+    to the caller afterwards. If any item raised, one of the exceptions is
+    re-raised (after all items finished). Items must be thread-safe with
+    respect to each other — the intended use partitions disjoint data
+    (one event shard per item). Not reentrant. *)
+val parallel_for : t -> n:int -> (int -> unit) -> unit
+
+(** Terminate and join the worker domains. The team must not be used
+    afterwards. *)
+val shutdown : t -> unit
