@@ -277,6 +277,94 @@ let measure_pdes_scale () =
         row "pdes" 4 w_p4 s_p4 ];
   }
 
+(* Task-graph transformation A/B scenario: every app on every machine at
+   8 simulated processors, test scale, once per --graph-opt level. One
+   runner per level — the level folds into each cell's cache key, each
+   affected cell lifts the group's recorded op streams into the
+   [Jade_graph.Ir] DAG, runs the certified pass pipeline, and replays the
+   transformed store through the unmodified runtime. The [Gr_none] runner
+   must reproduce the plain runner's summaries structurally (recorded as
+   [ga_parity]); the interesting number is how many (app, machine) cells
+   the full pipeline actually improves. *)
+type graph_cell = {
+  gc_app : string;
+  gc_machine : string;
+  gc_opt : string;
+  gc_elapsed_s : float;
+  gc_msgs : int;
+}
+
+type graph_ab = {
+  ga_parity : bool;  (* Gr_none summaries = plain-runner summaries *)
+  ga_improved : int;  (* cells where Gr_all cut messages or simulated time *)
+  ga_cells : int;  (* (app x machine) pairs measured *)
+  ga_rows : graph_cell list;
+}
+
+let measure_graph_opt () =
+  let apps = List.map (fun a -> (a, Rn.app_name a)) Rn.all_apps in
+  let machines = List.map (fun m -> (m, Rn.machine_name m)) [ Rn.Dash; Rn.Ipsc; Rn.Lan ] in
+  let nprocs = 8 in
+  let sweep r =
+    List.concat_map
+      (fun (app, an) ->
+        List.map
+          (fun (machine, mn) ->
+            ( an, mn,
+              Rn.run r ~app ~machine ~nprocs ~config:Jade.Config.default
+                ~placed:false ))
+          machines)
+      apps
+  in
+  let plain = sweep (Rn.create ~jobs:1 Rn.Test) in
+  let levels =
+    [ (Jade.Config.Gr_none, "none"); (Jade.Config.Gr_fuse, "fuse");
+      (Jade.Config.Gr_split, "split"); (Jade.Config.Gr_cluster, "cluster");
+      (Jade.Config.Gr_all, "all") ]
+  in
+  let by_level =
+    List.map
+      (fun (graph_opt, name) ->
+        (name, sweep (Rn.create ~jobs:1 ~graph_opt Rn.Test)))
+      levels
+  in
+  let cells_of name = List.assoc name by_level in
+  let parity =
+    List.for_all2
+      (fun (_, _, a) (_, _, (b : Jade.Metrics.summary)) -> a = b)
+      plain (cells_of "none")
+  in
+  let improved =
+    List.fold_left2
+      (fun n (_, _, (none : Jade.Metrics.summary))
+           (_, _, (all : Jade.Metrics.summary)) ->
+        if
+          all.Jade.Metrics.msg_count < none.Jade.Metrics.msg_count
+          || all.Jade.Metrics.elapsed_s < none.Jade.Metrics.elapsed_s
+        then n + 1
+        else n)
+      0 (cells_of "none") (cells_of "all")
+  in
+  {
+    ga_parity = parity;
+    ga_improved = improved;
+    ga_cells = List.length plain;
+    ga_rows =
+      List.concat_map
+        (fun (opt, cells) ->
+          List.map
+            (fun (an, mn, (s : Jade.Metrics.summary)) ->
+              {
+                gc_app = an;
+                gc_machine = mn;
+                gc_opt = opt;
+                gc_elapsed_s = s.Jade.Metrics.elapsed_s;
+                gc_msgs = s.Jade.Metrics.msg_count;
+              })
+            cells)
+        by_level;
+  }
+
 (* Minimal JSON writer (numbers, strings, null) — keeps the bench free of
    extra dependencies. *)
 let json_escape s =
@@ -346,7 +434,7 @@ let baseline_wall_from_file ~size_name path =
 let write_json path ~size_name ~jobs ~engine_name ~(par : regen_stats)
     ~(baseline : regen_stats option) ~(baseline_file_wall : float option)
     ~(warm_wall_s : float option) ~(recovery : recovery_stats)
-    ~(pdes : pdes_scale) =
+    ~(pdes : pdes_scale) ~(graph : graph_ab) =
   let oc = open_out path in
   let opt_float = function
     | Some v -> Printf.sprintf "%.6f" v
@@ -458,6 +546,21 @@ let write_json path ~size_name ~jobs ~engine_name ~(par : regen_stats)
      \"parity\": %b, \"rows\": [\n%s\n    ]},\n"
     (json_escape pdes.ps_app) pdes.ps_nprocs pdes.ps_parity
     (String.concat ",\n" pdes_rows);
+  let graph_rows =
+    List.map
+      (fun c ->
+        Printf.sprintf
+          "      {\"app\": \"%s\", \"machine\": \"%s\", \"opt\": \"%s\", \
+           \"elapsed_s\": %.9f, \"msgs\": %d}"
+          (json_escape c.gc_app) (json_escape c.gc_machine)
+          (json_escape c.gc_opt) c.gc_elapsed_s c.gc_msgs)
+      graph.ga_rows
+  in
+  Printf.fprintf oc
+    "  \"graph_opt\": {\"parity\": %b, \"improved_cells\": %d, \
+     \"cells\": %d, \"rows\": [\n%s\n    ]},\n"
+    graph.ga_parity graph.ga_improved graph.ga_cells
+    (String.concat ",\n" graph_rows);
   Printf.fprintf oc "  \"kernels\": [\n";
   let n = List.length par.kernel_ms in
   List.iteri
@@ -552,7 +655,14 @@ let () =
       | None -> 1
     in
     match kind with
-    | None | Some `Seq -> None
+    | None | Some `Seq ->
+        if domains <> 1 then
+          invalid_arg
+            (Printf.sprintf
+               "--domains %d is only meaningful with --engine pdes (the \
+                sequential engine always runs on one domain)"
+               domains);
+        None
     | Some `Pdes -> Some (Jade.Config.Pdes { domains })
   in
   let engine_name =
@@ -655,8 +765,13 @@ let () =
         (if r.pr_wall_s > 0.0 then float_of_int r.pr_events /. r.pr_wall_s
          else 0.0))
     pdes.ps_rows;
+  let graph = measure_graph_opt () in
+  Printf.printf
+    "Graph-opt A/B (%d apps x 3 machines, 8 procs): parity=%b, %d/%d cells \
+     improved by fuse+cluster+split\n"
+    (List.length Rn.all_apps) graph.ga_parity graph.ga_improved graph.ga_cells;
   write_json "BENCH_repro.json" ~size_name ~jobs ~engine_name ~par ~baseline
     ~baseline_file_wall
     ~warm_wall_s:(Option.map (fun (w : regen_stats) -> w.wall_s) warm)
-    ~recovery ~pdes;
+    ~recovery ~pdes ~graph;
   Printf.printf "Wrote BENCH_repro.json\n"

@@ -154,9 +154,18 @@ let engine_term =
   in
   let make engine domains =
     match engine with
+    | Some `Pdes -> Some (Jade.Config.Pdes { domains = max 1 domains })
+    | (None | Some `Seq) when domains <> 1 ->
+        (* Silently ignoring --domains would let a user believe they
+           measured a 4-domain run on the sequential engine. *)
+        raise
+          (Invalid_argument
+             (Printf.sprintf
+                "--domains %d is only meaningful with --engine pdes (the \
+                 sequential engine always runs on one domain)"
+                domains))
     | None -> None
     | Some `Seq -> Some Jade.Config.Seq
-    | Some `Pdes -> Some (Jade.Config.Pdes { domains = max 1 domains })
   in
   Term.(const make $ engine_arg $ domains_arg)
 
@@ -187,13 +196,41 @@ let cache_dir_arg =
            settings), so a later invocation with the same cache replays \
            results from disk without simulating.")
 
+(* The sixth optimization family: offline task-graph transformation
+   passes over the recorded op streams, replayed through the unmodified
+   runtime. [none] is byte-identical to omitting the flag (the
+   graph-parity CI job diffs the two). *)
+let graph_opt_conv =
+  Arg.enum
+    [
+      ("none", Jade.Config.Gr_none);
+      ("fuse", Jade.Config.Gr_fuse);
+      ("split", Jade.Config.Gr_split);
+      ("cluster", Jade.Config.Gr_cluster);
+      ("all", Jade.Config.Gr_all);
+    ]
+
+let graph_opt_arg =
+  Arg.(
+    value
+    & opt (some graph_opt_conv) None
+    & info [ "graph-opt" ] ~docv:"PASS"
+        ~doc:
+          "Task-graph transformation passes applied to each run group's \
+           recorded op streams before replay: $(b,none) (byte-identical \
+           to omitting the flag), $(b,fuse) (pin small producer/consumer \
+           chains to one processor), $(b,split) (cut oversized tasks at \
+           release boundaries), $(b,cluster) (re-home tasks to the \
+           majority owner of their accesses) or $(b,all). Every pass is \
+           checked by a validity certificate; requires $(b,--replay on).")
+
 let runner_term =
-  let make size jobs fault engine replay cache_dir =
-    Runner.create ~jobs ?fault ?engine ?cache_dir ~replay size
+  let make size jobs fault engine graph_opt replay cache_dir =
+    Runner.create ~jobs ?fault ?engine ?graph_opt ?cache_dir ~replay size
   in
   Term.(
-    const make $ size_arg $ jobs_arg $ fault_term $ engine_term $ replay_arg
-    $ cache_dir_arg)
+    const make $ size_arg $ jobs_arg $ fault_term $ engine_term
+    $ graph_opt_arg $ replay_arg $ cache_dir_arg)
 
 let print_table ?paper t =
   print_string (Report.render_comparison ~ours:t ~paper);
@@ -264,13 +301,15 @@ let regen_cmd =
       & info [ "no-cache" ]
           ~doc:"Disable the persistent run cache for this regeneration.")
   in
-  let run size jobs fault engine replay cache_dir no_cache =
+  let run size jobs fault engine graph_opt replay cache_dir no_cache =
     let cache_dir =
       if no_cache then None
       else Some (Option.value cache_dir ~default:(default_cache_dir ()))
     in
     let t0 = Unix.gettimeofday () in
-    let r = Runner.create ~jobs ?fault ?engine ?cache_dir ~replay size in
+    let r =
+      Runner.create ~jobs ?fault ?engine ?graph_opt ?cache_dir ~replay size
+    in
     print_everything r;
     Runner.flush_cache_stats r;
     let wall = Unix.gettimeofday () -. t0 in
@@ -291,8 +330,8 @@ let regen_cmd =
           statistics on stderr. A second run against the same cache \
           simulates nothing.")
     Term.(
-      const run $ size_arg $ jobs_arg $ fault_term $ engine_term $ replay_arg
-      $ cache_dir_arg $ no_cache_arg)
+      const run $ size_arg $ jobs_arg $ fault_term $ engine_term
+      $ graph_opt_arg $ replay_arg $ cache_dir_arg $ no_cache_arg)
 
 let cache_cmd =
   let action_arg =
@@ -392,8 +431,8 @@ let run_cmd =
           ~doc:"Write a Chrome trace-event JSON of the task schedule to FILE.")
   in
   let run app machine nprocs level no_bcast no_fetch no_repl target size trace
-      fault engine =
-    let r = Runner.create ?fault ?engine size in
+      fault engine graph_opt =
+    let r = Runner.create ?fault ?engine ?graph_opt size in
     let config =
       {
         (Runner.config_of_level level) with
@@ -448,7 +487,7 @@ let run_cmd =
     Term.(
       const run $ app_arg $ machine_arg $ procs_arg $ level_arg $ broadcast_arg
       $ fetch_arg $ replication_arg $ target_arg $ size_arg $ trace_arg
-      $ fault_term $ engine_term)
+      $ fault_term $ engine_term $ graph_opt_arg)
 
 (* One summary line per (app, level, nprocs) on a single machine backend.
    The output is deterministic and jobs-independent, so CI hashes it at
@@ -490,6 +529,130 @@ let digest_cmd =
          "Print a deterministic per-machine summary digest (every app and \
           locality level at 1-8 processors) for backend-parity checking.")
     Term.(const run $ machine_arg $ runner_term)
+
+(* Inspect and transform the task-graph IR directly: lift one program's
+   recorded op streams into the DAG and dump, summarize or run the pass
+   pipeline over it, printing each pass's statistics and validity
+   certificate. *)
+let graph_cmd =
+  let action_arg =
+    Arg.(
+      required
+      & pos 0
+          (some
+             (enum
+                [ ("dump", `Dump); ("stats", `Stats); ("transform", `Transform) ]))
+          None
+      & info [] ~docv:"ACTION"
+          ~doc:
+            "$(b,dump) prints the serialized IR; $(b,stats) summarizes the \
+             DAG (tasks, edges, objects, grain); $(b,transform) runs the \
+             pass pipeline and prints per-pass statistics and validity \
+             certificates.")
+  in
+  let app_arg =
+    Arg.(
+      required
+      & opt (some app_conv) None
+      & info [ "app" ] ~docv:"APP" ~doc:"water, string, ocean or cholesky.")
+  in
+  let machine_arg =
+    Arg.(
+      value
+      & opt machine_conv Runner.Ipsc
+      & info [ "machine" ] ~docv:"M" ~doc:"dash, ipsc (default) or lan.")
+  in
+  let procs_arg =
+    Arg.(value & opt int 8 & info [ "procs"; "p" ] ~docv:"P" ~doc:"Processors.")
+  in
+  let placed_arg =
+    Arg.(
+      value & flag
+      & info [ "placed" ]
+          ~doc:"Use the program variant with explicit task placement.")
+  in
+  let run action app machine nprocs placed size graph_opt =
+    let r = Runner.create ~jobs:1 size in
+    match Runner.task_graph r ~app ~machine ~nprocs ~placed with
+    | Error e ->
+        Printf.eprintf "graph: %s\n%!" e;
+        exit 1
+    | Ok g -> (
+        let module Ir = Jade_graph.Ir in
+        match action with
+        | `Dump -> print_string (Ir.encode g)
+        | `Stats ->
+            let n = Ir.node_count g in
+            let total = Ir.total_work g in
+            let max_grain = ref 0.0 and releasers = ref 0 and placed_n = ref 0 in
+            Array.iter
+              (fun node ->
+                let w = Ir.trace_work node in
+                if w > !max_grain then max_grain := w;
+                if
+                  Array.exists
+                    (function Ir.Release _ -> true | Ir.Work _ -> false)
+                    node.Ir.n_ops
+                then incr releasers;
+                if node.Ir.n_placement <> None then incr placed_n)
+              g.Ir.nodes;
+            Format.printf "%s on %s, %d processors, %s@."
+              (Runner.app_name app)
+              (Runner.machine_name machine)
+              nprocs
+              (if placed then "placed" else "unplaced");
+            Format.printf "  tasks: %d@." n;
+            Format.printf "  data-flow edges: %d@." (Ir.edge_count g);
+            Format.printf "  shared objects: %d@." (Ir.object_count g);
+            Format.printf "  total work: %.6g flops@." total;
+            Format.printf "  mean grain: %.6g flops, max %.6g@."
+              (if n = 0 then 0.0 else total /. float_of_int n)
+              !max_grain;
+            Format.printf "  tasks with mid-body releases: %d@." !releasers;
+            Format.printf "  explicitly placed tasks: %d@." !placed_n
+        | `Transform ->
+            let gopt = Option.value graph_opt ~default:Jade.Config.Gr_all in
+            let res = Jade_graph.Passes.run (Runner.passes_of gopt) g in
+            Format.printf "pipeline: %s@."
+              (Jade.Config.graph_opt_to_string gopt);
+            List.iter
+              (fun st ->
+                Format.printf "  pass %s: %d nodes edited (%s)@."
+                  st.Jade_graph.Passes.p_pass st.Jade_graph.Passes.p_changed
+                  st.Jade_graph.Passes.p_detail)
+              res.Jade_graph.Passes.stats;
+            List.iter
+              (fun c ->
+                Format.printf "  certificate %a@." Jade_graph.Verify.pp c)
+              res.Jade_graph.Passes.certs;
+            let before_placed =
+              Array.fold_left
+                (fun acc node ->
+                  if node.Ir.n_placement <> None then acc + 1 else acc)
+                0 g.Ir.nodes
+            and after = res.Jade_graph.Passes.graph in
+            let after_placed =
+              Array.fold_left
+                (fun acc node ->
+                  if node.Ir.n_placement <> None then acc + 1 else acc)
+                0 after.Ir.nodes
+            and cuts =
+              Array.fold_left
+                (fun acc node -> acc + Array.length node.Ir.n_cuts)
+                0 after.Ir.nodes
+            in
+            Format.printf
+              "  result: %d of %d tasks placed (%d before), %d segment cuts@."
+              after_placed (Ir.node_count after) before_placed cuts)
+  in
+  Cmd.v
+    (Cmd.info "graph"
+       ~doc:
+         "Lift a program's recorded op streams into the task-graph IR and \
+          dump, summarize or transform it.")
+    Term.(
+      const run $ action_arg $ app_arg $ machine_arg $ procs_arg $ placed_arg
+      $ size_arg $ graph_opt_arg)
 
 let factor_cmd =
   let matrix_arg =
@@ -554,5 +717,6 @@ let () =
             cache_cmd;
             run_cmd;
             digest_cmd;
+            graph_cmd;
             factor_cmd;
           ]))

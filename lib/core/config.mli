@@ -16,6 +16,13 @@ type engine_kind =
           Bit-identical results to [Seq] at any domain count — the knob
           trades host execution strategy, never simulation output. *)
 
+type graph_opt =
+  | Gr_none  (** no graph transformation: byte-identical to the baseline *)
+  | Gr_fuse  (** pin small producer/consumer chains to one processor *)
+  | Gr_split  (** cut oversized tasks into segments at release boundaries *)
+  | Gr_cluster  (** re-home tasks to the majority owner of their accesses *)
+  | Gr_all  (** fuse, then cluster, then split *)
+
 type t = {
   locality : locality_level;
   adaptive_broadcast : bool;  (** §3.4.2 *)
@@ -46,6 +53,15 @@ type t = {
           Deliberately NOT printed by {!pp}: every rendered output
           (digests, tables, figures) must be byte-identical across
           engines, which is what the PDES-parity CI checks compare. *)
+  graph_opt : graph_opt;
+      (** the sixth optimization family: offline task-graph transformation
+          passes ([Jade_graph.Passes]) applied to the recorded op streams
+          before replay. Interpreted by the experiment runner (the runtime
+          itself never reads it — transformed graphs arrive through the
+          replay handle); it rides the marshalled config into the memo and
+          disk-cache keys. Like [engine], deliberately NOT printed by
+          {!pp}: [Gr_none] output must be byte-identical to a config that
+          predates the field, which the graph-parity CI checks compare. *)
 }
 
 (** All optimizations on, no latency hiding ([target_tasks = 1]) — the
@@ -56,5 +72,10 @@ val locality_to_string : locality_level -> string
 
 val engine_to_string : engine_kind -> string
 
-(** Renders every field except [engine] — see its doc above. *)
+val graph_opt_to_string : graph_opt -> string
+
+val graph_opt_of_string : string -> graph_opt option
+
+(** Renders every field except [engine] and [graph_opt] — see their docs
+    above. *)
 val pp : Format.formatter -> t -> unit

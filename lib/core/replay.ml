@@ -1,13 +1,27 @@
-type op = Work of float | Release of int
+module Ir = Jade_graph.Ir
+
+type op = Ir.op = Work of float | Release of int
 
 type store = {
-  traces : (int, op array) Hashtbl.t;
+  nodes : (int, Ir.node) Hashtbl.t;
+  st_label : string;
+  st_transformed : bool;
   mutable st_sealed : bool;
   mutable st_poisoned : bool;
+  mutable st_warned : bool;  (** poisoning warning already printed *)
+  mutable st_graph : Ir.t option;  (** lazily lifted DAG, cached *)
 }
 
-let create_store () =
-  { traces = Hashtbl.create 256; st_sealed = false; st_poisoned = false }
+let create_store ?(label = "") () =
+  {
+    nodes = Hashtbl.create 256;
+    st_label = label;
+    st_transformed = false;
+    st_sealed = false;
+    st_poisoned = false;
+    st_warned = false;
+    st_graph = None;
+  }
 
 let seal s = s.st_sealed <- true
 
@@ -15,11 +29,40 @@ let sealed s = s.st_sealed
 
 let poison s =
   s.st_poisoned <- true;
-  Hashtbl.reset s.traces
+  s.st_graph <- None;
+  Hashtbl.reset s.nodes
 
 let poisoned s = s.st_poisoned
 
-let trace_count s = Hashtbl.length s.traces
+let trace_count s = Hashtbl.length s.nodes
+
+let graph s =
+  if s.st_poisoned then None
+  else
+    match s.st_graph with
+    | Some g -> Some g
+    | None ->
+        let g =
+          Jade_graph.Build.make
+            (Hashtbl.fold (fun _ n acc -> n :: acc) s.nodes [])
+        in
+        s.st_graph <- Some g;
+        Some g
+
+let of_graph (g : Ir.t) =
+  let nodes = Hashtbl.create (max 16 (Ir.node_count g)) in
+  Array.iter (fun n -> Hashtbl.replace nodes n.Ir.n_id n) g.Ir.nodes;
+  {
+    nodes;
+    st_label = "";
+    st_transformed = true;
+    st_sealed = true;
+    st_poisoned = false;
+    st_warned = false;
+    st_graph = Some g;
+  }
+
+let transformed s = s.st_transformed
 
 type mode = Record | Replay
 
@@ -51,11 +94,24 @@ let mode h = h.t_mode
 
 let store_of h = h.store
 
-let trace h ~tid =
+let node h ~tid =
   match h.t_mode with
   | Record -> None
   | Replay ->
-      if h.store.st_poisoned then None else Hashtbl.find_opt h.store.traces tid
+      if h.store.st_poisoned then None else Hashtbl.find_opt h.store.nodes tid
+
+let trace h ~tid =
+  match node h ~tid with Some n -> Some n.Ir.n_ops | None -> None
+
+let placement_override h ~tid =
+  if not h.store.st_transformed then None
+  else match node h ~tid with Some n -> n.Ir.n_placement | None -> None
+
+let empty_cuts = [||]
+
+let cuts h ~tid =
+  if not h.store.st_transformed then empty_cuts
+  else match node h ~tid with Some n -> n.Ir.n_cuts | None -> empty_cuts
 
 let task_begin h ~tid =
   if h.t_mode = Record && not h.store.st_poisoned then
@@ -66,17 +122,65 @@ let record h ~tid op =
   | Some buf -> buf := op :: !buf
   | None -> ()
 
-let task_end h ~tid ~ok =
+(* Lift one completed task into its IR node: identity, declared access
+   specification with the version chain the synchronizer resolved at
+   creation, declared work and placement, and the op stream the body
+   just produced. *)
+let node_of_task (task : Taskrec.t) ~ran_on ops =
+  let accesses =
+    Array.mapi
+      (fun i (meta, amode) ->
+        {
+          Ir.a_obj = meta.Meta.id;
+          a_name = meta.Meta.name;
+          a_home = meta.Meta.home;
+          a_size = meta.Meta.size;
+          a_mode =
+            (match amode with
+            | Access.Read -> Ir.Rd
+            | Access.Write -> Ir.Wr
+            | Access.Read_write -> Ir.Rw);
+          a_required = task.Taskrec.required.(i);
+          a_produces = task.Taskrec.produces.(i);
+        })
+      task.Taskrec.spec
+  in
+  {
+    Ir.n_id = task.Taskrec.tid;
+    n_name = task.Taskrec.tname;
+    n_work = task.Taskrec.work;
+    n_placement = task.Taskrec.placement;
+    n_ran_on = ran_on;
+    n_accesses = accesses;
+    n_ops = ops;
+    n_cuts = [||];
+  }
+
+let task_end h ~task ~ran_on ~ok =
+  let tid = task.Taskrec.tid in
   match Hashtbl.find_opt h.bufs tid with
   | None -> ()
   | Some buf ->
       Hashtbl.remove h.bufs tid;
       if ok then begin
-        Hashtbl.replace h.store.traces tid
-          (Array.of_list (List.rev !buf));
+        Hashtbl.replace h.store.nodes tid
+          (node_of_task task ~ran_on (Array.of_list (List.rev !buf)));
         h.n_recorded <- h.n_recorded + 1
       end
-      else poison h.store
+      else begin
+        if not h.store.st_warned then begin
+          h.store.st_warned <- true;
+          Printf.eprintf
+            "jade: replay: task %d (%s) created tasks or objects \
+             mid-execution; %s is not replayable and falls back to real \
+             execution\n\
+             %!"
+            tid task.Taskrec.tname
+            (if h.store.st_label = "" then "its run group"
+             else "run group " ^ h.store.st_label)
+        end;
+        poison h.store
+      end
 
 let note_replayed h = h.n_replayed <- h.n_replayed + 1
 

@@ -1,35 +1,50 @@
-(** Cross-configuration task record/replay.
+(** Cross-configuration task record/replay over the task-graph IR.
 
     For a fixed (application, problem size, nprocs, placement) the Jade
     programs in this reproduction create the same task graph and perform
     the same numeric work whatever the simulated machine or optimization
     configuration — only scheduling and communication differ. A {!store}
     exploits that: the first run of such a group executes task bodies for
-    real and records, per deterministic task id, every simulation-visible
-    effect the body produced (mid-body [Runtime.work] charges and
-    [Runtime.release] commits, in order). Subsequent runs in the group
-    replay the recorded effects instead of re-executing the float kernels,
-    which is byte-identical because a task body's only influence on the
-    simulation is exactly that op stream — payload mutations feed later
-    bodies (also replayed) and the result closures (unused by the
-    experiment harness), never the metrics.
+    real and records, per deterministic task id, a full
+    {!Jade_graph.Ir.node} — the task's declared accesses with their
+    resolved version chains, its declared work and placement, and every
+    simulation-visible effect the body produced (mid-body [Runtime.work]
+    charges and [Runtime.release] commits, in order). Subsequent runs in
+    the group replay the recorded effects instead of re-executing the
+    float kernels, which is byte-identical because a task body's only
+    influence on the simulation is exactly that op stream — payload
+    mutations feed later bodies (also replayed) and the result closures
+    (unused by the experiment harness), never the metrics.
+
+    Because the store holds whole IR nodes, a sealed store lifts into a
+    typed task DAG ({!graph}) that the {!Jade_graph.Passes} pipeline can
+    transform, and a transformed graph lowers back into a store
+    ({!of_graph}) that replays through the unmodified runtime — the
+    transformed placements ride {!placement_override} and the splitting
+    pass's segment boundaries ride {!cuts}. An untransformed store never
+    overrides anything, so replay without passes stays byte-identical to
+    real execution.
 
     A body that creates tasks or shared objects mid-execution cannot be
-    replayed this way; recording detects this and poisons the whole store,
-    after which replay runs fall back to executing every body for real.
+    replayed this way; recording detects this, warns once on stderr
+    naming the offending task, and poisons the whole store, after which
+    replay runs fall back to executing every body for real.
 
     Lifecycle: {!create_store}, one {!recorder} run, {!seal}, then any
     number of concurrent {!replayer} runs (a sealed store is read-only, so
     replayers may run on separate domains). *)
 
-(** One simulation-visible effect of a task body, in execution order. *)
-type op =
+(** One simulation-visible effect of a task body, in execution order.
+    An alias of {!Jade_graph.Ir.op}. *)
+type op = Jade_graph.Ir.op =
   | Work of float  (** a [Runtime.work] charge, in flops *)
   | Release of int  (** a [Runtime.release] of the given spec slot *)
 
 type store
 
-val create_store : unit -> store
+(** [create_store ?label ()] — [label] names the run group in the
+    poisoning warning (default: anonymous). *)
+val create_store : ?label:string -> unit -> store
 
 (** Recording finished: freeze the store. Replayers may only be created
     from a sealed store. *)
@@ -43,15 +58,33 @@ val poison : store -> unit
 
 val poisoned : store -> bool
 
-(** Recorded task traces in the store. *)
+(** Recorded task nodes in the store. *)
 val trace_count : store -> int
+
+(** The recorded execution lifted into a task DAG. [None] when the store
+    is poisoned. Built on first use and cached; raises
+    [Invalid_argument] if the recorded nodes violate the version-chain
+    invariants ({!Jade_graph.Build.make}), which a completed recording
+    run never does. Not thread-safe with itself — callers serialize
+    (the runner builds under its lock). *)
+val graph : store -> Jade_graph.Ir.t option
+
+(** [of_graph g] is a sealed store that replays the (typically
+    pass-transformed) graph [g]: task placements in [g] surface through
+    {!placement_override} and segment boundaries through {!cuts}. *)
+val of_graph : Jade_graph.Ir.t -> store
+
+(** Whether this store came from {!of_graph} — i.e. carries transformed
+    placements/cuts that override the program's own. *)
+val transformed : store -> bool
 
 type mode = Record | Replay
 
 (** A per-run handle over a store. *)
 type t
 
-(** A handle that records into [store] (which must be unsealed). *)
+(** A handle that records into [store]. Raises [Invalid_argument] if the
+    store is sealed (which includes every {!of_graph} store). *)
 val recorder : store -> t
 
 (** A handle that replays from [store]. Raises [Invalid_argument] if the
@@ -67,6 +100,17 @@ val store_of : t -> store
     trace (replay then falls back to executing the body). *)
 val trace : t -> tid:int -> op array option
 
+(** [placement_override h ~tid] is the placement a transformation pass
+    assigned to task [tid]: [Some _] only when the handle replays a
+    {!transformed} store whose node for [tid] carries a placement.
+    Always [None] on untransformed stores, so plain replay cannot
+    perturb scheduling. *)
+val placement_override : t -> tid:int -> int option
+
+(** [cuts h ~tid] are the splitting pass's segment boundaries for task
+    [tid] (op indices), [[||]] when unsplit or untransformed. *)
+val cuts : t -> tid:int -> int array
+
 (** Record-mode: open the recording buffer for task [tid]. *)
 val task_begin : t -> tid:int -> unit
 
@@ -74,9 +118,12 @@ val task_begin : t -> tid:int -> unit
     not record or the buffer is not open). *)
 val record : t -> tid:int -> op -> unit
 
-(** Record-mode: close task [tid]'s buffer. [ok:false] (the body created
-    tasks or objects) discards the trace and poisons the store. *)
-val task_end : t -> tid:int -> ok:bool -> unit
+(** Record-mode: close [task]'s buffer and store its IR node, stamping
+    [ran_on] — the processor that just executed the body — into the node
+    as observed scheduling information ({!Jade_graph.Ir.node}'s
+    [n_ran_on]). [ok:false] (the body created tasks or objects) warns
+    once on stderr and poisons the store. *)
+val task_end : t -> task:Taskrec.t -> ran_on:int -> ok:bool -> unit
 
 (** Count one task whose body was replayed from the store. *)
 val note_replayed : t -> unit

@@ -60,6 +60,13 @@ type t = {
   replay : Replay.t option;
   mutable obj_counter : int;
   mutable task_counter : int;
+  mutable body_tid : int;
+      (** task id whose body is executing synchronously right now, or
+          [-1]. Cleared (and restored) across the body's suspension
+          points, so anything the main program creates while a body sits
+          suspended on virtual time is never attributed to the body. *)
+  mutable body_created : bool;
+      (** the body named by [body_tid] created a task or shared object *)
   mutable objects : Meta.t list;
       (** shared-object registry, newest first; maintained only when a
           crash plan is active (the recovery supervisor walks it) *)
@@ -209,7 +216,16 @@ let make ?trace ?replay cfg machine nprocs =
      | None -> backend.Backend.on_write_commit);
   core.Backend.stop_hook <- backend.Backend.stop;
   let t =
-    { core; backend; replay; obj_counter = 0; task_counter = 0; objects = [] }
+    {
+      core;
+      backend;
+      replay;
+      obj_counter = 0;
+      task_counter = 0;
+      body_tid = -1;
+      body_created = false;
+      objects = [];
+    }
   in
   (match core.Backend.recovery with
   | Some r -> Recovery.set_objects r (fun () -> List.rev t.objects)
@@ -223,6 +239,7 @@ let create_object t ?(home = 0) ~name ~size data =
   let c = t.core in
   if home < 0 || home >= c.Backend.nprocs then
     invalid_arg "Runtime.create_object: home out of range";
+  if t.body_tid >= 0 then t.body_created <- true;
   t.obj_counter <- t.obj_counter + 1;
   let meta =
     Meta.create ~id:t.obj_counter ~name ~size ~home ~nprocs:c.Backend.nprocs
@@ -262,16 +279,35 @@ let dispatch_body t body task proc =
       match Replay.trace h ~tid with
       | Some ops ->
           Replay.note_replayed h;
-          Array.iter (replay_op t task proc) ops
+          let cuts = Replay.cuts h ~tid in
+          if Array.length cuts = 0 then Array.iter (replay_op t task proc) ops
+          else begin
+            (* Splitting-pass segment boundaries: yield the processor to
+               the event engine between segments, so work the preceding
+               release enabled interleaves with the remaining stream
+               instead of queueing behind it. *)
+            let next = ref 0 in
+            Array.iteri
+              (fun i op ->
+                if !next < Array.length cuts && cuts.(!next) = i then begin
+                  incr next;
+                  Engine.delay t.core.Backend.eng 0.0
+                end;
+                replay_op t task proc op)
+              ops
+          end
       | None -> (
           match Replay.mode h with
           | Replay.Replay -> body { env_task = task; proc; env_rt = t }
           | Replay.Record ->
               Replay.task_begin h ~tid;
-              let objs0 = t.obj_counter and tasks0 = t.task_counter in
+              t.body_tid <- tid;
+              t.body_created <- false;
               body { env_task = task; proc; env_rt = t };
-              Replay.task_end h ~tid
-                ~ok:(t.obj_counter = objs0 && t.task_counter = tasks0)))
+              let created = t.body_created in
+              t.body_tid <- -1;
+              t.body_created <- false;
+              Replay.task_end h ~task ~ran_on:proc ~ok:(not created)))
 
 let withonly t ?placement ?(wait = false) ~name ~work ~accesses body =
   let c = t.core in
@@ -279,10 +315,22 @@ let withonly t ?placement ?(wait = false) ~name ~work ~accesses body =
   | Some p when p < 0 || p >= c.Backend.nprocs ->
       invalid_arg "Runtime.withonly: placement out of range"
   | _ -> ());
+  if t.body_tid >= 0 then t.body_created <- true;
   Mnode.occupy c.Backend.nodes.(0) t.backend.Backend.task_create_cost;
   let spec = Spec.create () in
   accesses spec;
   t.task_counter <- t.task_counter + 1;
+  (* A transformed replay store re-homes tasks: its placement (assigned
+     by a graph pass) overrides the program's. Untransformed stores
+     never override, so plain replay cannot perturb scheduling. *)
+  let placement =
+    match t.replay with
+    | Some h -> (
+        match Replay.placement_override h ~tid:t.task_counter with
+        | Some p when p >= 0 && p < c.Backend.nprocs -> Some p
+        | Some _ | None -> placement)
+    | None -> placement
+  in
   let wrapped task proc = dispatch_body t body task proc in
   let task =
     Taskrec.create ~tid:t.task_counter ~tname:name ~spec:(Spec.entries spec)
@@ -332,8 +380,15 @@ let work env flops =
   if not c.Backend.cfg.Config.work_free then begin
     env.env_task.Taskrec.fl.Taskrec.charged <-
       env.env_task.Taskrec.fl.Taskrec.charged +. flops;
+    (* The occupancy suspends this body on virtual time; clear the
+       body-attribution marker so whatever the main program creates in
+       the meantime is not blamed on this task. *)
+    let tid = t.body_tid and created = t.body_created in
+    t.body_tid <- -1;
     Mnode.occupy c.Backend.nodes.(env.proc)
-      (flops /. t.backend.Backend.flop_rate)
+      (flops /. t.backend.Backend.flop_rate);
+    t.body_tid <- tid;
+    t.body_created <- created
   end
 
 let release env shared =
@@ -347,7 +402,13 @@ let release env shared =
   | None -> ());
   let c = t.core in
   c.Backend.ctx_proc <- env.proc;
-  Synchronizer.release c.Backend.sync env.env_task (Shared.meta shared)
+  (* Releasing may enable downstream tasks, whose handling suspends this
+     body — same attribution dance as [work]. *)
+  let tid = t.body_tid and created = t.body_created in
+  t.body_tid <- -1;
+  Synchronizer.release c.Backend.sync env.env_task (Shared.meta shared);
+  t.body_tid <- tid;
+  t.body_created <- created
 
 let node_busy t p = Mnode.busy_time t.core.Backend.nodes.(p)
 

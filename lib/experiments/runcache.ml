@@ -1,6 +1,7 @@
-(* v3: Config grew the [engine] field (seq vs pdes), which rides the
-   Marshal'd Config into every cache key. *)
-let schema_version = 3
+(* v4: Config grew the [graph_opt] field (task-graph transformation
+   passes), which rides the Marshal'd Config into every cache key.
+   (v3 added the [engine] field the same way.) *)
+let schema_version = 4
 
 type value = Summary of Jade.Metrics.summary | Flops of float
 

@@ -98,6 +98,9 @@ type t = {
   engine : Jade.Config.engine_kind option;
       (** event-engine selection folded into every run's config, like
           [fault] — it participates in the memo and disk-cache keys *)
+  graph_opt : Jade.Config.graph_opt option;
+      (** task-graph transformation selection folded into every run's
+          config, like [engine] — it participates in both cache keys *)
   use_replay : bool;  (** cross-configuration record/replay enabled *)
   disk : Runcache.t option;  (** persistent result cache, when configured *)
   lock : Mutex.t;  (** guards every mutable field below *)
@@ -108,6 +111,9 @@ type t = {
       (** thunks registered by {!run_custom} during a planning pass *)
   custom_results : (string, float) Hashtbl.t;
   stores : (group, Jade.Replay.store) Hashtbl.t;
+  tstores : (group * Jade.Config.graph_opt, Jade.Replay.store) Hashtbl.t;
+      (** pass-transformed stores, derived once per (group, graph-opt)
+          from the group's sealed base store *)
   mutable plan : work list option;
       (** [Some acc] while a {!parallel} planning pass records the runs a
           computation needs (reversed); [None] during normal execution *)
@@ -117,13 +123,20 @@ type t = {
   mutable n_replayed_tasks : int;  (** task bodies replayed, not executed *)
 }
 
-let create ?jobs ?fault ?engine ?cache_dir ?(replay = true) sz =
+let create ?jobs ?fault ?engine ?graph_opt ?cache_dir ?(replay = true) sz =
   let jobs = match jobs with Some j -> max 1 j | None -> Pool.default_jobs () in
+  (match graph_opt with
+  | Some g when g <> Jade.Config.Gr_none && not replay ->
+      invalid_arg
+        "Runner.create: graph transformation (--graph-opt) replays \
+         transformed op streams, so it requires record/replay (--replay on)"
+  | _ -> ());
   {
     sz;
     jobs;
     fault;
     engine;
+    graph_opt;
     use_replay = replay;
     disk = Option.map (fun dir -> Runcache.create ~dir) cache_dir;
     lock = Mutex.create ();
@@ -133,6 +146,7 @@ let create ?jobs ?fault ?engine ?cache_dir ?(replay = true) sz =
     customs = Hashtbl.create 8;
     custom_results = Hashtbl.create 8;
     stores = Hashtbl.create 16;
+    tstores = Hashtbl.create 16;
     plan = None;
     events = 0;
     n_cache_lookups = 0;
@@ -241,6 +255,16 @@ let disk_store t parts v =
    execute: they touch runner state only under the lock, so they can run
    on any domain. *)
 
+let size_name = function Test -> "test" | Bench -> "bench" | Paper -> "paper"
+
+let group_label t g =
+  Printf.sprintf "%s p%d %s @%s" (app_name g.g_app) g.g_nprocs
+    (if g.g_placed then "placed" else "unplaced")
+    (size_name t.sz)
+
+let group_of key =
+  { g_app = key.k_app; g_nprocs = key.k_nprocs; g_placed = key.k_placed }
+
 (* The replay handle for one simulation: the group's first simulated run
    records (it created the group's store), later runs replay from the
    sealed store. A concurrently-recording (unsealed) store yields no
@@ -250,28 +274,29 @@ let replay_handle t key =
   if (not t.use_replay) || key.k_config.Jade.Config.work_free then None
   else
     locked t (fun () ->
-        let g =
-          { g_app = key.k_app; g_nprocs = key.k_nprocs; g_placed = key.k_placed }
-        in
+        let g = group_of key in
         match Hashtbl.find_opt t.stores g with
         | Some store ->
             if Jade.Replay.sealed store then Some (Jade.Replay.replayer store)
             else None
         | None ->
-            let store = Jade.Replay.create_store () in
+            let store = Jade.Replay.create_store ~label:(group_label t g) () in
             Hashtbl.add t.stores g store;
             Some (Jade.Replay.recorder store))
 
-let simulate t ({ k_app; k_machine; k_nprocs; k_config; k_placed } as key) =
-  let handle = replay_handle t key in
+(* Execute one simulation against an explicit replay handle (or none). *)
+let run_sim t key handle =
   let program =
-    make_program t k_app ~kind:(kind_of k_machine) ~placed:k_placed
-      ~nprocs:k_nprocs
+    make_program t key.k_app ~kind:(kind_of key.k_machine)
+      ~placed:key.k_placed ~nprocs:key.k_nprocs
   in
-  let s =
-    Jade.Runtime.run ?replay:handle ~config:k_config
-      ~machine:(jade_machine k_machine) ~nprocs:k_nprocs program
-  in
+  Jade.Runtime.run ?replay:handle ~config:key.k_config
+    ~machine:(jade_machine key.k_machine) ~nprocs:key.k_nprocs program
+
+(* The untransformed path: exactly the pre-IR behavior. *)
+let simulate_base t key =
+  let handle = replay_handle t key in
+  let s = run_sim t key handle in
   (match handle with
   | None -> ()
   | Some h -> (
@@ -285,6 +310,95 @@ let simulate t ({ k_app; k_machine; k_nprocs; k_config; k_placed } as key) =
               t.n_replayed_tasks <-
                 t.n_replayed_tasks + Jade.Replay.replayed h)));
   s
+
+(* ------------------------------------------------------------------ *)
+(* Graph-transformed simulation. A cell whose config selects a graph
+   optimization needs the group's op streams before it can run at all:
+   the passes rewrite the recorded graph and the run replays the
+   transformed store (placement overrides and segment boundaries ride
+   the replay handle into the unmodified runtime). *)
+
+let passes_of = function
+  | Jade.Config.Gr_none -> []
+  | Jade.Config.Gr_fuse -> [ Jade_graph.Passes.Fuse ]
+  | Jade.Config.Gr_split -> [ Jade_graph.Passes.Split ]
+  | Jade.Config.Gr_cluster -> [ Jade_graph.Passes.Cluster ]
+  | Jade.Config.Gr_all ->
+      [ Jade_graph.Passes.Fuse; Jade_graph.Passes.Cluster;
+        Jade_graph.Passes.Split ]
+
+(* A sealed base store for the group, recording one (its summary is
+   discarded, its events counted) if no prior run has. The warm-phase
+   partition runs at most one simulation per group concurrently, so the
+   `Busy` arm — another domain mid-recording — is unreachable from
+   {!parallel}; direct concurrent callers fall back to a private
+   recording, which is slower but correct. *)
+let ensure_group_store t key =
+  let g = group_of key in
+  let claim =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.stores g with
+        | Some store when Jade.Replay.sealed store -> `Sealed store
+        | Some _ -> `Busy
+        | None ->
+            let store = Jade.Replay.create_store ~label:(group_label t g) () in
+            Hashtbl.add t.stores g store;
+            `Record store)
+  in
+  let record store =
+    let s = run_sim t key (Some (Jade.Replay.recorder store)) in
+    Jade.Replay.seal store;
+    locked t (fun () -> t.events <- t.events + s.Jade.Metrics.event_count);
+    store
+  in
+  match claim with
+  | `Sealed store -> store
+  | `Record store -> record store
+  | `Busy -> record (Jade.Replay.create_store ~label:(group_label t g) ())
+
+(* The pass-transformed store for (group, graph-opt), derived once from
+   the sealed base store under the runner lock (pass pipelines are
+   deterministic, so any domain deriving it produces the same store). *)
+let transformed_store t key gopt store =
+  let g = group_of key in
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tstores (g, gopt) with
+      | Some ts -> ts
+      | None ->
+          let graph =
+            match Jade.Replay.graph store with
+            | Some graph -> graph
+            | None -> assert false (* caller checked the store is clean *)
+          in
+          let res = Jade_graph.Passes.run (passes_of gopt) graph in
+          let ts = Jade.Replay.of_graph res.Jade_graph.Passes.graph in
+          Hashtbl.add t.tstores (g, gopt) ts;
+          ts)
+
+let simulate_transformed t key gopt =
+  let store = ensure_group_store t key in
+  if Jade.Replay.poisoned store then
+    (* Some body created tasks or objects mid-run: the group has no
+       liftable graph. Run untransformed — the store already warned. *)
+    simulate_base t key
+  else begin
+    let ts = transformed_store t key gopt store in
+    let h = Jade.Replay.replayer ts in
+    let s = run_sim t key (Some h) in
+    locked t (fun () ->
+        t.n_replayed_tasks <- t.n_replayed_tasks + Jade.Replay.replayed h);
+    s
+  end
+
+let simulate t key =
+  let gopt = key.k_config.Jade.Config.graph_opt in
+  if gopt = Jade.Config.Gr_none || key.k_config.Jade.Config.work_free then
+    simulate_base t key
+  else if not t.use_replay then
+    invalid_arg
+      "Runner: graph transformation (--graph-opt) replays transformed op \
+       streams, so it requires record/replay (--replay on)"
+  else simulate_transformed t key gopt
 
 (* Disk-aware computation: the boolean reports whether a simulation
    actually ran (a disk hit must not count engine events). *)
@@ -401,9 +515,14 @@ let with_overrides t (config : Jade.Config.t) =
     | None -> config
     | Some f -> { config with Jade.Config.fault = Some f }
   in
-  match t.engine with
+  let config =
+    match t.engine with
+    | None -> config
+    | Some e -> { config with Jade.Config.engine = e }
+  in
+  match t.graph_opt with
   | None -> config
-  | Some e -> { config with Jade.Config.engine = e }
+  | Some g -> { config with Jade.Config.graph_opt = g }
 
 let run t ~app ~machine ~nprocs ~config ~placed =
   let config = with_overrides t config in
@@ -482,6 +601,33 @@ let run_custom t ~key:name thunk =
               Hashtbl.add t.custom_results name v);
         v
       end
+
+(* Lift one program's recorded execution into its task-graph IR, for the
+   CLI's [graph] subcommand and the tests. Reuses (or creates and seals)
+   the group's replay store, so a later [run] of the same group replays
+   instead of re-recording. *)
+let task_graph t ~app ~machine ~nprocs ~placed =
+  let config =
+    {
+      (with_overrides t Jade.Config.default) with
+      Jade.Config.graph_opt = Jade.Config.Gr_none;
+    }
+  in
+  let key =
+    { k_app = app; k_machine = machine; k_nprocs = nprocs; k_config = config;
+      k_placed = placed }
+  in
+  let store = ensure_group_store t key in
+  if Jade.Replay.poisoned store then
+    Error
+      (Printf.sprintf "%s: a task created tasks or objects mid-execution; \
+                       the op streams do not lift into a static graph"
+         (group_label t (group_of key)))
+  else
+    match Jade.Replay.graph store with
+    | Some g -> Ok g
+    | None -> Error "store poisoned during lifting"
+    | exception Invalid_argument e -> Error e
 
 let task_management_pct t ~app ~machine ~nprocs ~level =
   let placed = level = Tp in

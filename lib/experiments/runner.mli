@@ -49,8 +49,8 @@ val config_of_level : level -> Jade.Config.t
 
 type t
 
-(** [create ?jobs ?fault ?engine ?cache_dir ?replay size] makes a runner
-    whose result cache is domain-safe. [jobs] (default
+(** [create ?jobs ?fault ?engine ?graph_opt ?cache_dir ?replay size]
+    makes a runner whose result cache is domain-safe. [jobs] (default
     {!Pool.default_jobs}, clamped to at least 1) is the number of domains
     {!parallel} fans uncached simulations out across. [fault], when
     given, is a deterministic chaos plan ({!Jade_net.Fault}) folded into
@@ -60,13 +60,21 @@ type t
     ({!Jade.Config.engine_kind}) the same way: folded into every config
     and into both cache keys, so sequential and PDES results are cached
     separately (they must be byte-identical, and keeping them apart is
-    what lets the parity checks prove it). [cache_dir] enables the
-    persistent disk cache. [replay] (default [true]) enables
-    cross-configuration record/replay. *)
+    what lets the parity checks prove it). [graph_opt], when given,
+    selects the task-graph transformation passes the same way: each
+    affected cell lifts its group's recorded op streams into the
+    {!Jade_graph.Ir} DAG, runs the certified pass pipeline, and replays
+    the transformed store through the unmodified runtime ([Gr_none]
+    cells stay byte-identical to a runner with no [graph_opt]).
+    [Gr_none]-folding aside, [graph_opt] requires [replay]; the
+    combination with [~replay:false] raises [Invalid_argument].
+    [cache_dir] enables the persistent disk cache. [replay] (default
+    [true]) enables cross-configuration record/replay. *)
 val create :
   ?jobs:int ->
   ?fault:Jade_net.Fault.spec ->
   ?engine:Jade.Config.engine_kind ->
+  ?graph_opt:Jade.Config.graph_opt ->
   ?cache_dir:string ->
   ?replay:bool ->
   size ->
@@ -165,6 +173,24 @@ val serial_time : t -> app:app -> machine:machine -> float
 (** Virtual execution time of the stripped program (Jade constructs
     removed): total declared work over the machine's rate. *)
 val stripped_time : t -> app:app -> machine:machine -> float
+
+(** The pass pipeline each [graph_opt] level denotes ([Gr_all] = fuse,
+    then cluster, then split). *)
+val passes_of : Jade.Config.graph_opt -> Jade_graph.Passes.kind list
+
+(** [task_graph t ~app ~machine ~nprocs ~placed] lifts the program's
+    recorded execution into its task-graph IR: records the group's op
+    streams if no prior run has (sealing the group store, so later runs
+    replay), then builds the DAG. [Error] when a task body created tasks
+    or objects mid-execution (the op streams do not lift into a static
+    graph). *)
+val task_graph :
+  t ->
+  app:app ->
+  machine:machine ->
+  nprocs:int ->
+  placed:bool ->
+  (Jade_graph.Ir.t, string) result
 
 (** Task-management percentage (§5.2.1): elapsed time of the work-free
     version over elapsed time of the original, x100, at the app's best

@@ -1,0 +1,100 @@
+(** Task-graph intermediate representation.
+
+    A {!t} is the recorded execution of one Jade program lifted into a
+    typed DAG: one {!node} per task (keyed by the deterministic creation
+    id), carrying the task's declared access specification (with the
+    object versions the synchronizer resolved at creation time), its
+    declared work, any explicit placement, and the simulation-visible op
+    stream its body produced when it ran ([Work] charges and mid-body
+    [Release]s, in order). Edges are not stored — they are derived from
+    the access version chains: task B depends on task A exactly when B
+    requires a version A produces ({!Build.make}).
+
+    The IR is deliberately dependency-free (ints, floats, strings): the
+    runtime records into it, the optimization passes ({!Passes}) rewrite
+    it, and the replay layer executes it, without any of those layers
+    seeing each other. *)
+
+(** Access mode of one spec entry, mirroring [Jade.Access.mode]. *)
+type mode = Rd | Wr | Rw
+
+(** One simulation-visible effect of a task body, in execution order.
+    Mirrors [Jade.Replay.op]. *)
+type op =
+  | Work of float  (** a mid-body work charge, in flops *)
+  | Release of int  (** a mid-body release of the given spec slot *)
+
+(** One declared access: the shared object's identity and geometry plus
+    the version chain position the synchronizer resolved when the task
+    was created. [a_required] is the version this task must observe;
+    [a_produces] is the version its write commits, or [-1] for a pure
+    read. *)
+type access = {
+  a_obj : int;  (** shared-object id (creation order, 1-based) *)
+  a_name : string;
+  a_home : int;  (** allocation home processor *)
+  a_size : int;  (** bytes *)
+  a_mode : mode;
+  a_required : int;
+  a_produces : int;
+}
+
+(** One task. [n_cuts] is written by the splitting pass: ascending op
+    indices at which the op stream is divided into segments (each cut
+    must fall immediately after a [Release]); [[||]] means unsplit.
+    [n_placement] is the explicit placement the program declared, or the
+    placement a pass assigned. [n_ran_on] is observed data-access
+    information: the processor the recording run actually executed the
+    task on ([-1] if unknown) — on message-passing machines every object
+    is allocated at processor 0, so the static homes say nothing about
+    how work spreads, and the recorded schedule is what grounds the
+    passes' locality projections in reality. *)
+type node = {
+  n_id : int;  (** deterministic task id (creation order, 1-based) *)
+  n_name : string;
+  n_work : float;  (** declared work, in flops *)
+  n_placement : int option;
+  n_ran_on : int;
+  n_accesses : access array;  (** declaration order; entry 0 is the locality object *)
+  n_ops : op array;
+  n_cuts : int array;
+}
+
+(** A built graph: nodes in ascending id order plus the derived
+    data-flow edges, by node {e position} (index into [nodes]). *)
+type t = {
+  nodes : node array;
+  index : (int, int) Hashtbl.t;  (** id -> position *)
+  preds : int list array;  (** position -> producer positions, ascending *)
+  succs : int list array;  (** position -> consumer positions, ascending *)
+}
+
+val mode_to_string : mode -> string
+
+val node_count : t -> int
+
+val edge_count : t -> int
+
+(** Distinct shared objects accessed anywhere in the graph. *)
+val object_count : t -> int
+
+(** [find g ~id] is the node with task id [id], if any. *)
+val find : t -> id:int -> node option
+
+(** The flops task [n] actually charged: the sum of its [Work] ops when
+    the stream is non-empty, its declared [n_work] otherwise. *)
+val trace_work : node -> float
+
+(** Total {!trace_work} over the graph. *)
+val total_work : t -> float
+
+(** Structural equality on the node array (edges are derived, so two
+    graphs with equal nodes are equal graphs). *)
+val equal : t -> t -> bool
+
+(** Textual serialization of the node array, line-oriented and
+    version-headed. [decode_nodes] inverts it exactly ([Work] flops are
+    hex floats, so round-trips are bit-precise). *)
+val encode : t -> string
+
+val decode_nodes : string -> (node list, string) result

@@ -301,14 +301,23 @@ let test_cache_corruption_recovers () =
     < (Runner.stats warm_r).Runner.cache_lookups);
   ignore (Runcache.clear (Runcache.create ~dir))
 
-(* Unit tests of the record/replay store lifecycle. *)
+(* Unit tests of the record/replay store lifecycle. [task_end] closes a
+   recording with the task record itself (the store keeps whole IR
+   nodes); a bare record with an empty spec suffices here. *)
+let dummy_task ~tid =
+  Jade.Taskrec.create ~tid
+    ~tname:(Printf.sprintf "t%d" tid)
+    ~spec:[||]
+    ~body:(fun _ _ -> ())
+    ~work:0.0 ~placement:None ~now:0.0
+
 let test_replay_lifecycle () =
   let store = Jade.Replay.create_store () in
   let h = Jade.Replay.recorder store in
   Jade.Replay.task_begin h ~tid:1;
   Jade.Replay.record h ~tid:1 (Jade.Replay.Work 5.0);
   Jade.Replay.record h ~tid:1 (Jade.Replay.Release 0);
-  Jade.Replay.task_end h ~tid:1 ~ok:true;
+  Jade.Replay.task_end h ~task:(dummy_task ~tid:1) ~ran_on:0 ~ok:true;
   Alcotest.(check int) "one trace recorded" 1 (Jade.Replay.trace_count store);
   Alcotest.check_raises "replayer requires a sealed store"
     (Invalid_argument "Replay.replayer: store is not sealed") (fun () ->
@@ -330,8 +339,9 @@ let test_replay_poison () =
   Jade.Replay.task_begin h ~tid:1;
   Jade.Replay.record h ~tid:1 (Jade.Replay.Work 5.0);
   (* ok:false = the body did something non-replayable (created a task or
-     object): the whole store is poisoned, not just this trace. *)
-  Jade.Replay.task_end h ~tid:1 ~ok:false;
+     object): the whole store is poisoned, not just this trace (and the
+     store warns once on stderr, naming the task). *)
+  Jade.Replay.task_end h ~task:(dummy_task ~tid:1) ~ran_on:0 ~ok:false;
   Alcotest.(check bool) "store poisoned" true (Jade.Replay.poisoned store);
   Alcotest.(check int) "traces discarded" 0 (Jade.Replay.trace_count store);
   Jade.Replay.seal store;

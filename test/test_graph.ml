@@ -1,0 +1,442 @@
+(* Tests of the task-graph IR and its transformation passes.
+
+   Three layers:
+
+   1. Serialization: for random well-formed node sets, build -> encode ->
+      decode -> build is the identity (floats travel as hex literals, so
+      the round-trip is bit-exact).
+   2. Identity pipeline: lifting a recorded random program into the IR,
+      running zero passes, lowering back and replaying produces exactly
+      the metric summary of the baseline run — on all three machines.
+   3. Transformation: the full fuse/cluster/split pipeline keeps every
+      certificate clean, and executing the random program for real with
+      the transformed placements still matches serial execution (the
+      passes relocate work; they must never change what it computes). *)
+
+module R = Jade.Runtime
+module Ir = Jade_graph.Ir
+module Build = Jade_graph.Build
+module Passes = Jade_graph.Passes
+module Verify = Jade_graph.Verify
+module Sr = Jade_sim.Srandom
+
+(* ------------------------------------------------------------------ *)
+(* Random well-formed node sets: per-object version counters keep the
+   access chains consistent (every required version has a producer), and
+   names include spaces and quotes to stress the string encoding. *)
+
+let gen_float g =
+  match Sr.int g 6 with
+  | 0 -> 0.0
+  | 1 -> Sr.float g 1e-9
+  | 2 -> Sr.float g 1.0
+  | 3 -> Sr.float g 1e9
+  | 4 -> 0.1 +. Sr.float g 0.3
+  | _ -> Float.of_int (Sr.int g 1000) /. 7.0
+
+let gen_nodes g =
+  let nobjs = 1 + Sr.int g 6 in
+  let versions = Array.make nobjs 0 in
+  let sizes = Array.init nobjs (fun i -> 64 * (i + 1)) in
+  let n = 1 + Sr.int g 40 in
+  let next_id = ref 0 in
+  List.init n (fun _ ->
+      next_id := !next_id + 1 + Sr.int g 3;
+      let order = Array.init nobjs Fun.id in
+      Sr.shuffle g order;
+      let count = 1 + Sr.int g (min 3 nobjs) in
+      let accesses =
+        Array.init count (fun k ->
+            let obj = order.(k) in
+            let mode =
+              match Sr.int g 3 with 0 -> Ir.Rd | 1 -> Ir.Wr | _ -> Ir.Rw
+            in
+            let required = versions.(obj) in
+            let produces =
+              if mode = Ir.Rd then -1
+              else begin
+                versions.(obj) <- versions.(obj) + 1;
+                versions.(obj)
+              end
+            in
+            {
+              Ir.a_obj = obj + 1;
+              a_name = Printf.sprintf "obj \"%d\" x" obj;
+              a_home = Sr.int g 8;
+              a_size = sizes.(obj);
+              a_mode = mode;
+              a_required = required;
+              a_produces = produces;
+            })
+      in
+      let nops = Sr.int g 5 in
+      let ops =
+        Array.init nops (fun _ ->
+            if Sr.int g 3 = 0 then Ir.Release (Sr.int g count)
+            else Ir.Work (gen_float g))
+      in
+      {
+        Ir.n_id = !next_id;
+        n_name = Printf.sprintf "task %d with spaces" !next_id;
+        n_work = gen_float g;
+        n_placement = (if Sr.int g 4 = 0 then Some (Sr.int g 8) else None);
+        n_ran_on = (if Sr.int g 5 = 0 then -1 else Sr.int g 8);
+        n_accesses = accesses;
+        n_ops = ops;
+        n_cuts = [||];
+      })
+
+let roundtrip_prop =
+  QCheck.Test.make ~name:"encode/decode round-trips bit-exactly" ~count:200
+    QCheck.small_int (fun seed ->
+      let g = Sr.create seed in
+      let nodes = gen_nodes g in
+      let graph = Build.make nodes in
+      match Ir.decode_nodes (Ir.encode graph) with
+      | Error e -> QCheck.Test.fail_reportf "decode failed: %s" e
+      | Ok nodes' -> Ir.equal graph (Build.make nodes'))
+
+let test_decode_rejects_garbage () =
+  let bad s =
+    match Ir.decode_nodes s with Ok _ -> false | Error _ -> true
+  in
+  Alcotest.(check bool) "empty" true (bad "");
+  Alcotest.(check bool) "wrong header" true (bad "jade-graph 99\n");
+  Alcotest.(check bool) "unterminated node" true
+    (bad "jade-graph 1\nn 1 0x1p0 -1 0 \"t\"\n");
+  Alcotest.(check bool) "junk line" true
+    (bad "jade-graph 1\nzzz\n");
+  Alcotest.(check bool) "access outside node still builds nodes" true
+    (match Ir.decode_nodes "jade-graph 1\nn 1 0x1p0 -1 0 \"t\"\ne\n" with
+    | Ok [ n ] -> n.Ir.n_id = 1 && n.Ir.n_placement = None
+    | _ -> false)
+
+let test_build_rejects_inconsistent () =
+  let node ~id ~required ~produces =
+    {
+      Ir.n_id = id;
+      n_name = "t";
+      n_work = 1.0;
+      n_placement = None;
+      n_ran_on = -1;
+      n_accesses =
+        [|
+          {
+            Ir.a_obj = 1;
+            a_name = "o";
+            a_home = 0;
+            a_size = 8;
+            a_mode = Ir.Rw;
+            a_required = required;
+            a_produces = produces;
+          };
+        |];
+      n_ops = [||];
+      n_cuts = [||];
+    }
+  in
+  let invalid nodes =
+    match Build.make nodes with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "duplicate id" true
+    (invalid [ node ~id:1 ~required:0 ~produces:1; node ~id:1 ~required:1 ~produces:2 ]);
+  Alcotest.(check bool) "missing producer" true
+    (invalid [ node ~id:1 ~required:5 ~produces:6 ]);
+  Alcotest.(check bool) "version produced twice" true
+    (invalid [ node ~id:1 ~required:0 ~produces:1; node ~id:2 ~required:0 ~produces:1 ])
+
+(* ------------------------------------------------------------------ *)
+(* Random Jade programs (the serial-equivalence generator, condensed):
+   each task reads its declared objects and writes a deterministic
+   function of what it read, so any dependence violation changes the
+   final state. *)
+
+type op = {
+  op_id : int;
+  reads : int list;
+  writes : int list;
+  updates : int list;
+  placement : int option;
+  early_release : int list;
+}
+
+type prog = { nobjs : int; ops : op list }
+
+let gen_prog g ~nprocs =
+  let nobjs = 2 + Sr.int g 5 in
+  let nops = 3 + Sr.int g 25 in
+  let ops =
+    List.init nops (fun op_id ->
+        let order = Array.init nobjs Fun.id in
+        Sr.shuffle g order;
+        let count = 1 + Sr.int g (min 3 nobjs) in
+        let reads = ref [] and writes = ref [] and updates = ref [] in
+        for k = 0 to count - 1 do
+          match Sr.int g 3 with
+          | 0 -> reads := order.(k) :: !reads
+          | 1 -> writes := order.(k) :: !writes
+          | _ -> updates := order.(k) :: !updates
+        done;
+        let placement =
+          if Sr.int g 5 = 0 then Some (Sr.int g nprocs) else None
+        in
+        let declared = !reads @ !writes @ !updates in
+        let early_release =
+          List.filter (fun _ -> Sr.int g 4 = 0) declared
+        in
+        {
+          op_id;
+          reads = !reads;
+          writes = !writes;
+          updates = !updates;
+          placement;
+          early_release;
+        })
+  in
+  { nobjs; ops }
+
+let apply_op op (arrays : float array array) =
+  let sum =
+    List.fold_left
+      (fun acc i -> acc +. arrays.(i).(0))
+      0.0 (op.reads @ op.updates)
+  in
+  let v = (sum *. 1.000731) +. float_of_int ((op.op_id * 37) + 11) in
+  List.iter
+    (fun i ->
+      arrays.(i).(0) <- v +. float_of_int i;
+      arrays.(i).(1) <- arrays.(i).(1) +. 1.0)
+    (op.writes @ op.updates)
+
+let serial_result prog =
+  let arrays = Array.init prog.nobjs (fun i -> [| float_of_int i; 0.0 |]) in
+  List.iter (fun op -> apply_op op arrays) prog.ops;
+  arrays
+
+(* [placement_of] lets the transformation tests re-run the program with
+   pass-assigned placements: task ids are creation order, 1-based, so op
+   [k] is task [k + 1]. *)
+let jade_program ?placement_of prog ~nprocs rt =
+  let objs =
+    Array.init prog.nobjs (fun i ->
+        R.create_object rt ~home:(i mod nprocs)
+          ~name:(Printf.sprintf "obj%d" i)
+          ~size:(64 * (i + 1))
+          [| float_of_int i; 0.0 |])
+  in
+  List.iter
+    (fun op ->
+      let placement =
+        match placement_of with
+        | Some f -> f ~tid:(op.op_id + 1)
+        | None -> (
+            match op.placement with
+            | Some p when p < nprocs -> Some p
+            | _ -> None)
+      in
+      R.withonly rt ?placement
+        ~name:(Printf.sprintf "op%d" op.op_id)
+        ~work:(float_of_int (100 + (op.op_id * 13 mod 500)))
+        ~accesses:(fun s ->
+          List.iter (fun i -> Jade.Spec.rd s objs.(i)) op.reads;
+          List.iter (fun i -> Jade.Spec.wr s objs.(i)) op.writes;
+          List.iter (fun i -> Jade.Spec.rw s objs.(i)) op.updates)
+        (fun env ->
+          (* Mid-body work charges bracket the early releases so the
+             recorded op streams contain [Work; Release...; Work] — the
+             shape the splitting pass cuts. *)
+          R.work env (float_of_int (50 + (op.op_id * 7 mod 200)));
+          let arrays =
+            Array.init prog.nobjs (fun i ->
+                if List.mem i op.reads then R.rd env objs.(i)
+                else if List.mem i (op.writes @ op.updates) then
+                  R.wr env objs.(i)
+                else [| 0.0; 0.0 |])
+          in
+          apply_op op arrays;
+          List.iter (fun i -> R.release env objs.(i)) op.early_release;
+          R.work env 3.0))
+    prog.ops;
+  R.drain rt;
+  Array.map Jade.Shared.data objs
+
+let equal_states a b =
+  Array.for_all2
+    (fun (x : float array) (y : float array) -> x.(0) = y.(0) && x.(1) = y.(1))
+    a b
+
+let machines =
+  [ ("dash", R.dash); ("ipsc", R.ipsc860); ("lan", R.lan) ]
+
+(* Record one run of [prog] into a fresh store; returns the sealed store
+   and the recording run's summary (which is a real execution and must
+   match the baseline byte for byte). *)
+let record_run prog ~machine ~nprocs =
+  let store = Jade.Replay.create_store ~label:"test_graph" () in
+  let h = Jade.Replay.recorder store in
+  let s =
+    R.run ~replay:h ~machine ~nprocs (fun rt ->
+        ignore (jade_program prog ~nprocs rt))
+  in
+  Jade.Replay.seal store;
+  (store, s)
+
+let identity_prop (mname, machine) =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "identity pipeline replays byte-identically on %s" mname)
+    ~count:25 QCheck.small_int (fun seed ->
+      let g = Sr.create seed in
+      let nprocs = 2 + Sr.int g 6 in
+      let prog = gen_prog g ~nprocs in
+      let s0 =
+        R.run ~machine ~nprocs (fun rt -> ignore (jade_program prog ~nprocs rt))
+      in
+      let store, s_rec = record_run prog ~machine ~nprocs in
+      if s_rec <> s0 then
+        QCheck.Test.fail_reportf "recording run diverged from baseline";
+      match Jade.Replay.graph store with
+      | None -> QCheck.Test.fail_reportf "store unexpectedly poisoned"
+      | Some graph ->
+          let res = Passes.run [] graph in
+          if not (Ir.equal res.Passes.graph graph) then
+            QCheck.Test.fail_reportf "empty pipeline edited the graph";
+          let store' = Jade.Replay.of_graph res.Passes.graph in
+          let s1 =
+            R.run
+              ~replay:(Jade.Replay.replayer store')
+              ~machine ~nprocs
+              (fun rt -> ignore (jade_program prog ~nprocs rt))
+          in
+          s1 = s0)
+
+let transform_prop (mname, machine) =
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf
+         "transformed placements preserve serial equivalence on %s" mname)
+    ~count:25 QCheck.small_int (fun seed ->
+      let g = Sr.create seed in
+      let nprocs = 2 + Sr.int g 6 in
+      let prog = gen_prog g ~nprocs in
+      let expected = serial_result prog in
+      let store, _ = record_run prog ~machine ~nprocs in
+      match Jade.Replay.graph store with
+      | None -> QCheck.Test.fail_reportf "store unexpectedly poisoned"
+      | Some graph ->
+          (* Certificates are checked inside [Passes.run]; a dirty one
+             raises. *)
+          let res =
+            Passes.run [ Passes.Fuse; Passes.Cluster; Passes.Split ] graph
+          in
+          List.iter
+            (fun c ->
+              if not (Verify.ok c) then
+                QCheck.Test.fail_reportf "dirty certificate escaped")
+            res.Passes.certs;
+          (* Replaying the transformed store must complete (drain) and
+             replay every recorded task. *)
+          let h = Jade.Replay.replayer (Jade.Replay.of_graph res.Passes.graph) in
+          let _ =
+            R.run ~replay:h ~machine ~nprocs (fun rt ->
+                ignore (jade_program prog ~nprocs rt))
+          in
+          if Jade.Replay.replayed h <> List.length prog.ops then
+            QCheck.Test.fail_reportf "transformed replay skipped tasks";
+          (* Executing for real with the pass-assigned placements must
+             still match serial execution exactly. *)
+          let placement_of ~tid =
+            match Ir.find res.Passes.graph ~id:tid with
+            | Some n -> (
+                match n.Ir.n_placement with
+                | Some p when p >= 0 && p < nprocs -> Some p
+                | _ -> None)
+            | None -> None
+          in
+          let got = ref [||] in
+          let _ =
+            R.run ~machine ~nprocs (fun rt ->
+                got := jade_program ~placement_of prog ~nprocs rt)
+          in
+          equal_states expected !got)
+
+(* The splitting pass must find something to split when a long task
+   commits versions mid-body; the cuts must all sit right after a
+   release. *)
+let test_split_cuts_after_releases () =
+  let prog =
+    {
+      nobjs = 3;
+      ops =
+        List.init 6 (fun op_id ->
+            {
+              op_id;
+              reads = [];
+              writes = [];
+              updates = [ 0; 1; 2 ];
+              placement = None;
+              early_release = [ 0; 1 ];
+            });
+    }
+  in
+  let store, _ = record_run prog ~machine:R.ipsc860 ~nprocs:4 in
+  match Jade.Replay.graph store with
+  | None -> Alcotest.fail "poisoned"
+  | Some graph ->
+      (* Inflate one task's work so it is oversized relative to the mean. *)
+      let nodes =
+        Array.to_list
+          (Array.map
+             (fun n ->
+               if n.Ir.n_id = 3 then
+                 {
+                   n with
+                   Ir.n_ops =
+                     Array.map
+                       (function
+                         | Ir.Work f -> Ir.Work (f *. 100.0)
+                         | Ir.Release s -> Ir.Release s)
+                       n.Ir.n_ops;
+                 }
+               else n)
+             graph.Ir.nodes)
+      in
+      let graph = Build.make nodes in
+      let res = Passes.run [ Passes.Split ] graph in
+      let cut = Ir.find res.Passes.graph ~id:3 in
+      (match cut with
+      | Some n when Array.length n.Ir.n_cuts > 0 ->
+          Array.iter
+            (fun c ->
+              Alcotest.(check bool) "cut follows a release" true
+                (match n.Ir.n_ops.(c - 1) with
+                | Ir.Release _ -> true
+                | Ir.Work _ -> false))
+            n.Ir.n_cuts
+      | _ -> Alcotest.fail "oversized releasing task was not cut");
+      Alcotest.(check bool) "certificate clean" true
+        (List.for_all Verify.ok res.Passes.certs)
+
+let qcheck t = QCheck_alcotest.to_alcotest t
+
+let () =
+  Alcotest.run "graph"
+    [
+      ( "serialization",
+        [
+          qcheck roundtrip_prop;
+          Alcotest.test_case "decode rejects garbage" `Quick
+            test_decode_rejects_garbage;
+          Alcotest.test_case "build rejects inconsistent chains" `Quick
+            test_build_rejects_inconsistent;
+        ] );
+      ( "identity pipeline",
+        List.map (fun m -> qcheck (identity_prop m)) machines );
+      ( "transformation",
+        List.map (fun m -> qcheck (transform_prop m)) machines
+        @ [
+            Alcotest.test_case "split cuts sit after releases" `Quick
+              test_split_cuts_after_releases;
+          ] );
+    ]
