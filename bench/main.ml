@@ -224,6 +224,19 @@ let measure_recovery () =
     recovery_virtual_s = s.Jade.Metrics.recovery_s;
   }
 
+(* Occupancy scenario: one representative message-passing run (water,
+   iPSC, 8 processors, test scale) reporting the pool/queue high-water
+   marks — so a message-path reboxing or pool-growth regression shows up
+   as a number in BENCH_repro.json, not just as a slower wall clock. *)
+let measure_occupancy () =
+  let prog, _ =
+    Jade_apps.Water.make Jade_apps.Water.test_params
+      ~kind:Jade_apps.App_common.Mp ~placed:false ~nprocs:8
+  in
+  snd
+    (Jade.Runtime.run_with ~machine:Jade.Runtime.ipsc860 ~nprocs:8 prog
+       ~inspect:(fun _ m -> Jade.Metrics.occupancy m))
+
 (* PDES scaling scenario: one app at 256 simulated processors, run on the
    sequential engine and on the sharded engine at 1 and 4 worker domains.
    The three metric summaries must agree structurally (the engines are
@@ -434,7 +447,8 @@ let baseline_wall_from_file ~size_name path =
 let write_json path ~size_name ~jobs ~engine_name ~(par : regen_stats)
     ~(baseline : regen_stats option) ~(baseline_file_wall : float option)
     ~(warm_wall_s : float option) ~(recovery : recovery_stats)
-    ~(pdes : pdes_scale) ~(graph : graph_ab) =
+    ~(occupancy : Jade.Metrics.occupancy) ~(pdes : pdes_scale)
+    ~(graph : graph_ab) =
   let oc = open_out path in
   let opt_float = function
     | Some v -> Printf.sprintf "%.6f" v
@@ -529,6 +543,14 @@ let write_json path ~size_name ~jobs ~engine_name ~(par : regen_stats)
      \"recovery_virtual_s\": %.6f},\n"
     recovery.rec_wall_ms recovery.crashes_injected recovery.tasks_reexecuted
     recovery.objects_reconstructed recovery.recovery_virtual_s;
+  Printf.fprintf oc
+    "  \"occupancy\": {\"scenario\": \"water/ipsc/8p/test\", \
+     \"pool_hwm\": %d, \"msg_cells\": %d, \"calendar_hwm\": %d, \
+     \"calendar_rebuilds\": %d, \"now_lane_capacity\": %d, \
+     \"escape_hwm\": %d},\n"
+    occupancy.Jade.Metrics.pool_hwm occupancy.Jade.Metrics.msg_cells
+    occupancy.Jade.Metrics.cal_hwm occupancy.Jade.Metrics.cal_rebuilds
+    occupancy.Jade.Metrics.now_cap occupancy.Jade.Metrics.esc_hwm;
   let pdes_rows =
     List.map
       (fun r ->
@@ -752,6 +774,9 @@ let () =
      re-executed, %d object(s) reconstructed, %.6f virtual s of repair\n"
     recovery.rec_wall_ms recovery.tasks_reexecuted
     recovery.objects_reconstructed recovery.recovery_virtual_s;
+  let occupancy = measure_occupancy () in
+  Printf.printf "Occupancy (water/ipsc/8p, test scale): %s\n"
+    (Format.asprintf "%a" Jade.Metrics.pp_occupancy occupancy);
   let pdes = measure_pdes_scale () in
   Printf.printf
     "PDES scaling (%s, %d simulated procs, %d host core(s)): parity=%b\n"
@@ -773,5 +798,5 @@ let () =
   write_json "BENCH_repro.json" ~size_name ~jobs ~engine_name ~par ~baseline
     ~baseline_file_wall
     ~warm_wall_s:(Option.map (fun (w : regen_stats) -> w.wall_s) warm)
-    ~recovery ~pdes ~graph;
+    ~recovery ~occupancy ~pdes ~graph;
   Printf.printf "Wrote BENCH_repro.json\n"

@@ -224,13 +224,28 @@ let graph_opt_arg =
            majority owner of their accesses) or $(b,all). Every pass is \
            checked by a validity certificate; requires $(b,--replay on).")
 
+(* Closure-lane oracle: re-run every simulation with flat event
+   descriptors re-wrapped as closures (the pre-flat representation).
+   Byte-identical output by construction — the CI oracle-parity leg
+   diffs a digest across this flag. *)
+let oracle_arg =
+  Arg.(
+    value & flag
+    & info [ "oracle" ]
+        ~doc:
+          "Run the event engine in closure-lane oracle mode: flat event \
+           descriptors are re-wrapped as closures with identical (time, \
+           seq) commit order. Every rendered byte is identical to the \
+           default flat engine; only wall-clock time may differ.")
+
 let runner_term =
-  let make size jobs fault engine graph_opt replay cache_dir =
-    Runner.create ~jobs ?fault ?engine ?graph_opt ?cache_dir ~replay size
+  let make size jobs fault engine graph_opt oracle replay cache_dir =
+    Runner.create ~jobs ?fault ?engine ?graph_opt ~oracle ?cache_dir ~replay
+      size
   in
   Term.(
     const make $ size_arg $ jobs_arg $ fault_term $ engine_term
-    $ graph_opt_arg $ replay_arg $ cache_dir_arg)
+    $ graph_opt_arg $ oracle_arg $ replay_arg $ cache_dir_arg)
 
 let print_table ?paper t =
   print_string (Report.render_comparison ~ours:t ~paper);
@@ -430,8 +445,19 @@ let run_cmd =
       & info [ "trace" ] ~docv:"FILE"
           ~doc:"Write a Chrome trace-event JSON of the task schedule to FILE.")
   in
+  let stats_arg =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Also print the run's occupancy high-water marks (protocol \
+             message pool, fabric message cells, calendar size and \
+             rebuilds, now-lane capacity, escape slab). Forces a real \
+             (uncached, unreplayed) simulation, since cached summaries do \
+             not carry them.")
+  in
   let run app machine nprocs level no_bcast no_fetch no_repl target size trace
-      fault engine graph_opt =
+      stats fault engine graph_opt =
     let r = Runner.create ?fault ?engine ?graph_opt size in
     let config =
       {
@@ -442,10 +468,18 @@ let run_cmd =
         Jade.Config.target_tasks = target;
       }
     in
-    let s =
+    let s, occ =
       match trace with
+      | None when stats ->
+          let s, occ =
+            Runner.run_observed r ~app ~machine ~nprocs ~config
+              ~placed:(level = Runner.Tp)
+          in
+          (s, Some occ)
       | None ->
-          Runner.run r ~app ~machine ~nprocs ~config ~placed:(level = Runner.Tp)
+          ( Runner.run r ~app ~machine ~nprocs ~config
+              ~placed:(level = Runner.Tp),
+            None )
       | Some path ->
           let tr = Jade.Tracing.create () in
           let s =
@@ -455,7 +489,7 @@ let run_cmd =
           Jade.Tracing.write_chrome_json tr path;
           Format.printf "wrote %d task events to %s@." (Jade.Tracing.count tr)
             path;
-          s
+          s, None
     in
     Format.printf "%s on %s, %d processors, %s@."
       (Runner.app_name app)
@@ -463,6 +497,9 @@ let run_cmd =
       nprocs
       (Runner.level_name level);
     Format.printf "  %a@." Jade.Metrics.pp_summary s;
+    (match occ with
+    | Some o -> Format.printf "  occupancy: %a@." Jade.Metrics.pp_occupancy o
+    | None -> ());
     match fault with
     | Some spec ->
         Format.printf "  chaos: %a@." Jade_net.Fault.pp_spec spec;
@@ -487,7 +524,7 @@ let run_cmd =
     Term.(
       const run $ app_arg $ machine_arg $ procs_arg $ level_arg $ broadcast_arg
       $ fetch_arg $ replication_arg $ target_arg $ size_arg $ trace_arg
-      $ fault_term $ engine_term $ graph_opt_arg)
+      $ stats_arg $ fault_term $ engine_term $ graph_opt_arg)
 
 (* One summary line per (app, level, nprocs) on a single machine backend.
    The output is deterministic and jobs-independent, so CI hashes it at

@@ -11,11 +11,13 @@ type replicated = { copies : float array Jade.Shared.t array; len : int }
 let replicate rt ~name ~copies ~len =
   let nprocs = Jade.Runtime.nprocs rt in
   let make i =
-    Jade.Runtime.create_object rt
+    (* Deferred: zero-filling every copy on every run is a measurable
+       slice of replayed runs, which never read the data. *)
+    Jade.Runtime.create_object_deferred rt
       ~home:(rr ~nprocs i)
       ~name:(Printf.sprintf "%s.%d" name i)
       ~size:(8 * len)
-      (Array.make len 0.0)
+      (fun () -> Array.make len 0.0)
   in
   { copies = Array.init copies make; len }
 
@@ -35,8 +37,11 @@ let tree_reduce rt r ~name =
           Jade.Spec.rd s src)
         (fun env ->
           let d = Jade.Runtime.wr env dst and s = Jade.Runtime.rd env src in
+          (* In-bounds: every copy is a fresh [Array.make len 0.0] and
+             [r.len] is that same [len]; this combine loop runs for every
+             reduction round of every iteration, so the checks matter. *)
           for k = 0 to r.len - 1 do
-            d.(k) <- d.(k) +. s.(k)
+            Array.unsafe_set d k (Array.unsafe_get d k +. Array.unsafe_get s k)
           done);
       i := !i + (2 * g)
     done;

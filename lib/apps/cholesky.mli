@@ -32,6 +32,10 @@ val matrix : params -> Jade_sparse.Csc.t
 
 val serial : params -> result * float
 
+(** Bit-identical to [snd (serial p)], skipping the factorization
+    numerics that only the result needs. *)
+val serial_flops : params -> float
+
 val total_work : params -> nprocs:int -> float
 
 val make :

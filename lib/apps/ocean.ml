@@ -66,12 +66,19 @@ let make_blocks lay =
     boundaries;
   { interiors; boundaries }
 
+(* Unsafe accesses: every caller passes offsets of full columns — the
+   touched indices lie in [off, off + n - 1] and each array's length is a
+   multiple of [n] at least [off + n] by construction in [make_blocks].
+   This stencil is the whole Ocean compute, so the bounds checks were a
+   measurable slice of a recording run. *)
 let update_column n dst doff (left, loff) (right, roff) =
   for iz = 1 to n - 2 do
-    dst.(doff + iz) <-
-      0.25
-      *. (left.(loff + iz) +. right.(roff + iz) +. dst.(doff + iz - 1)
-         +. dst.(doff + iz + 1))
+    Array.unsafe_set dst (doff + iz)
+      (0.25
+      *. (Array.unsafe_get left (loff + iz)
+         +. Array.unsafe_get right (roff + iz)
+         +. Array.unsafe_get dst (doff + iz - 1)
+         +. Array.unsafe_get dst (doff + iz + 1)))
   done
 
 (* The per-task update (§4): all columns of interior block k, the right
@@ -166,6 +173,20 @@ let serial p ~nprocs =
   let grid = to_grid lay blocks in
   ({ grid; residual = residual_of grid }, !flops *. 1.03)
 
+(* [serial]'s reported flops are analytic ([task_work] per block per
+   iteration, independent of the grid values), so flops-only callers can
+   skip the relaxation sweeps. Same accumulation expression and order as
+   [serial], hence bit-identical. *)
+let serial_flops p ~nprocs =
+  let lay = make_layout p ~nprocs in
+  let flops = ref 0.0 in
+  for _ = 1 to p.iters do
+    for k = 0 to lay.nb - 1 do
+      flops := !flops +. task_work lay k
+    done
+  done;
+  !flops *. 1.03
+
 let total_work p ~nprocs =
   let lay = make_layout p ~nprocs in
   let per_iter = ref 0.0 in
@@ -179,28 +200,32 @@ let make p ~kind ~placed ~nprocs =
   let program rt =
     assert (R.nprocs rt = nprocs);
     let lay = make_layout p ~nprocs in
-    let data = make_blocks lay in
+    (* Deferred payloads: replayed runs never read the block arrays, so
+       the whole grid build is skipped there. In recording and plain runs
+       the first object creation forces the lazy and all objects share
+       the one [blocks] record, exactly as the eager code did. *)
+    let data = lazy (make_blocks lay) in
     let proc_of k =
       if placed then App_common.rr_skip_main ~nprocs k
       else App_common.rr ~nprocs k
     in
     let interior_objs =
       Array.init lay.nb (fun k ->
-          R.create_object rt
+          R.create_object_deferred rt
             ~home:(App_common.home ~kind (proc_of k))
             ~name:(Printf.sprintf "interior.%d" k)
             ~size:(8 * lay.widths.(k) * lay.n)
-            data.interiors.(k))
+            (fun () -> (Lazy.force data).interiors.(k)))
     in
     let boundary_objs =
       Array.init
         (max 0 (lay.nb - 1))
         (fun b ->
-          R.create_object rt
+          R.create_object_deferred rt
             ~home:(App_common.home ~kind (proc_of b))
             ~name:(Printf.sprintf "boundary.%d" b)
             ~size:(8 * 2 * lay.n)
-            data.boundaries.(b))
+            (fun () -> (Lazy.force data).boundaries.(b)))
     in
     for _iter = 1 to p.iters do
       for k = 0 to lay.nb - 1 do
@@ -225,7 +250,14 @@ let make p ~kind ~placed ~nprocs =
       done
     done;
     R.drain rt;
-    let grid = to_grid lay data in
-    result := Some { grid; residual = residual_of grid }
+    (* Assembling the full grid and its residual is O(n^2) host work that
+       only the result getter needs — the experiment runner drops the
+       getter and reads metrics alone, so the reassembly is deferred
+       (and memoized) rather than paid by every simulated cell. *)
+    result :=
+      Some
+        (lazy
+          (let grid = to_grid lay (Lazy.force data) in
+           { grid; residual = residual_of grid }))
   in
-  (program, fun () -> Option.get !result)
+  (program, fun () -> Lazy.force (Option.get !result))

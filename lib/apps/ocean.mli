@@ -32,6 +32,10 @@ type result = {
     parallel version exactly, not just approximately). *)
 val serial : params -> nprocs:int -> result * float
 
+(** Bit-identical to [snd (serial p ~nprocs)], skipping the relaxation
+    sweeps that only the result needs. *)
+val serial_flops : params -> nprocs:int -> float
+
 val total_work : params -> nprocs:int -> float
 
 val make :

@@ -40,6 +40,10 @@ type result = {
 
 val serial : params -> result * float
 
+(** Bit-identical to [snd (serial p)], skipping the ray tracing that
+    only the result needs. *)
+val serial_flops : params -> float
+
 val total_work : params -> nprocs:int -> float
 
 val make :

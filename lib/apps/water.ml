@@ -56,6 +56,14 @@ let r_hh = 1.5139
 
 let coulomb_k = 1.0
 
+(* [coulomb_k *. charge.(a) *. charge.(b)] precomputed for each site
+   pair, in exactly that association order, so the products are
+   bit-equal to the inline expression they replace in the O(n^2) site
+   loops — two multiplies saved per site pair. *)
+let kq =
+  Array.init (sites * sites) (fun i ->
+      coulomb_k *. charge.(i / sites) *. charge.(i mod sites))
+
 let min_r2 = 0.25 (* soft floor to keep the synthetic dynamics stable *)
 
 (* Declared cost per molecule pair: nine charged site pairs (distance,
@@ -146,8 +154,7 @@ let pair_forces p state f ~stride ~offset =
             let r2 = if r2 > min_r2 then r2 else min_r2 in
             let r = sqrt r2 in
             let coef =
-              coulomb_k *. Array.unsafe_get charge a *. Array.unsafe_get charge b
-              /. (r2 *. r)
+              Array.unsafe_get kq ((a * sites) + b) /. (r2 *. r)
             in
             let fi = ((!i * sites) + a) * 3 and fj = ((j * sites) + b) * 3 in
             Array.unsafe_set f fi (Array.unsafe_get f fi +. (coef *. dx));
@@ -233,9 +240,7 @@ let pair_energy p state e ~stride ~offset =
             let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) in
             let r2 = if r2 > min_r2 then r2 else min_r2 in
             pot :=
-              !pot
-              +. (coulomb_k *. Array.unsafe_get charge a *. Array.unsafe_get charge b
-                 /. sqrt r2)
+              !pot +. (Array.unsafe_get kq ((a * sites) + b) /. sqrt r2)
           done
         done;
         let r2 = if ro2 > min_r2 then ro2 else min_r2 in
@@ -356,6 +361,22 @@ let serial p =
     },
     !flops *. 1.08 (* the original serial code is slightly less tuned *) )
 
+(* The flops [serial] reports are analytic — per-iteration task-work
+   formulas, independent of the simulated state — so callers that only
+   need the number (the experiment runner's serial baseline) can skip the
+   dynamics entirely. The accumulation below repeats [serial]'s exact
+   expression and order, so the float result is bit-identical. *)
+let serial_flops p =
+  let flops = ref 0.0 in
+  for _ = 1 to p.iters do
+    flops :=
+      !flops
+      +. force_task_work p ~stride:1 ~offset:0
+      +. energy_task_work p ~stride:1 ~offset:0
+      +. (float_of_int p.n *. (integrate_flops +. 1.0))
+  done;
+  !flops *. 1.08
+
 let total_work p ~nprocs =
   ignore nprocs;
   float_of_int p.iters
@@ -367,22 +388,27 @@ let make p ~kind:_ ~placed:_ ~nprocs =
   let result = ref None in
   let program rt =
     assert (R.nprocs rt = nprocs);
+    (* Deferred payloads: replayed runs never read them, and the initial
+       state/velocity builds run per simulation otherwise. *)
     let state_obj =
-      R.create_object rt ~name:"molecule-state"
+      R.create_object_deferred rt ~name:"molecule-state"
         ~size:(8 * mol_stride * p.n)
-        (init_state p)
+        (fun () -> init_state p)
     in
     let vel_obj =
-      R.create_object rt ~name:"velocities"
+      R.create_object_deferred rt ~name:"velocities"
         ~size:(8 * site_coords * p.n)
-        (init_velocities p)
+        (fun () -> init_velocities p)
     in
     let forces =
       App_common.replicate rt ~name:"force" ~copies:nprocs
         ~len:(site_coords * p.n)
     in
     let energies = App_common.replicate rt ~name:"energy" ~copies:nprocs ~len:p.n in
-    let stats = R.create_object rt ~name:"stats" ~size:16 (Array.make 2 0.0) in
+    let stats =
+      R.create_object_deferred rt ~name:"stats" ~size:16 (fun () ->
+          Array.make 2 0.0)
+    in
     for _iter = 1 to p.iters do
       (* Parallel phase 1: inter- and intra-molecular forces. *)
       for t = 0 to nprocs - 1 do
@@ -438,13 +464,17 @@ let make p ~kind:_ ~placed:_ ~nprocs =
           st.(0) <- st.(0) +. Array.fold_left ( +. ) 0.0 e)
     done;
     R.drain rt;
+    (* Position gather and force norm are O(n) host work only the result
+       getter needs (the experiment runner drops the getter); the state
+       and force arrays are final once [drain] returns. *)
     result :=
       Some
-        {
-          positions = oxygen_positions p (Jade.Shared.data state_obj);
-          energy = (Jade.Shared.data stats).(0);
-          force_norm =
-            force_norm (Jade.Shared.data (App_common.comprehensive forces));
-        }
+        (lazy
+          {
+            positions = oxygen_positions p (Jade.Shared.data state_obj);
+            energy = (Jade.Shared.data stats).(0);
+            force_norm =
+              force_norm (Jade.Shared.data (App_common.comprehensive forces));
+          })
   in
-  (program, fun () -> Option.get !result)
+  (program, fun () -> Lazy.force (Option.get !result))

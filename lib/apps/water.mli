@@ -42,6 +42,10 @@ type result = {
     it performed (the paper's "serial version"). *)
 val serial : params -> result * float
 
+(** Bit-identical to [snd (serial p)], skipping the dynamics that only
+    the result needs. *)
+val serial_flops : params -> float
+
 (** One force evaluation over the initial configuration (length 9n: three
     sites per molecule), for physics checks: all force terms are pairwise
     and antisymmetric, so the components must sum to zero. *)

@@ -300,6 +300,8 @@ let stop b () =
 let finalize b () =
   let m = b.core.Backend.metrics in
   m.Metrics.messages <- Fabric.message_count b.fabric;
+  m.Metrics.occ_pool_hwm <- Protocol.Pool.high_water b.pool;
+  m.Metrics.occ_msg_cells <- Fabric.cell_count b.fabric;
   match b.fault with
   | Some f ->
       m.Metrics.dropped_messages <- Fault.dropped f;

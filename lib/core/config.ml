@@ -15,6 +15,7 @@ type t = {
   fault : Jade_net.Fault.spec option;
   engine : engine_kind;
   graph_opt : graph_opt;
+  oracle : bool;
 }
 
 let default =
@@ -29,6 +30,7 @@ let default =
     fault = None;
     engine = Seq;
     graph_opt = Gr_none;
+    oracle = false;
   }
 
 let engine_to_string = function

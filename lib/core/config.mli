@@ -62,6 +62,14 @@ type t = {
           disk-cache keys. Like [engine], deliberately NOT printed by
           {!pp}: [Gr_none] output must be byte-identical to a config that
           predates the field, which the graph-parity CI checks compare. *)
+  oracle : bool;
+      (** run the event engine in closure-lane oracle mode
+          ({!Jade_sim.Engine.create}): flat event descriptors are
+          re-wrapped as closures riding the escape slab — the
+          pre-flat-descriptor representation with identical (time, seq)
+          commit order. A verification knob (the CI oracle-parity leg
+          diffs digests across it); production runs leave it [false].
+          Like [engine], deliberately NOT printed by {!pp}. *)
 }
 
 (** All optimizations on, no latency hiding ([target_tasks = 1]) — the
@@ -76,6 +84,6 @@ val graph_opt_to_string : graph_opt -> string
 
 val graph_opt_of_string : string -> graph_opt option
 
-(** Renders every field except [engine] and [graph_opt] — see their docs
-    above. *)
+(** Renders every field except [engine], [graph_opt] and [oracle] — see
+    their docs above. *)
 val pp : Format.formatter -> t -> unit

@@ -54,6 +54,19 @@ type t = {
   mutable objects_reconstructed : int;
       (** crash mode: object replicas rebuilt from survivors or by
           deterministic re-execution *)
+  (* Occupancy high-water marks — pool and queue sizing observability
+     ([repro run --stats], BENCH_repro.json). Deliberately NOT part of
+     {!summary}: the parity checks (PDES scale, graph A/B) compare
+     summaries structurally, and peak occupancy legitimately differs
+     across execution strategies that produce identical trajectories. *)
+  mutable occ_pool_hwm : int;
+      (** peak protocol-message records simultaneously out of the pool *)
+  mutable occ_msg_cells : int;
+      (** fabric message cells ever allocated (= peak in flight) *)
+  mutable occ_cal_hwm : int;  (** peak calendar (far-lane) population *)
+  mutable occ_cal_rebuilds : int;  (** calendar growth rebuilds *)
+  mutable occ_now_cap : int;  (** final now-lane ring capacity *)
+  mutable occ_esc_hwm : int;  (** peak escape-slab parked closures *)
 }
 
 let create () =
@@ -89,6 +102,12 @@ let create () =
     crashes_detected = 0;
     tasks_reexecuted = 0;
     objects_reconstructed = 0;
+    occ_pool_hwm = 0;
+    occ_msg_cells = 0;
+    occ_cal_hwm = 0;
+    occ_cal_rebuilds = 0;
+    occ_now_cap = 0;
+    occ_esc_hwm = 0;
   }
 
 type summary = {
@@ -163,6 +182,34 @@ let summary m =
     reconstructed_count = m.objects_reconstructed;
     recovery_s = m.fl.recovery_time;
   }
+
+(* Occupancy snapshot: the high-water marks above as a plain record, for
+   callers ([repro run --stats], the bench harness) that want them after
+   the run without holding the mutable [t]. *)
+type occupancy = {
+  pool_hwm : int;
+  msg_cells : int;
+  cal_hwm : int;
+  cal_rebuilds : int;
+  now_cap : int;
+  esc_hwm : int;
+}
+
+let occupancy m =
+  {
+    pool_hwm = m.occ_pool_hwm;
+    msg_cells = m.occ_msg_cells;
+    cal_hwm = m.occ_cal_hwm;
+    cal_rebuilds = m.occ_cal_rebuilds;
+    now_cap = m.occ_now_cap;
+    esc_hwm = m.occ_esc_hwm;
+  }
+
+let pp_occupancy fmt o =
+  Format.fprintf fmt
+    "pool-hwm=%d msg-cells=%d calendar-hwm=%d calendar-rebuilds=%d \
+     now-lane-cap=%d escape-hwm=%d"
+    o.pool_hwm o.msg_cells o.cal_hwm o.cal_rebuilds o.now_cap o.esc_hwm
 
 let pp_summary fmt s =
   Format.fprintf fmt

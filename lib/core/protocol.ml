@@ -59,6 +59,11 @@ module Pool = struct
     dummy_task : Taskrec.t;
     mutable free : msg array;
     mutable n : int;
+    mutable live : int;  (** records currently out of the pool *)
+    mutable hwm : int;
+        (** peak [live] — protocol messages simultaneously in flight
+            (retained Bcast/Eager bodies under the reliable protocol
+            count until their release hook actually recycles them) *)
   }
 
   let make_msg p =
@@ -79,7 +84,7 @@ module Pool = struct
         ~body:(fun _ _ -> ())
         ~work:0.0 ~placement:None ~now:0.0
     in
-    let p = { dummy_meta; dummy_task; free = [||]; n = 0 } in
+    let p = { dummy_meta; dummy_task; free = [||]; n = 0; live = 0; hwm = 0 } in
     p.free <- Array.init 64 (fun _ -> make_msg p);
     p.n <- 64;
     p
@@ -89,6 +94,8 @@ module Pool = struct
   let dummy p = make_msg p
 
   let alloc p =
+    p.live <- p.live + 1;
+    if p.live > p.hwm then p.hwm <- p.live;
     if p.n = 0 then make_msg p
     else begin
       p.n <- p.n - 1;
@@ -98,6 +105,7 @@ module Pool = struct
   (* Recycling drops the [meta]/[task] references so a parked free record
      never pins an object table or task graph in memory. *)
   let release p m =
+    p.live <- p.live - 1;
     m.meta <- p.dummy_meta;
     m.task <- p.dummy_task;
     if p.n = Array.length p.free then begin
@@ -108,6 +116,9 @@ module Pool = struct
     end;
     p.free.(p.n) <- m;
     p.n <- p.n + 1
+
+  (* Peak records simultaneously out of the pool over its lifetime. *)
+  let high_water p = p.hwm
 
   (* Fault-duplicated messages get an independent copy, so delivering and
      recycling the original can never alias the duplicate still in

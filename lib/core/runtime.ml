@@ -138,7 +138,8 @@ let make ?trace ?replay cfg machine nprocs =
   in
   let eng =
     Engine.create ~events_hint:(256 * nprocs) ~shards
-      ~lookahead:(lookahead_floor machine) ~domains ()
+      ~lookahead:(lookahead_floor machine) ~domains
+      ~oracle:cfg.Config.oracle ()
   in
   let nodes = Array.init nprocs (Mnode.create eng) in
   let metrics = Metrics.create () in
@@ -235,7 +236,7 @@ let make ?trace ?replay cfg machine nprocs =
 (* ------------------------------------------------------------------ *)
 (* Public program API *)
 
-let create_object t ?(home = 0) ~name ~size data =
+let object_meta t ~home ~name ~size =
   let c = t.core in
   if home < 0 || home >= c.Backend.nprocs then
     invalid_arg "Runtime.create_object: home out of range";
@@ -247,7 +248,23 @@ let create_object t ?(home = 0) ~name ~size data =
   (match c.Backend.recovery with
   | Some _ -> t.objects <- meta :: t.objects
   | None -> ());
-  Shared.make meta data
+  meta
+
+let create_object t ?(home = 0) ~name ~size data =
+  Shared.make (object_meta t ~home ~name ~size) data
+
+(* Replayed runs never execute task bodies, so nothing reads the payload
+   and building the initial data is pure waste — a measurable slice of
+   every replayed run at bench scale. Everywhere else the thunk is forced
+   right here, on the run's own domain, so the deferred constructor is
+   observationally identical to [create_object]. *)
+let create_object_deferred t ?(home = 0) ~name ~size thunk =
+  let meta = object_meta t ~home ~name ~size in
+  let replaying =
+    match t.replay with Some h -> Replay.mode h = Replay.Replay | None -> false
+  in
+  if replaying then Shared.make_deferred meta thunk
+  else Shared.make meta (thunk ())
 
 (* Apply one recorded body effect. Mirrors exactly what [work] and
    [release] below do when the body runs for real, so a replayed task is
@@ -465,6 +482,16 @@ let run_with ?(config = Config.default) ?trace ?replay ~machine ~nprocs main
          });
   c.Backend.metrics.Metrics.fl.Metrics.elapsed <- c.Backend.finish_time;
   c.Backend.metrics.Metrics.events <- Engine.events_processed c.Backend.eng;
+  (* Engine-side occupancy high-water marks; the backend finalizer below
+     fills the fabric/pool ones on the message-passing machines. *)
+  c.Backend.metrics.Metrics.occ_cal_hwm <-
+    Engine.calendar_high_water c.Backend.eng;
+  c.Backend.metrics.Metrics.occ_cal_rebuilds <-
+    Engine.calendar_rebuilds c.Backend.eng;
+  c.Backend.metrics.Metrics.occ_now_cap <-
+    Engine.now_lane_capacity c.Backend.eng;
+  c.Backend.metrics.Metrics.occ_esc_hwm <-
+    Engine.escape_high_water c.Backend.eng;
   t.backend.Backend.finalize ();
   let extra = inspect t c.Backend.metrics in
   (Metrics.summary c.Backend.metrics, extra)

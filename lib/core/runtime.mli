@@ -108,6 +108,15 @@ val now : t -> float
 val create_object :
   t -> ?home:int -> name:string -> size:int -> 'a -> 'a Shared.t
 
+(** [create_object_deferred] is {!create_object} with the payload built by
+    a thunk. In replayed runs (where task bodies never execute, so the
+    payload is never read) the thunk is kept unevaluated; in recording and
+    plain runs it is forced immediately, making the two constructors
+    observationally identical there. Use it for initial data whose
+    construction is expensive at scale. *)
+val create_object_deferred :
+  t -> ?home:int -> name:string -> size:int -> (unit -> 'a) -> 'a Shared.t
+
 (** [withonly t ?placement ?wait ~name ~work ~accesses body] creates a
     task. [accesses] runs immediately to build the access specification
     (the first declared object is the locality object); [body] runs when

@@ -3,16 +3,33 @@
     one master copy is sound; replication on the message-passing machine is
     tracked as per-processor version metadata in {!Meta}. *)
 
-type 'a t = { meta : Meta.t; data : 'a }
+(* The payload may be deferred: replayed runs never execute task bodies,
+   so nothing reads the data, and materializing the initial arrays (which
+   at bench scale is a measurable slice of every run) can be skipped.
+   Forcing happens at most once and always from the single domain that
+   owns the run: recording and plain runs force at creation time
+   (see [Runtime.create_object_deferred]), and in replayed runs only a
+   late result getter can force, on the caller's domain after the run. *)
+type 'a payload = Forced of 'a | Deferred of (unit -> 'a)
+
+type 'a t = { meta : Meta.t; mutable payload : 'a payload }
 
 let meta t = t.meta
 
 (** Unchecked payload access, for serial code and for the runtime itself.
     Task bodies should go through [Runtime.rd] / [Runtime.wr], which check
     the task's access specification. *)
-let data t = t.data
+let data t =
+  match t.payload with
+  | Forced v -> v
+  | Deferred f ->
+      let v = f () in
+      t.payload <- Forced v;
+      v
 
-let make meta data = { meta; data }
+let make meta data = { meta; payload = Forced data }
+
+let make_deferred meta thunk = { meta; payload = Deferred thunk }
 
 let id t = t.meta.Meta.id
 

@@ -7,6 +7,12 @@ type 'a t
 
 val make : Meta.t -> 'a -> 'a t
 
+(** Like {!make}, but the payload is built on first {!data} access.
+    Callers must guarantee the first access happens on a single domain;
+    [Runtime.create_object_deferred] forces at creation except in
+    replayed runs, where task bodies never read the data at all. *)
+val make_deferred : Meta.t -> (unit -> 'a) -> 'a t
+
 val meta : 'a t -> Meta.t
 
 (** Unchecked payload access, for serial code and for the runtime itself.

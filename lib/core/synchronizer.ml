@@ -35,15 +35,21 @@ let queue_of t (meta : Meta.t) =
       Hashtbl.add t.queues meta.Meta.id q;
       q
 
-(* An entry is ready iff no conflicting entry precedes it in the queue. *)
+(* An entry is ready iff no conflicting entry precedes it in the queue.
+   The walk stops at the first conflict: programs that touch an object
+   every iteration build queues proportional to the iteration count, and
+   a full walk per added entry made task creation quadratic per object. *)
 let compute_ready t q (mode : Access.mode) =
   let em = effective_mode t mode in
-  let blocked = ref false in
-  Deque.iter
-    (fun e ->
-      if Access.conflicts (effective_mode t e.mode) em then blocked := true)
-    q;
-  not !blocked
+  match
+    Deque.iter
+      (fun e ->
+        if Access.conflicts (effective_mode t e.mode) em then
+          raise_notrace Exit)
+      q
+  with
+  | () -> true
+  | exception Exit -> false
 
 let enable t (task : Taskrec.t) =
   task.Taskrec.state <- Taskrec.Enabled;
@@ -84,26 +90,34 @@ let add_task t (task : Taskrec.t) =
 let promote t q =
   let seen_write = ref false in
   let seen_any = ref false in
-  Deque.iter
-    (fun e ->
-      if not e.ready then begin
+  (* Once a write and any access have both been seen, no later entry can
+     become ready (reads need no preceding write, writes need no
+     preceding access), so the walk stops — without this the walk visits
+     the whole queue on every retirement, which is quadratic per object
+     for programs that touch an object every iteration. *)
+  try
+    Deque.iter
+      (fun e ->
+        if !seen_write && !seen_any then raise_notrace Exit;
+        if not e.ready then begin
+          let em = effective_mode t e.mode in
+          let ready_now =
+            match em with
+            | Access.Read -> not !seen_write
+            | Access.Write | Access.Read_write -> not !seen_any
+          in
+          if ready_now then begin
+            e.ready <- true;
+            let task = e.task in
+            task.Taskrec.pending <- task.Taskrec.pending - 1;
+            if task.Taskrec.pending = 0 then enable t task
+          end
+        end;
         let em = effective_mode t e.mode in
-        let ready_now =
-          match em with
-          | Access.Read -> not !seen_write
-          | Access.Write | Access.Read_write -> not !seen_any
-        in
-        if ready_now then begin
-          e.ready <- true;
-          let task = e.task in
-          task.Taskrec.pending <- task.Taskrec.pending - 1;
-          if task.Taskrec.pending = 0 then enable t task
-        end
-      end;
-      let em = effective_mode t e.mode in
-      if Access.is_write em then seen_write := true;
-      seen_any := true)
-    q
+        if Access.is_write em then seen_write := true;
+        seen_any := true)
+      q
+  with Exit -> ()
 
 (* Shared by mid-task release and completion: drop one declaration,
    committing its write if necessary, and promote newly-ready entries. *)

@@ -1,7 +1,7 @@
-(* v4: Config grew the [graph_opt] field (task-graph transformation
-   passes), which rides the Marshal'd Config into every cache key.
-   (v3 added the [engine] field the same way.) *)
-let schema_version = 4
+(* v5: Config grew the [oracle] field (closure-lane oracle engine mode),
+   which rides the Marshal'd Config into every cache key.
+   (v4 added [graph_opt], v3 added [engine] the same way.) *)
+let schema_version = 5
 
 type value = Summary of Jade.Metrics.summary | Flops of float
 

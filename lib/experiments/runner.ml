@@ -101,6 +101,10 @@ type t = {
   graph_opt : Jade.Config.graph_opt option;
       (** task-graph transformation selection folded into every run's
           config, like [engine] — it participates in both cache keys *)
+  oracle : bool;
+      (** closure-lane oracle mode folded into every run's config, like
+          [engine] — flat vs oracle results are cached separately so the
+          parity checks actually re-simulate *)
   use_replay : bool;  (** cross-configuration record/replay enabled *)
   disk : Runcache.t option;  (** persistent result cache, when configured *)
   lock : Mutex.t;  (** guards every mutable field below *)
@@ -123,7 +127,8 @@ type t = {
   mutable n_replayed_tasks : int;  (** task bodies replayed, not executed *)
 }
 
-let create ?jobs ?fault ?engine ?graph_opt ?cache_dir ?(replay = true) sz =
+let create ?jobs ?fault ?engine ?graph_opt ?(oracle = false) ?cache_dir
+    ?(replay = true) sz =
   let jobs = match jobs with Some j -> max 1 j | None -> Pool.default_jobs () in
   (match graph_opt with
   | Some g when g <> Jade.Config.Gr_none && not replay ->
@@ -137,6 +142,7 @@ let create ?jobs ?fault ?engine ?graph_opt ?cache_dir ?(replay = true) sz =
     fault;
     engine;
     graph_opt;
+    oracle;
     use_replay = replay;
     disk = Option.map (fun dir -> Runcache.create ~dir) cache_dir;
     lock = Mutex.create ();
@@ -422,11 +428,14 @@ let compute_serial_flops t app =
   flops_cached t
     (flops_parts t "serial_flops" app)
     (fun () ->
+      (* The [serial_flops] variants produce bit-identical numbers to
+         [snd (serial ...)] without executing the serial numerics, which
+         only the (discarded) result needs. *)
       match app with
-      | Water -> snd (Jade_apps.Water.serial (water_params t.sz))
-      | String_ -> snd (String_app.serial (string_params t.sz))
-      | Ocean -> snd (Jade_apps.Ocean.serial (ocean_params t.sz) ~nprocs:32)
-      | Cholesky -> snd (Jade_apps.Cholesky.serial (cholesky_params t.sz)))
+      | Water -> Jade_apps.Water.serial_flops (water_params t.sz)
+      | String_ -> String_app.serial_flops (string_params t.sz)
+      | Ocean -> Jade_apps.Ocean.serial_flops (ocean_params t.sz) ~nprocs:32
+      | Cholesky -> Jade_apps.Cholesky.serial_flops (cholesky_params t.sz))
 
 let compute_total_flops t app =
   flops_cached t
@@ -520,9 +529,12 @@ let with_overrides t (config : Jade.Config.t) =
     | None -> config
     | Some e -> { config with Jade.Config.engine = e }
   in
-  match t.graph_opt with
-  | None -> config
-  | Some g -> { config with Jade.Config.graph_opt = g }
+  let config =
+    match t.graph_opt with
+    | None -> config
+    | Some g -> { config with Jade.Config.graph_opt = g }
+  in
+  if t.oracle then { config with Jade.Config.oracle = true } else config
 
 let run t ~app ~machine ~nprocs ~config ~placed =
   let config = with_overrides t config in
@@ -542,6 +554,21 @@ let run t ~app ~machine ~nprocs ~config ~placed =
         cache_add_sim t key s ~simulated;
         s
       end
+
+(* An observed run bypasses the cache and replay like a traced one: it
+   wants a real execution, plus the raw metrics' occupancy snapshot —
+   pool/calendar/now-lane high-water marks a cached summary cannot
+   carry. *)
+let run_observed t ~app ~machine ~nprocs ~config ~placed =
+  let config = with_overrides t config in
+  let program = make_program t app ~kind:(kind_of machine) ~placed ~nprocs in
+  let s, occ =
+    Jade.Runtime.run_with ~config ~machine:(jade_machine machine) ~nprocs
+      program
+      ~inspect:(fun _ m -> Jade.Metrics.occupancy m)
+  in
+  locked t (fun () -> t.events <- t.events + s.Jade.Metrics.event_count);
+  (s, occ)
 
 (* A traced run bypasses the cache and replay: tracing mutates external
    state and wants the real execution. *)

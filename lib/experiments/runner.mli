@@ -68,13 +68,18 @@ type t
     cells stay byte-identical to a runner with no [graph_opt]).
     [Gr_none]-folding aside, [graph_opt] requires [replay]; the
     combination with [~replay:false] raises [Invalid_argument].
-    [cache_dir] enables the persistent disk cache. [replay] (default
-    [true]) enables cross-configuration record/replay. *)
+    [oracle] (default [false]) runs every simulation's event engine in
+    closure-lane oracle mode ({!Jade.Config.t.oracle}), folded into every
+    config and both cache keys like [engine] — the oracle-parity CI leg
+    diffs digests across it. [cache_dir] enables the persistent disk
+    cache. [replay] (default [true]) enables cross-configuration
+    record/replay. *)
 val create :
   ?jobs:int ->
   ?fault:Jade_net.Fault.spec ->
   ?engine:Jade.Config.engine_kind ->
   ?graph_opt:Jade.Config.graph_opt ->
+  ?oracle:bool ->
   ?cache_dir:string ->
   ?replay:bool ->
   size ->
@@ -139,6 +144,19 @@ val run :
   config:Jade.Config.t ->
   placed:bool ->
   Jade.Metrics.summary
+
+(** Like {!run} but uncached and unreplayed, returning the run's
+    occupancy high-water marks ({!Jade.Metrics.occupancy}) alongside the
+    summary — the [repro run --stats] path (a cached summary cannot
+    carry pool/calendar/now-lane peaks). *)
+val run_observed :
+  t ->
+  app:app ->
+  machine:machine ->
+  nprocs:int ->
+  config:Jade.Config.t ->
+  placed:bool ->
+  Jade.Metrics.summary * Jade.Metrics.occupancy
 
 (** Like {!run} but uncached, unreplayed, and collecting task-lifecycle
     events into [trace]. *)

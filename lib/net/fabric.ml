@@ -2,19 +2,23 @@ open Jade_sim
 open Jade_machines
 
 (* Message cells are pooled: a send pops a cell from the free list, fills
-   it, and schedules its preallocated [resume] closure; delivery runs the
-   destination handler and returns the cell (and, via the [release] hook,
-   its body) to the pool. The steady-state send–deliver round trip
-   therefore allocates nothing — neither the cell, nor the delivery
-   closure, nor (with a pooled payload type, see {!Protocol}) the body. *)
+   it, and schedules delivery as a flat engine event — the fabric's
+   delivery opcode plus the cell's registry slot, one immediate int word.
+   Delivery runs the destination handler and returns the cell (and, via
+   the [release] hook, its body) to the pool. The steady-state
+   send–deliver round trip therefore allocates nothing — neither the
+   cell, nor the event descriptor, nor (with a pooled payload type, see
+   {!Protocol}) the body. *)
 type 'a msg = {
   mutable src : int;
   mutable dst : int;
   mutable size : int;
   mutable tag : Tag.t;
   mutable body : 'a;
-  mutable resume : unit -> unit;
-      (** delivers this cell on its fabric; preallocated once per cell *)
+  slot : int;
+      (** index into the owning fabric's cell registry, carried as the
+          operand of the delivery descriptor; -1 for standalone {!make}
+          records that no fabric owns *)
 }
 
 type 'a t = {
@@ -42,55 +46,18 @@ type 'a t = {
   down : bool array;  (** crashed nodes: their NIC neither sends nor receives *)
   mutable any_down : bool;  (** fast guard so clean runs never scan [down] *)
   mutable crash_dropped : int;  (** messages lost to a down endpoint *)
+  mutable cells : 'a msg array;
+      (** every cell this fabric ever allocated, indexed by [slot] — the
+          registry the delivery opcode resolves its operand against *)
+  mutable cells_n : int;
+  mutable deliver_op : int;  (** this fabric's opcode in the engine table *)
   mutable free : 'a msg array;  (** free-list stack of recycled cells *)
   mutable free_n : int;
   mutable msgs : int;
   mutable bytes : int;
 }
 
-let nop () = ()
-
-let make ~src ~dst ~size ~tag body = { src; dst; size; tag; body; resume = nop }
-
-let create ?bus ?fault ?(clone = Fun.id) ?(release = ignore) eng ~dummy ~nodes
-    ~topology ~startup ~bandwidth ~hop_latency =
-  if Array.length nodes <> Topology.nodes topology then
-    invalid_arg "Fabric.create: node/topology size mismatch";
-  {
-    eng;
-    nodes;
-    topo = topology;
-    startup;
-    bandwidth;
-    hop_latency;
-    bus;
-    fault;
-    sharded = Engine.shards eng >= Array.length nodes && Engine.shards eng > 1;
-    dummy;
-    clone;
-    release;
-    handlers = Array.make (Array.length nodes) None;
-    tag_counts = Array.make Tag.count 0;
-    tag_bytes = Array.make Tag.count 0;
-    down = Array.make (Array.length nodes) false;
-    any_down = false;
-    crash_dropped = 0;
-    free = [||];
-    free_n = 0;
-    msgs = 0;
-    bytes = 0;
-  }
-
-let set_handler t p f = t.handlers.(p) <- Some f
-
-let send_occupancy t ~size = t.startup +. (float_of_int size /. t.bandwidth)
-
-let record t msg =
-  t.msgs <- t.msgs + 1;
-  t.bytes <- t.bytes + msg.size;
-  let i = Tag.index msg.tag in
-  t.tag_counts.(i) <- t.tag_counts.(i) + 1;
-  t.tag_bytes.(i) <- t.tag_bytes.(i) + msg.size
+let make ~src ~dst ~size ~tag body = { src; dst; size; tag; body; slot = -1 }
 
 let release_cell t m =
   t.release m.body;
@@ -114,10 +81,64 @@ let deliver_cell t m =
            (Tag.to_string m.tag) m.src m.size));
   release_cell t m
 
+let create ?bus ?fault ?(clone = Fun.id) ?(release = ignore) eng ~dummy ~nodes
+    ~topology ~startup ~bandwidth ~hop_latency =
+  if Array.length nodes <> Topology.nodes topology then
+    invalid_arg "Fabric.create: node/topology size mismatch";
+  let t =
+    {
+      eng;
+      nodes;
+      topo = topology;
+      startup;
+      bandwidth;
+      hop_latency;
+      bus;
+      fault;
+      sharded = Engine.shards eng >= Array.length nodes && Engine.shards eng > 1;
+      dummy;
+      clone;
+      release;
+      handlers = Array.make (Array.length nodes) None;
+      tag_counts = Array.make Tag.count 0;
+      tag_bytes = Array.make Tag.count 0;
+      down = Array.make (Array.length nodes) false;
+      any_down = false;
+      crash_dropped = 0;
+      cells = [||];
+      cells_n = 0;
+      deliver_op = 0;
+      free = [||];
+      free_n = 0;
+      msgs = 0;
+      bytes = 0;
+    }
+  in
+  t.deliver_op <- Engine.register_op eng (fun slot -> deliver_cell t t.cells.(slot));
+  t
+
+let set_handler t p f = t.handlers.(p) <- Some f
+
+let send_occupancy t ~size = t.startup +. (float_of_int size /. t.bandwidth)
+
+let record t msg =
+  t.msgs <- t.msgs + 1;
+  t.bytes <- t.bytes + msg.size;
+  let i = Tag.index msg.tag in
+  t.tag_counts.(i) <- t.tag_counts.(i) + 1;
+  t.tag_bytes.(i) <- t.tag_bytes.(i) + msg.size
+
 let alloc t ~src ~dst ~size ~tag body =
   if t.free_n = 0 then begin
-    let m = make ~src ~dst ~size ~tag body in
-    m.resume <- (fun () -> deliver_cell t m);
+    let m = { src; dst; size; tag; body; slot = t.cells_n } in
+    (if t.cells_n = Array.length t.cells then begin
+       let cap = max 64 (2 * t.cells_n) in
+       let cells = Array.make cap m in
+       Array.blit t.cells 0 cells 0 t.cells_n;
+       t.cells <- cells
+     end);
+    t.cells.(t.cells_n) <- m;
+    t.cells_n <- t.cells_n + 1;
     m
   end
   else begin
@@ -141,8 +162,10 @@ let deliver_at t time m =
   end
   else begin
     record t m;
-    if t.sharded then Engine.schedule_at_shard t.eng ~shard:m.dst time m.resume
-    else Engine.schedule_at t.eng time m.resume
+    if t.sharded then
+      Engine.schedule_op_at_shard t.eng ~shard:m.dst ~op:t.deliver_op
+        ~arg:m.slot time
+    else Engine.schedule_op_at t.eng ~op:t.deliver_op ~arg:m.slot time
   end
 
 (* Faultable delivery: interrupt-context traffic and broadcast copies go
@@ -244,3 +267,5 @@ let byte_count t = t.bytes
 let bytes_with_tag t tag = t.tag_bytes.(Tag.index tag)
 
 let count_with_tag t tag = t.tag_counts.(Tag.index tag)
+
+let cell_count t = t.cells_n

@@ -24,7 +24,10 @@ type 'a msg = {
   mutable size : int;
   mutable tag : Tag.t;
   mutable body : 'a;
-  mutable resume : unit -> unit;  (** internal: preallocated delivery thunk *)
+  slot : int;
+      (** internal: index into the owning fabric's cell registry — the
+          operand of the flat delivery event ({!Jade_sim.Engine.register_op});
+          [-1] for standalone {!make} records *)
 }
 
 type 'a t
@@ -111,6 +114,11 @@ val bytes_with_tag : 'a t -> Tag.t -> int
 
 (** [count_with_tag t tag] counts messages carrying [tag]. *)
 val count_with_tag : 'a t -> Tag.t -> int
+
+(** Number of message cells ever allocated by this fabric — the size of
+    its cell registry, and (with pooling) the peak number of messages
+    simultaneously in flight. *)
+val cell_count : 'a t -> int
 
 (** Occupancy charged to a sender for one message of [size] bytes. *)
 val send_occupancy : 'a t -> size:int -> float

@@ -14,6 +14,12 @@
    remains as the far-future overflow lane below — and as the oracle the
    property tests compare against.
 
+   Payloads are immediate [int]s — the engine's flat event descriptors
+   (packed opcode + operand words). Storing ints instead of closures keeps
+   every [bv] write free of the [caml_modify] barrier, lets vacated slots
+   stay as-is (an int pins nothing), and removes a word of indirection per
+   event on the pop path.
+
    Far-future events (watchdog timeouts, retransmit backoffs — anything
    scheduled beyond the current year) go to an overflow {!Heap}. The
    invariant is strict: every overflow entry's time is [>= fl.year_end],
@@ -49,8 +55,7 @@ type fl = {
   mutable year_end : float;  (** [start +. width *. float nbuckets] *)
 }
 
-type 'a t = {
-  dummy : 'a;
+type t = {
   fl : fl;
   mutable nbuckets : int;  (** power of two *)
   (* Per-bucket parallel arrays. Entries of bucket [b] live at indices
@@ -59,18 +64,20 @@ type 'a t = {
      first insert and reused forever after. *)
   mutable bt : float array array;
   mutable bs : int array array;
-  mutable bv : 'a array array;
+  mutable bv : int array array;
   mutable bhead : int array;
   mutable btail : int array;
   mutable cal_size : int;  (** entries currently in buckets *)
   mutable size : int;  (** total entries, including overflow *)
   mutable cur : int;  (** first bucket that can hold the minimum *)
   mutable minb : int;  (** bucket whose head is the cached minimum; -1 unknown *)
-  overflow : 'a Heap.t;  (** far-future lane: every entry [>= year_end] *)
+  overflow : int Heap.t;  (** far-future lane: every entry [>= year_end] *)
   (* Refill/rebuild scratch, reused across calls. *)
   mutable st : float array;
   mutable ss : int array;
-  mutable sv : 'a array;
+  mutable sv : int array;
+  mutable hwm : int;  (** peak [size] over the queue's lifetime *)
+  mutable rebuilds : int;  (** growth rebuilds triggered by bucket pressure *)
 }
 
 let min_buckets = 16
@@ -88,25 +95,26 @@ let no_floats : float array = [||]
 
 let no_ints : int array = [||]
 
-let create ?(capacity = 16) ~dummy () =
+let create ?(capacity = 16) () =
   let nbuckets = min max_buckets (pow2_ge capacity) in
   {
-    dummy;
     fl = { start = 0.0; width = 1.0; year_end = float_of_int nbuckets };
     nbuckets;
     bt = Array.make nbuckets no_floats;
     bs = Array.make nbuckets no_ints;
-    bv = Array.make nbuckets [||];
+    bv = Array.make nbuckets no_ints;
     bhead = Array.make nbuckets 0;
     btail = Array.make nbuckets 0;
     cal_size = 0;
     size = 0;
     cur = 0;
     minb = -1;
-    overflow = Heap.create ~capacity:16 ~dummy ();
+    overflow = Heap.create ~capacity:16 ~dummy:0 ();
     st = Array.make 16 0.0;
     ss = Array.make 16 0;
-    sv = Array.make 16 dummy;
+    sv = Array.make 16 0;
+    hwm = 0;
+    rebuilds = 0;
   }
 
 let length t = t.size
@@ -117,6 +125,10 @@ let bucket_count t = t.nbuckets
 
 let overflow_length t = Heap.length t.overflow
 
+let high_water t = t.hwm
+
+let rebuild_count t = t.rebuilds
+
 (* --- bucket insertion --- *)
 
 let grow_bucket t b =
@@ -124,7 +136,7 @@ let grow_bucket t b =
   let cap' = if cap = 0 then 4 else 2 * cap in
   let bt = Array.make cap' 0.0 in
   let bs = Array.make cap' 0 in
-  let bv = Array.make cap' t.dummy in
+  let bv = Array.make cap' 0 in
   Array.blit t.bt.(b) 0 bt 0 cap;
   Array.blit t.bs.(b) 0 bs 0 cap;
   Array.blit t.bv.(b) 0 bv 0 cap;
@@ -133,14 +145,13 @@ let grow_bucket t b =
   t.bv.(b) <- bv
 
 (* Slide bucket [b]'s live entries back to index 0, reclaiming the space
-   popped heads left behind. *)
+   popped heads left behind. Vacated int slots need no blanking. *)
 let compact_bucket t b =
   let head = t.bhead.(b) and tail = t.btail.(b) in
   let n = tail - head in
   Array.blit t.bt.(b) head t.bt.(b) 0 n;
   Array.blit t.bs.(b) head t.bs.(b) 0 n;
   Array.blit t.bv.(b) head t.bv.(b) 0 n;
-  Array.fill t.bv.(b) n (tail - n) t.dummy;
   t.bhead.(b) <- 0;
   t.btail.(b) <- n
 
@@ -214,7 +225,7 @@ let resize_buckets t want =
     t.nbuckets <- want;
     t.bt <- Array.make want no_floats;
     t.bs <- Array.make want no_ints;
-    t.bv <- Array.make want [||];
+    t.bv <- Array.make want no_ints;
     t.bhead <- Array.make want 0;
     t.btail <- Array.make want 0
   end
@@ -224,7 +235,7 @@ let ensure_scratch t n =
     let cap = max n (2 * Array.length t.st) in
     t.st <- Array.make cap 0.0;
     t.ss <- Array.make cap 0;
-    t.sv <- Array.make cap t.dummy
+    t.sv <- Array.make cap 0
   end
 
 (* Spread [n] scratch entries (sorted) into freshly-anchored buckets, then
@@ -234,9 +245,7 @@ let spread_and_drain t n =
   t.cur <- 0;
   t.minb <- -1;
   for i = 0 to n - 1 do
-    let v = t.sv.(i) in
-    t.sv.(i) <- t.dummy;
-    bucket_insert t (bucket_of t t.st.(i)) ~time:t.st.(i) ~seq:t.ss.(i) v
+    bucket_insert t (bucket_of t t.st.(i)) ~time:t.st.(i) ~seq:t.ss.(i) t.sv.(i)
   done;
   t.cal_size <- t.cal_size + n;
   let continue = ref true in
@@ -279,6 +288,7 @@ let refill t =
    globally sorted), re-derive the geometry from the population and
    re-spread. *)
 let rebuild t =
+  t.rebuilds <- t.rebuilds + 1;
   let n = t.cal_size in
   ensure_scratch t n;
   let j = ref 0 in
@@ -288,7 +298,6 @@ let rebuild t =
       t.st.(!j) <- t.bt.(b).(i);
       t.ss.(!j) <- t.bs.(b).(i);
       t.sv.(!j) <- t.bv.(b).(i);
-      t.bv.(b).(i) <- t.dummy;
       incr j
     done;
     t.bhead.(b) <- 0;
@@ -314,6 +323,7 @@ let push t ~time ~seq v =
     set_year t ~start:time ~width:t.fl.width ~last:time
   end;
   t.size <- t.size + 1;
+  if t.size > t.hwm then t.hwm <- t.size;
   if time >= t.fl.year_end then Heap.push t.overflow ~time ~seq v
   else begin
     let b = bucket_of t time in
@@ -357,7 +367,6 @@ let pop_min_value t =
   let b = t.minb in
   let h = t.bhead.(b) in
   let v = t.bv.(b).(h) in
-  t.bv.(b).(h) <- t.dummy;
   let h' = h + 1 in
   if h' = t.btail.(b) then begin
     t.bhead.(b) <- 0;

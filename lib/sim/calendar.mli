@@ -7,40 +7,50 @@
     in an overflow heap and are pulled in when the calendar drains, which
     also re-derives the bucket geometry from the measured event spread.
 
+    Payloads are plain [int]s — the engine's flat event descriptors
+    (packed opcode + operand words, see {!Engine.register_op}). Immediate
+    payloads keep every store barrier-free and vacated slots inert, so
+    the queue retains nothing and allocates nothing per event.
+
     The pop order is the exact total order on [(time, seq)] — identical to
     the binary heap's — regardless of bucket geometry; the property tests
-    in [test/test_sim.ml] check this against the heap as oracle. *)
+    in [test/test_calendar.ml] check this against the heap as oracle. *)
 
-type 'a t
+type t
 
-(** [create ?capacity ~dummy ()] makes an empty queue. [dummy] is an
-    inert value of the element type used to blank vacated payload slots
-    (never returned). [capacity] hints the initial bucket count; the
-    queue re-sizes itself as the population changes. *)
-val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+(** [create ?capacity ()] makes an empty queue. [capacity] hints the
+    initial bucket count; the queue re-sizes itself as the population
+    changes. *)
+val create : ?capacity:int -> unit -> t
 
-val length : 'a t -> int
+val length : t -> int
 
-val is_empty : 'a t -> bool
+val is_empty : t -> bool
 
 (** [push t ~time ~seq v] inserts [v] with priority [(time, seq)].
     Requires [time] at or after the earliest element currently in the
     queue (the engine never schedules into the past). *)
-val push : 'a t -> time:float -> seq:int -> 'a -> unit
+val push : t -> time:float -> seq:int -> int -> unit
 
 (** Key of the minimum element, without removing it. Raise [Not_found]
     when empty. Allocation-free. *)
-val min_time : 'a t -> float
+val min_time : t -> float
 
-val min_seq : 'a t -> int
+val min_seq : t -> int
 
 (** [pop_min_value t] removes the minimum element and returns only its
     payload (key available beforehand via {!min_time} / {!min_seq}).
     Raises [Not_found] when empty. *)
-val pop_min_value : 'a t -> 'a
+val pop_min_value : t -> int
 
 (** Introspection for tests: current bucket count and number of events
     parked in the far-future overflow heap. *)
-val bucket_count : 'a t -> int
+val bucket_count : t -> int
 
-val overflow_length : 'a t -> int
+val overflow_length : t -> int
+
+(** Occupancy counters for observability: the peak population the queue
+    ever held, and how many growth rebuilds bucket pressure triggered. *)
+val high_water : t -> int
+
+val rebuild_count : t -> int

@@ -40,27 +40,55 @@ type window_stats = {
           it was extracted under *)
 }
 
+(* --- flat event descriptors ---------------------------------------------
+
+   A far-lane event is one immediate int word: [(arg lsl op_bits) lor op].
+   [op] indexes the per-engine handler table [ops] (registered once at
+   construction by the fabric/backends); [arg] is the handler's operand —
+   a pooled-cell index, a processor number, whatever the handler's
+   registration decided. Committing an event is two array reads and an
+   indirect call: no closure environment is chased and nothing was
+   allocated to carry the event.
+
+   Opcode 0 is the escape hatch for genuinely closure-shaped events
+   (timers, watchdog scans, recovery pings, the [delay] resume path): the
+   closure parks in the [esc_fns] slab and the word carries its slot. The
+   slab recycles slots through a free stack and clears a slot the moment
+   its event fires, so a consumed escape event pins no environment. *)
+
+let op_bits = 6
+
+let op_mask = (1 lsl op_bits) - 1
+
+let max_ops = 1 lsl op_bits
+
 (* Per-shard staging buffers for the parallel extraction phase: at a
    window boundary each worker domain drains its shards' calendar entries
    below the window end into these sorted runs; the serial commit phase
    then consumes staging and calendars through one merged head per
-   shard. Only allocated when the engine runs with worker domains. *)
+   shard. Only allocated when the engine runs with worker domains.
+   Entries are flat descriptor words, so a drained run retains nothing. *)
 type stage = {
   mutable st_times : float array;
   mutable st_seqs : int array;
-  mutable st_fns : (unit -> unit) array;
+  mutable st_words : int array;
   mutable st_len : int;
   mutable st_pos : int;
 }
 
 type t = {
-  events : (unit -> unit) Calendar.t;
+  events : Calendar.t;
       (** shard 0's far lane — the only one on a sequential engine *)
-  cals : (unit -> unit) Calendar.t array;
+  cals : Calendar.t array;
       (** per-shard far lanes, keyed by (time, seq); [cals.(0) == events] *)
   nshards : int;
   lookahead : float;  (** conservative window width; 0 on sequential engines *)
   domains : int;
+  oracle : bool;
+      (** closure-lane oracle mode: flat ops route through the escape slab
+          as wrapper closures instead of packed words (see
+          {!schedule_op_at}) — same seq assignment, same commit order, the
+          representation the property tests compare against *)
   mutable team : Team.t option;  (** live only inside a [run] with domains > 1 *)
   mutable cur_shard : int;
       (** shard of the code currently executing: far events carry the shard
@@ -81,6 +109,20 @@ type t = {
   mutable windows : int;
   fl : fl;
   mutable seq : int;
+  (* Flat-dispatch handler table, indexed by opcode. Slot 0 is the escape
+     handler; the rest are claimed by [register_op] at construction time.
+     Handlers live for the engine's lifetime, so a descriptor word never
+     dangles. *)
+  ops : (int -> unit) array;
+  mutable ops_n : int;
+  (* Escape slab: closures for rare-path events, indexed by the slot
+     carried in an opcode-0 word. A slot is cleared (and recycled) the
+     moment its event fires. *)
+  mutable esc_fns : (unit -> unit) array;
+  mutable esc_free : int array;
+  mutable esc_free_n : int;
+  mutable esc_live : int;
+  mutable esc_hwm : int;
   (* Now lane: FIFO ring of events scheduled at exactly the current
      clock. They fire before any later far-lane entry, interleaved with
      same-time far-lane entries by seq, so delivery order is identical to
@@ -95,8 +137,10 @@ type t = {
      one lane carries both — which lets wakeups that deliver a value
      (ivar fills, mailbox sends) schedule the waiter's resume function
      directly instead of allocating a [fun () -> resume v] wrapper per
-     wakeup. Each entry also records the shard of the code that pushed
-     it, restored as [cur_shard] when it fires. *)
+     wakeup. Zero-delay flat events ride the same way: the handler from
+     [ops] is the fn and the immediate int operand the arg. Each entry
+     also records the shard of the code that pushed it, restored as
+     [cur_shard] when it fires. *)
   mutable now_seqs : int array;
   mutable now_fns : Obj.t array;
   mutable now_args : Obj.t array;
@@ -120,12 +164,27 @@ type t = {
   mutable bl_free_n : int;
   (* Preallocated registration closures for [delay]: the zero-delay
      resume and the [fl.pending]-delay resume. One closure each per
-     engine, not per event. *)
+     engine, not per event — and one preallocated effect value wrapping
+     each, so [delay] performs without building an [Await] box. *)
   mutable reg_now : (unit -> unit) -> unit;
   mutable reg_after : (unit -> unit) -> unit;
+  mutable eff_now : unit Effect.t;
+  mutable eff_after : unit Effect.t;
 }
 
-type _ Effect.t += Await : (('a -> unit) -> unit) -> 'a Effect.t
+type _ Effect.t +=
+  | Await : (('a -> unit) -> unit) -> 'a Effect.t
+  | Await_on : (('a -> unit) -> unit) * (unit -> string) -> 'a Effect.t
+
+(* A waiter is a prebuilt effect value: suspension points that fire many
+   times (ivar reads, mailbox receives) build it once and [wait] performs
+   it with no per-call constructor allocation. *)
+type 'a waiter = 'a Effect.t
+
+let waiter ?on register =
+  match on with
+  | None -> Await register
+  | Some what -> Await_on (register, what)
 
 let nop () = ()
 
@@ -172,6 +231,41 @@ let push_call : 'a. t -> ('a -> unit) -> 'a -> unit =
   t.now_len <- t.now_len + 1
 
 let push_now t (f : unit -> unit) = push_call t f ()
+
+(* --- escape slab --- *)
+
+let grow_esc t =
+  let cap = Array.length t.esc_fns in
+  let cap' = 2 * cap in
+  let fns = Array.make cap' nop in
+  Array.blit t.esc_fns 0 fns 0 cap;
+  t.esc_fns <- fns;
+  let free = Array.make cap' 0 in
+  Array.blit t.esc_free 0 free 0 t.esc_free_n;
+  for i = 0 to cap - 1 do
+    free.(t.esc_free_n + i) <- cap' - 1 - i
+  done;
+  t.esc_free <- free;
+  t.esc_free_n <- t.esc_free_n + cap
+
+let esc_put t f =
+  if t.esc_free_n = 0 then grow_esc t;
+  t.esc_free_n <- t.esc_free_n - 1;
+  let slot = t.esc_free.(t.esc_free_n) in
+  t.esc_fns.(slot) <- f;
+  t.esc_live <- t.esc_live + 1;
+  if t.esc_live > t.esc_hwm then t.esc_hwm <- t.esc_live;
+  slot
+
+(* Descriptor word for a closure-shaped event: opcode 0, operand the
+   slab slot. [esc_put] touches no engine ordering state, so building the
+   word before the seq increment of the push that carries it is safe. *)
+let far_word t f = esc_put t f lsl op_bits
+
+(* Commit one flat descriptor: decode and dispatch. [op] is always a
+   registered opcode by construction (words are only built from
+   [register_op] results or the escape path), so the reads are unsafe. *)
+let exec_word t w = (Array.unsafe_get t.ops (w land op_mask)) (w asr op_bits)
 
 (* --- shard-head index heap (sharded engines only) --- *)
 
@@ -241,9 +335,9 @@ let refresh_key t s =
 (* Far-lane push into an explicit shard, maintaining its cached head.
    A push can only lower its shard's key (seqs grow monotonically, so a
    same-time push never wins the tie against an older head). *)
-let push_far t shard time f =
+let push_far t shard time w =
   t.seq <- t.seq + 1;
-  Calendar.push t.cals.(shard) ~time ~seq:t.seq f;
+  Calendar.push t.cals.(shard) ~time ~seq:t.seq w;
   if time < t.key_t.(shard) then begin
     t.key_t.(shard) <- time;
     t.key_s.(shard) <- t.seq;
@@ -251,28 +345,27 @@ let push_far t shard time f =
   end
 
 let create ?(events_hint = 16) ?(shards = 1) ?(lookahead = 0.0) ?(domains = 1)
-    () =
+    ?(oracle = false) () =
   if shards < 1 then invalid_arg "Engine.create: shards must be >= 1";
   if shards > 1 && not (lookahead > 0.0) then
     invalid_arg "Engine.create: a sharded engine needs a positive lookahead";
   if domains < 1 then invalid_arg "Engine.create: domains must be >= 1";
   let per_shard = max 16 (events_hint / shards) in
-  let cals =
-    Array.init shards (fun _ -> Calendar.create ~capacity:per_shard ~dummy:nop ())
-  in
+  let cals = Array.init shards (fun _ -> Calendar.create ~capacity:per_shard ()) in
   let stages =
     if domains > 1 && shards > 1 then
       Array.init shards (fun _ ->
           {
             st_times = Array.make 16 0.0;
             st_seqs = Array.make 16 0;
-            st_fns = Array.make 16 nop;
+            st_words = Array.make 16 0;
             st_len = 0;
             st_pos = 0;
           })
     else [||]
   in
   let bl_cap = 16 in
+  let esc_cap = 16 in
   let t =
     {
       events = cals.(0);
@@ -280,6 +373,7 @@ let create ?(events_hint = 16) ?(shards = 1) ?(lookahead = 0.0) ?(domains = 1)
       nshards = shards;
       lookahead;
       domains;
+      oracle;
       team = None;
       cur_shard = 0;
       hp = Array.init shards Fun.id;
@@ -297,6 +391,13 @@ let create ?(events_hint = 16) ?(shards = 1) ?(lookahead = 0.0) ?(domains = 1)
       windows = 0;
       fl = { clock = 0.0; pending = 0.0 };
       seq = 0;
+      ops = Array.make max_ops (fun (_ : int) -> ());
+      ops_n = 1;
+      esc_fns = Array.make esc_cap nop;
+      esc_free = Array.init esc_cap (fun i -> esc_cap - 1 - i);
+      esc_free_n = esc_cap;
+      esc_live = 0;
+      esc_hwm = 0;
       now_seqs = Array.make 64 0;
       now_fns = Array.make 64 nop_fn;
       now_args = Array.make 64 unit_arg;
@@ -315,22 +416,39 @@ let create ?(events_hint = 16) ?(shards = 1) ?(lookahead = 0.0) ?(domains = 1)
       bl_free_n = bl_cap;
       reg_now = nowhere;
       reg_after = nowhere;
+      eff_now = Await nowhere;
+      eff_after = Await nowhere;
     }
   in
+  (* Opcode 0: fire a parked closure, recycling its slot first so the
+     closure can re-arm itself (timers) and a consumed slot pins no
+     environment. *)
+  t.ops.(0) <-
+    (fun slot ->
+      let f = t.esc_fns.(slot) in
+      t.esc_fns.(slot) <- nop;
+      t.esc_free.(t.esc_free_n) <- slot;
+      t.esc_free_n <- t.esc_free_n + 1;
+      t.esc_live <- t.esc_live - 1;
+      f ());
   t.reg_now <- (fun resume -> push_now t resume);
   t.reg_after <-
     (fun resume ->
+      let w = far_word t resume in
       if t.nshards = 1 then begin
         t.seq <- t.seq + 1;
-        Calendar.push t.events ~time:(t.fl.clock +. t.fl.pending) ~seq:t.seq
-          resume
+        Calendar.push t.events ~time:(t.fl.clock +. t.fl.pending) ~seq:t.seq w
       end
-      else push_far t t.cur_shard (t.fl.clock +. t.fl.pending) resume);
+      else push_far t t.cur_shard (t.fl.clock +. t.fl.pending) w);
+  t.eff_now <- Await t.reg_now;
+  t.eff_after <- Await t.reg_after;
   t
 
 let now t = t.fl.clock
 
 let shards t = t.nshards
+
+let oracle t = t.oracle
 
 let window_stats t =
   {
@@ -341,6 +459,14 @@ let window_stats t =
     ws_min_end_margin = t.wfl.end_margin;
   }
 
+let register_op t f =
+  if t.ops_n >= max_ops then
+    invalid_arg "Engine.register_op: opcode table full";
+  let op = t.ops_n in
+  t.ops_n <- t.ops_n + 1;
+  t.ops.(op) <- f;
+  op
+
 let schedule_now t f = push_now t f
 
 let schedule_call t f x = push_call t f x
@@ -349,11 +475,14 @@ let schedule_after t delay f =
   if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
   let time = t.fl.clock +. delay in
   if time = t.fl.clock then push_now t f
-  else if t.nshards = 1 then begin
-    t.seq <- t.seq + 1;
-    Calendar.push t.events ~time ~seq:t.seq f
+  else begin
+    let w = far_word t f in
+    if t.nshards = 1 then begin
+      t.seq <- t.seq + 1;
+      Calendar.push t.events ~time ~seq:t.seq w
+    end
+    else push_far t t.cur_shard time w
   end
-  else push_far t t.cur_shard time f
 
 let schedule t ?(delay = 0.0) f = schedule_after t delay f
 
@@ -367,11 +496,14 @@ let schedule_at t time f =
   let d = if time > clock then time -. clock else 0.0 in
   let tt = clock +. d in
   if tt = clock then push_now t f
-  else if t.nshards = 1 then begin
-    t.seq <- t.seq + 1;
-    Calendar.push t.events ~time:tt ~seq:t.seq f
+  else begin
+    let w = far_word t f in
+    if t.nshards = 1 then begin
+      t.seq <- t.seq + 1;
+      Calendar.push t.events ~time:tt ~seq:t.seq w
+    end
+    else push_far t t.cur_shard tt w
   end
-  else push_far t t.cur_shard tt f
 
 (* Cross-shard scheduling (the fabric's remote deliveries). On a sharded
    engine this is where the conservative-execution contract is enforced:
@@ -382,6 +514,14 @@ let schedule_at t time f =
    floor), so a violation is a modelling bug worth failing loudly on —
    the serial-order commit would still execute it correctly, but the
    window extraction's parallelism claim would be false. *)
+let lookahead_violation t shard tt =
+  invalid_arg
+    (Printf.sprintf
+       "Engine.schedule_at_shard: lookahead violation — event for shard \
+        %d at t=%.9g lands inside the open window [%.9g, %.9g) (current \
+        shard %d, lookahead %.9g)"
+       shard tt t.wfl.wstart t.wfl.wend t.cur_shard t.lookahead)
+
 let schedule_at_shard t ~shard time f =
   if shard < 0 || shard >= t.nshards then
     invalid_arg "Engine.schedule_at_shard: shard out of range";
@@ -390,18 +530,66 @@ let schedule_at_shard t ~shard time f =
   let tt = clock +. d in
   if tt = clock then push_now t f
   else if t.nshards = 1 then begin
+    let w = far_word t f in
     t.seq <- t.seq + 1;
-    Calendar.push t.events ~time:tt ~seq:t.seq f
+    Calendar.push t.events ~time:tt ~seq:t.seq w
   end
   else begin
-    if shard <> t.cur_shard && tt < t.wfl.wend then
-      invalid_arg
-        (Printf.sprintf
-           "Engine.schedule_at_shard: lookahead violation — event for shard \
-            %d at t=%.9g lands inside the open window [%.9g, %.9g) (current \
-            shard %d, lookahead %.9g)"
-           shard tt t.wfl.wstart t.wfl.wend t.cur_shard t.lookahead);
-    push_far t shard tt f
+    if shard <> t.cur_shard && tt < t.wfl.wend then lookahead_violation t shard tt;
+    push_far t shard tt (far_word t f)
+  end
+
+(* --- flat scheduling ---------------------------------------------------
+
+   The allocation-free counterparts of {!schedule_at} / {!schedule_at_shard}
+   for events registered as opcodes. Same float arithmetic, same seq
+   assignment, same lane choice — only the payload representation
+   differs, so a flat engine and an oracle engine commit in exactly the
+   same (time, seq) order. In oracle mode the op is re-wrapped as a
+   closure riding the escape slab: the pre-flat representation, kept
+   reachable as the property-test oracle. *)
+
+let schedule_op_at t ~op ~arg time =
+  if t.oracle then begin
+    let f = Array.unsafe_get t.ops op in
+    schedule_at t time (fun () -> f arg)
+  end
+  else begin
+    let clock = t.fl.clock in
+    let d = if time > clock then time -. clock else 0.0 in
+    let tt = clock +. d in
+    if tt = clock then push_call t (Array.unsafe_get t.ops op) arg
+    else begin
+      let w = (arg lsl op_bits) lor op in
+      if t.nshards = 1 then begin
+        t.seq <- t.seq + 1;
+        Calendar.push t.events ~time:tt ~seq:t.seq w
+      end
+      else push_far t t.cur_shard tt w
+    end
+  end
+
+let schedule_op_at_shard t ~shard ~op ~arg time =
+  if shard < 0 || shard >= t.nshards then
+    invalid_arg "Engine.schedule_op_at_shard: shard out of range";
+  if t.oracle then begin
+    let f = Array.unsafe_get t.ops op in
+    schedule_at_shard t ~shard time (fun () -> f arg)
+  end
+  else begin
+    let clock = t.fl.clock in
+    let d = if time > clock then time -. clock else 0.0 in
+    let tt = clock +. d in
+    if tt = clock then push_call t (Array.unsafe_get t.ops op) arg
+    else if t.nshards = 1 then begin
+      t.seq <- t.seq + 1;
+      Calendar.push t.events ~time:tt ~seq:t.seq ((arg lsl op_bits) lor op)
+    end
+    else begin
+      if shard <> t.cur_shard && tt < t.wfl.wend then
+        lookahead_violation t shard tt;
+      push_far t shard tt ((arg lsl op_bits) lor op)
+    end
   end
 
 (* --- blocked-waiter slab --- *)
@@ -454,7 +642,59 @@ let blocked_report t =
 
 (* --- processes --- *)
 
+(* Per-process suspension cell. A process has at most one pending await
+   (it is suspended from the perform until its resume runs), so one cell
+   — allocated once at spawn, together with one resume closure and one
+   preallocated [Some handler] per await flavor — serves every
+   suspension of the process's lifetime. The old per-perform closures
+   (the [Some (fun k -> ...)] and its inner resume) were the engine's
+   dominant allocation; awaiting is now store-and-perform. *)
+type pcell = {
+  mutable pc_k : Obj.t;  (** the suspended continuation *)
+  mutable pc_reg : Obj.t;  (** the pending await's registration function *)
+  mutable pc_what : unit -> string;  (** blocked-report label (Await_on) *)
+  mutable pc_slot : int;  (** blocked-waiter slot (Await_on) *)
+}
+
 let run_process t ~name ~shard f =
+  let cell =
+    { pc_k = unit_arg; pc_reg = unit_arg; pc_what = no_what; pc_slot = -1 }
+  in
+  let resume (v : Obj.t) =
+    (* Restore this process's identity — and its home shard — for the
+       span of its execution, so blocked-waiter registrations made while
+       it runs carry the right name and its schedules land in its own
+       shard's lane. A second resume raises [Continuation_already_resumed]
+       from [continue] itself. *)
+    let k : (Obj.t, unit) continuation = Obj.magic cell.pc_k in
+    let prev = t.current in
+    t.current <- name;
+    let prev_shard = t.cur_shard in
+    t.cur_shard <- shard;
+    match continue k v with
+    | () ->
+        t.current <- prev;
+        t.cur_shard <- prev_shard
+    | exception e ->
+        t.current <- prev;
+        t.cur_shard <- prev_shard;
+        raise e
+  in
+  let resume_on (v : Obj.t) =
+    unblock t cell.pc_slot;
+    resume v
+  in
+  let handle (k : (Obj.t, unit) continuation) =
+    cell.pc_k <- Obj.repr k;
+    (Obj.obj cell.pc_reg : (Obj.t -> unit) -> unit) resume
+  in
+  let handle_on (k : (Obj.t, unit) continuation) =
+    cell.pc_k <- Obj.repr k;
+    cell.pc_slot <- block_slot t name cell.pc_what;
+    (Obj.obj cell.pc_reg : (Obj.t -> unit) -> unit) resume_on
+  in
+  let some_handle = Obj.repr (Some handle) in
+  let some_handle_on = Obj.repr (Some handle_on) in
   let prev = t.current in
   t.current <- name;
   t.cur_shard <- shard;
@@ -465,29 +705,20 @@ let run_process t ~name ~shard f =
         exnc = raise;
         effc =
           (fun (type a) (eff : a Effect.t) ->
+            (* The returned handler is preallocated: values have a uniform
+               representation, so the [Some handle] built at ['a = Obj.t]
+               serves every instantiation. The effect's registration
+               function is passed through the cell. *)
             match eff with
             | Await register ->
-                Some
-                  (fun (k : (a, unit) continuation) ->
-                    register (fun v ->
-                        (* Restore this process's identity — and its home
-                           shard — for the span of its execution, so
-                           blocked-waiter registrations made while it runs
-                           carry the right name and its schedules land in
-                           its own shard's lane. A second resume raises
-                           [Continuation_already_resumed]. *)
-                        let prev = t.current in
-                        t.current <- name;
-                        let prev_shard = t.cur_shard in
-                        t.cur_shard <- shard;
-                        match continue k v with
-                        | () ->
-                            t.current <- prev;
-                            t.cur_shard <- prev_shard
-                        | exception e ->
-                            t.current <- prev;
-                            t.cur_shard <- prev_shard;
-                            raise e))
+                cell.pc_reg <- Obj.repr register;
+                (Obj.magic some_handle
+                  : ((a, unit) continuation -> unit) option)
+            | Await_on (register, what) ->
+                cell.pc_reg <- Obj.repr register;
+                cell.pc_what <- what;
+                (Obj.magic some_handle_on
+                  : ((a, unit) continuation -> unit) option)
             | _ -> None);
       }
   with
@@ -513,27 +744,21 @@ let spawn ?name ?shard t f =
 
 let current_name t = pname_string t.current
 
-let await ?on t register =
+let await ?on (_ : t) register =
   match on with
   | None -> perform (Await register)
-  | Some what ->
-      let who = t.current in
-      perform
-        (Await
-           (fun resume ->
-             let slot = block_slot t who what in
-             register (fun v ->
-                 unblock t slot;
-                 resume v)))
+  | Some what -> perform (Await_on (register, what))
+
+let wait (_ : t) (w : 'a waiter) : 'a = perform w
 
 let delay t d =
   if d < 0.0 then invalid_arg "Engine.delay: negative delay";
   (* Even a zero delay goes through the queue so that same-time
      activities interleave deterministically in scheduling order. *)
-  if d = 0.0 then perform (Await t.reg_now)
+  if d = 0.0 then perform t.eff_now
   else begin
     t.fl.pending <- d;
-    perform (Await t.reg_after)
+    perform t.eff_after
   end
 
 (* --- sequential run loop (the digest oracle) --- *)
@@ -553,7 +778,7 @@ let run_seq t =
         && Calendar.min_seq t.events < t.now_seqs.(t.now_head)
       in
       t.processed <- t.processed + 1;
-      if take_far then (Calendar.pop_min_value t.events) ()
+      if take_far then exec_word t (Calendar.pop_min_value t.events)
       else begin
         let i = t.now_head in
         let fn = t.now_fns.(i) and arg = t.now_args.(i) in
@@ -568,9 +793,9 @@ let run_seq t =
       let time = Calendar.min_time t.events in
       if time < t.fl.clock then invalid_arg "Engine.run: time went backwards";
       t.fl.clock <- time;
-      let f = Calendar.pop_min_value t.events in
+      let w = Calendar.pop_min_value t.events in
       t.processed <- t.processed + 1;
-      f ()
+      exec_word t w
     end
     else continue_run := false
   done;
@@ -583,13 +808,13 @@ let grow_stage st =
   let cap' = 2 * cap in
   let times = Array.make cap' 0.0 in
   let seqs = Array.make cap' 0 in
-  let fns = Array.make cap' nop in
+  let words = Array.make cap' 0 in
   Array.blit st.st_times 0 times 0 st.st_len;
   Array.blit st.st_seqs 0 seqs 0 st.st_len;
-  Array.blit st.st_fns 0 fns 0 st.st_len;
+  Array.blit st.st_words 0 words 0 st.st_len;
   st.st_times <- times;
   st.st_seqs <- seqs;
-  st.st_fns <- fns
+  st.st_words <- words
 
 (* Drain shard [s]'s calendar entries strictly below [horizon] into its
    staging run. Pure data-structure work on state owned by one shard —
@@ -611,7 +836,7 @@ let extract_shard t horizon s =
       let i = st.st_len in
       st.st_times.(i) <- tm;
       st.st_seqs.(i) <- sq;
-      st.st_fns.(i) <- Calendar.pop_min_value cal;
+      st.st_words.(i) <- Calendar.pop_min_value cal;
       st.st_len <- i + 1;
       continue := not (Calendar.is_empty cal)
     end
@@ -640,9 +865,10 @@ let open_window t time =
 (* Commit the root shard's head event: take it from staging or calendar
    (whichever holds the head), refresh the shard's key, restore the heap,
    then execute. The refresh happens before execution so pushes made by
-   the event compare against up-to-date keys. *)
+   the event compare against up-to-date keys. A consumed staging slot is
+   just an int and needs no clearing — a drained window pins nothing. *)
 let exec_far t s =
-  let f =
+  let w =
     if
       Array.length t.stages > 0
       && t.stages.(s).st_pos < t.stages.(s).st_len
@@ -650,17 +876,15 @@ let exec_far t s =
     then begin
       let st = t.stages.(s) in
       let i = st.st_pos in
-      let f = st.st_fns.(i) in
-      st.st_fns.(i) <- nop;
       st.st_pos <- i + 1;
-      f
+      st.st_words.(i)
     end
     else Calendar.pop_min_value t.cals.(s)
   in
   t.cur_shard <- s;
   refresh_key t s;
   sift_down t 0;
-  f ()
+  exec_word t w
 
 let run_pdes t =
   let n0 = t.processed in
@@ -721,3 +945,17 @@ let run t =
 let live_processes t = t.live
 
 let events_processed t = t.processed
+
+(* --- occupancy counters (observability) --- *)
+
+let calendar_high_water t =
+  let m = ref 0 in
+  Array.iter (fun c -> if Calendar.high_water c > !m then m := Calendar.high_water c) t.cals;
+  !m
+
+let calendar_rebuilds t =
+  Array.fold_left (fun acc c -> acc + Calendar.rebuild_count c) 0 t.cals
+
+let now_lane_capacity t = Array.length t.now_fns
+
+let escape_high_water t = t.esc_hwm

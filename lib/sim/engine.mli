@@ -32,17 +32,29 @@ type t
     the machine model. [domains] > 1 runs the per-window extraction phase
     — draining each shard's below-horizon calendar entries into sorted
     staging runs — on a persistent {!Team} of worker domains; commits
-    stay serial, preserving determinism. *)
+    stay serial, preserving determinism.
+
+    [oracle] selects the closure-lane oracle: flat events scheduled
+    through {!schedule_op_at} / {!schedule_op_at_shard} are re-wrapped as
+    closures riding the escape slab — the pre-flat-descriptor
+    representation — with identical seq assignment and therefore an
+    identical (time, seq) commit order. The property tests drive random
+    schedules through a flat and an oracle engine and assert the
+    trajectories match; production runs leave it [false]. *)
 val create :
   ?events_hint:int ->
   ?shards:int ->
   ?lookahead:float ->
   ?domains:int ->
+  ?oracle:bool ->
   unit ->
   t
 
 (** Number of event shards ([1] for a sequential engine). *)
 val shards : t -> int
+
+(** Whether this engine runs in closure-lane oracle mode. *)
+val oracle : t -> bool
 
 (** Conservative-window evidence of a sharded run, for tests and
     diagnostics. On a sequential engine [ws_windows = 0] and both margins
@@ -66,6 +78,39 @@ val window_stats : t -> window_stats
 (** Current virtual time in seconds. *)
 val now : t -> float
 
+(** {2 Flat event descriptors}
+
+    The far lane stores events as immediate int words — a 6-bit opcode
+    plus an operand — instead of closures. Handlers are registered once
+    at construction; scheduling a flat event then allocates nothing and
+    committing it chases no environment. Closure-based scheduling
+    ({!schedule}, {!schedule_at}, …) still works for rare-path events
+    (timers, watchdog scans): the closure parks in an internal escape
+    slab and the word carries its slot, cleared when the event fires. *)
+
+(** [register_op t handler] claims the next opcode and installs
+    [handler] for it, returning the opcode for use with
+    {!schedule_op_at} / {!schedule_op_at_shard}. The table holds 63
+    client opcodes (opcode 0 is the internal escape hatch); registration
+    happens at construction time, never on the hot path. Raises
+    [Invalid_argument] when the table is full. *)
+val register_op : t -> (int -> unit) -> int
+
+(** [schedule_op_at t ~op ~arg time] runs the handler registered for
+    [op] with operand [arg] at absolute virtual time [time] ([now] if
+    [time] is in the past) — {!schedule_at} without the closure: the
+    event rides the calendar as one packed int word. [arg] must fit in
+    57 bits (an index or a processor number; anything larger belongs in
+    a registry the handler indexes into). Allocation-free. *)
+val schedule_op_at : t -> op:int -> arg:int -> float -> unit
+
+(** [schedule_op_at_shard t ~shard ~op ~arg time] is {!schedule_op_at}
+    with an explicit destination shard — the flat counterpart of
+    {!schedule_at_shard}, with the same cross-shard lookahead contract
+    (and the same [Invalid_argument] on violation). This is the fabric's
+    message-delivery path. *)
+val schedule_op_at_shard : t -> shard:int -> op:int -> arg:int -> float -> unit
+
 (** [schedule t ?delay f] runs plain callback [f] at [now + delay]
     (default [0.]). [f] must not perform engine effects; use {!spawn} for
     that. [delay] must be non-negative. *)
@@ -80,15 +125,15 @@ val schedule : t -> ?delay:float -> (unit -> unit) -> unit
 val schedule_at : t -> float -> (unit -> unit) -> unit
 
 (** [schedule_at_shard t ~shard time f] is {!schedule_at} with an explicit
-    destination shard — the cross-shard scheduling entry point (the
-    network fabric routes each delivery to its destination node's shard).
-    On a sequential engine it is exactly [schedule_at]. On a sharded
-    engine, an event bound for another shard must land at or beyond the
-    end of the currently open window; violating that means the caller's
-    cross-shard latency is below the engine's lookahead, and raises
-    [Invalid_argument] naming both (the conservative-execution contract —
-    commit order would still be correct, but the window's parallel
-    extraction claim would not). *)
+    destination shard — the cross-shard scheduling entry point for
+    closure-shaped events (recovery pings; message deliveries use
+    {!schedule_op_at_shard}). On a sequential engine it is exactly
+    [schedule_at]. On a sharded engine, an event bound for another shard
+    must land at or beyond the end of the currently open window;
+    violating that means the caller's cross-shard latency is below the
+    engine's lookahead, and raises [Invalid_argument] naming both (the
+    conservative-execution contract — commit order would still be
+    correct, but the window's parallel extraction claim would not). *)
 val schedule_at_shard : t -> shard:int -> float -> (unit -> unit) -> unit
 
 (** [schedule_now t f] is [schedule t f]: [f] fires at the current
@@ -134,10 +179,22 @@ val delay : t -> float -> unit
     closure and pay no string building on the wait path. *)
 val await : ?on:(unit -> string) -> t -> (('a -> unit) -> unit) -> 'a
 
+(** A prebuilt suspension point: {!waiter} packages the registration (and
+    optional blocked-report label) once, and {!wait} performs it with no
+    per-call allocation. Suspensions taken many times over a run (ivar
+    reads, mailbox receives) build their waiter at construction and call
+    [wait eng w] on the hot path; [wait t w] is semantically
+    [await ?on t register] for the pair [w] was built from. *)
+type 'a waiter
+
+val waiter : ?on:(unit -> string) -> (('a -> unit) -> unit) -> 'a waiter
+
+val wait : t -> 'a waiter -> 'a
+
 (** Currently registered blocked waiters as [(process, waiting-on)] pairs,
     in the order the waits began. Only waits that passed [?on] to {!await}
-    appear (ivar reads, mailbox receives — not plain delays, which always
-    fire). *)
+    (or {!waiter}) appear (ivar reads, mailbox receives — not plain
+    delays, which always fire). *)
 val blocked_report : t -> (string * string) list
 
 (** Run until the event queue drains. Returns the number of events
@@ -151,3 +208,19 @@ val live_processes : t -> int
 
 (** Total events processed since creation. *)
 val events_processed : t -> int
+
+(** {2 Occupancy counters}
+
+    Lifetime high-water marks for observability ([repro --stats],
+    BENCH_repro.json): peak far-lane population (max over shards),
+    total calendar growth rebuilds (summed over shards), the now lane's
+    final ring capacity, and the escape slab's peak population of parked
+    closures. *)
+
+val calendar_high_water : t -> int
+
+val calendar_rebuilds : t -> int
+
+val now_lane_capacity : t -> int
+
+val escape_high_water : t -> int

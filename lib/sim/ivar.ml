@@ -4,9 +4,9 @@ type 'a t = {
   mutable name : unit -> string;
   mutable state : 'a state;
   waiters : ('a -> unit) Deque.t;
-  reg : ('a -> unit) -> unit;
-      (** preallocated [await] registration closure: every blocking read
-          reuses it instead of building a fresh one *)
+  mutable wtr : 'a Engine.waiter;
+      (** prebuilt suspension point: every blocking read performs it
+          instead of building an effect value per call *)
 }
 
 let default_name () = "ivar"
@@ -19,7 +19,14 @@ let create ?name ?name_fn () =
     | None, None -> default_name
   in
   let waiters = Deque.create () in
-  { name; state = Empty; waiters; reg = (fun resume -> Deque.push_back waiters resume) }
+  let t = { name; state = Empty; waiters; wtr = Engine.waiter ignore } in
+  (* The report label reads [t.name] indirectly so a later [set_name]
+     shows up in deadlock reports without rebuilding the waiter. *)
+  t.wtr <-
+    Engine.waiter
+      ~on:(fun () -> t.name ())
+      (fun resume -> Deque.push_back waiters resume);
+  t
 
 let name t = t.name ()
 
@@ -38,9 +45,7 @@ let fill eng t v =
       done
 
 let read eng t =
-  match t.state with
-  | Full v -> v
-  | Empty -> Engine.await ~on:t.name eng t.reg
+  match t.state with Full v -> v | Empty -> Engine.wait eng t.wtr
 
 let is_full t = match t.state with Full _ -> true | Empty -> false
 

@@ -1,21 +1,21 @@
 type 'a t = {
   name : string;
-  on_name : unit -> string;
   items : 'a Deque.t;
   waiters : ('a -> unit) Deque.t;
-  reg : ('a -> unit) -> unit;
-      (** preallocated [await] registration closure, shared by every
-          blocking receive *)
+  wtr : 'a Engine.waiter;
+      (** prebuilt suspension point, shared by every blocking receive *)
 }
 
 let create ?(name = "mailbox") () =
   let waiters = Deque.create () in
   {
     name;
-    on_name = (fun () -> name);
     items = Deque.create ();
     waiters;
-    reg = (fun resume -> Deque.push_back waiters resume);
+    wtr =
+      Engine.waiter
+        ~on:(fun () -> name)
+        (fun resume -> Deque.push_back waiters resume);
   }
 
 let name t = t.name
@@ -25,7 +25,7 @@ let send eng t v =
   else Engine.schedule_call eng (Deque.pop_front_exn t.waiters) v
 
 let recv eng t =
-  if Deque.is_empty t.items then Engine.await ~on:t.on_name eng t.reg
+  if Deque.is_empty t.items then Engine.wait eng t.wtr
   else Deque.pop_front_exn t.items
 
 let try_recv t = Deque.pop_front t.items

@@ -1,0 +1,95 @@
+(* Allocation-regression gate for the event-engine hot path.
+
+   The flat-descriptor far lane and the pooled message path exist to make
+   the steady-state simulation allocate almost nothing per event: a
+   schedule packs one immediate int word, a delivery resolves a pooled
+   cell by registry slot, a wakeup rides a preformed (fn, arg) pair in
+   the now lane, and process suspension reuses a preallocated
+   continuation cell. A change that quietly reboxes any of those — a
+   closure on the scheduling path, a tuple on the wakeup path, a boxed
+   float sneaking into a mixed record — multiplies the minor-word rate
+   and shows up here long before it shows up as wall-clock time.
+
+   Two gates, each asserting minor words per event under a named ceiling
+   measured with [Gc.minor_words] deltas after a warm-up run:
+
+   - the bare engine driving a self-rescheduling flat op: the pure
+     descriptor path. Measures ~10 words/event, all of it float boxing
+     across non-inlined module boundaries (this switch has no flambda:
+     [now], [+.], the calendar's time parameter each box a float). The
+     ceiling admits that but not one more per-event allocation — a
+     single added float box (2-3 words) or closure (4-5) fails it;
+   - the full simulator on repeated Water / iPSC-860 / 8-processor runs
+     at test scale: protocol pool, fabric delivery, and scheduler riding
+     on top. Each run is only ~900 events, so per-run setup (program
+     construction, engine and backend creation) is a big share of the
+     ~70 words/event measured; the ceiling is a regression backstop,
+     not a hot-path bound — the bench's steady-state figure at regen
+     scale is the precise one. *)
+
+let engine_ceiling = 13.0
+let sim_ceiling = 100.0
+
+let check_per_event label ~ceiling ~events words =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: simulated enough (%d events)" label events)
+    true (events > 50_000);
+  let per_event = words /. float_of_int events in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %.2f minor words/event <= %.1f (%d events)" label
+       per_event ceiling events)
+    true
+    (per_event <= ceiling)
+
+let flat_loop n =
+  let eng = Jade_sim.Engine.create ~events_hint:n () in
+  let remaining = ref n in
+  let op = ref (-1) in
+  op :=
+    Jade_sim.Engine.register_op eng (fun arg ->
+        if !remaining > 0 then begin
+          decr remaining;
+          Jade_sim.Engine.schedule_op_at eng ~op:!op ~arg
+            (Jade_sim.Engine.now eng +. 0.001)
+        end);
+  Jade_sim.Engine.schedule_op_at eng ~op:!op ~arg:7 0.001;
+  Jade_sim.Engine.run eng
+
+let test_engine_flat_path () =
+  ignore (flat_loop 1_000);
+  let n = 200_000 in
+  let minor0 = Gc.minor_words () in
+  let events = flat_loop n in
+  let words = Gc.minor_words () -. minor0 in
+  check_per_event "flat op loop" ~ceiling:engine_ceiling ~events words
+
+let water_run () =
+  let prog, _ =
+    Jade_apps.Water.make Jade_apps.Water.test_params
+      ~kind:Jade_apps.App_common.Mp ~placed:false ~nprocs:8
+  in
+  let s = Jade.Runtime.run ~machine:Jade.Runtime.ipsc860 ~nprocs:8 prog in
+  s.Jade.Metrics.event_count
+
+let test_sim_path () =
+  ignore (water_run ());
+  let rounds = 80 in
+  let minor0 = Gc.minor_words () in
+  let events = ref 0 in
+  for _ = 1 to rounds do
+    events := !events + water_run ()
+  done;
+  let words = Gc.minor_words () -. minor0 in
+  check_per_event "water sim batch" ~ceiling:sim_ceiling ~events:!events words
+
+let () =
+  Alcotest.run "alloc"
+    [
+      ( "engine hot path",
+        [
+          Alcotest.test_case "flat descriptor loop stays allocation-free"
+            `Quick test_engine_flat_path;
+          Alcotest.test_case "full simulator stays under ceiling" `Quick
+            test_sim_path;
+        ] );
+    ]

@@ -23,7 +23,7 @@ open Jade_machines
    are monotone above the last popped instant (the engine never schedules
    into the past); [huge] deltas land in the overflow ladder. *)
 let oracle_drive ops =
-  let cal = Calendar.create ~dummy:(-1) () in
+  let cal = Calendar.create () in
   let heap = Heap.create ~dummy:(-1) () in
   let seq = ref 0 in
   let base = ref 0.0 in
@@ -81,7 +81,7 @@ let calendar_matches_heap =
 
 let test_ties_fifo () =
   (* Same time, ascending seq: pops must come out in seq (push) order. *)
-  let cal = Calendar.create ~dummy:(-1) () in
+  let cal = Calendar.create () in
   for i = 1 to 100 do
     Calendar.push cal ~time:5.0 ~seq:i i
   done;
@@ -91,7 +91,7 @@ let test_ties_fifo () =
 let test_rebuild_preserves_order () =
   (* Push far more events than buckets into one tight window: the
      calendar must rebuild (more buckets) and still pop in order. *)
-  let cal = Calendar.create ~capacity:4 ~dummy:(-1) () in
+  let cal = Calendar.create ~capacity:4 () in
   let b0 = Calendar.bucket_count cal in
   let n = 4096 in
   for i = 1 to n do
@@ -113,7 +113,7 @@ let test_rebuild_preserves_order () =
 let test_far_future_overflow () =
   (* Events centuries past the current year park in the overflow heap,
      then surface in order once the near events drain. *)
-  let cal = Calendar.create ~dummy:(-1) () in
+  let cal = Calendar.create () in
   for i = 1 to 50 do
     Calendar.push cal ~time:(0.001 *. float_of_int i) ~seq:i i
   done;

@@ -294,6 +294,61 @@ let engine_stress_prop =
       && Ivar.is_full root
       && List.length !completions >= 1)
 
+(* Flat-descriptor vs closure-oracle engine parity: the identical random
+   schedule — processes with random delays, flat ops via
+   [schedule_op_at], cross-shard flat ops via [schedule_op_at_shard],
+   plain closure events — must produce the identical (time, seq) commit
+   trajectory on the flat engine and on the closure-lane oracle
+   ([Engine.create ~oracle:true]), which re-wraps every flat descriptor
+   as a closure riding the escape slab. The log captures each commit's
+   (kind, operand, virtual time) in commit order, so any ordering or
+   timing divergence flips the comparison; event count and final clock
+   cover the run summary. Exercised sequentially and on the PDES sharded
+   engine (per-shard calendars, staging runs, index-heap commits). *)
+let flat_oracle_parity_prop =
+  QCheck.Test.make ~name:"flat engine matches closure-lane oracle" ~count:60
+    QCheck.(pair small_int (int_range 1 4))
+    (fun (seed, shards) ->
+      let trajectory ~oracle =
+        let g = Srandom.create ((seed * 31) + shards) in
+        let eng =
+          if shards = 1 then Engine.create ~oracle ()
+          else Engine.create ~oracle ~shards ~lookahead:0.1 ~domains:1 ()
+        in
+        let log = ref [] in
+        let commit kind arg = log := (kind, arg, Engine.now eng) :: !log in
+        let op_a = Engine.register_op eng (commit 0) in
+        let op_b = Engine.register_op eng (commit 1) in
+        for sh = 0 to shards - 1 do
+          Engine.spawn ~shard:sh eng (fun () ->
+              for i = 1 to 30 do
+                let d = Srandom.float g 0.05 in
+                let arg = (sh * 1000) + i in
+                match Srandom.int g 4 with
+                | 0 ->
+                    (* same-shard flat event, any delay (zero rides the
+                       now lane, positive the calendar) *)
+                    Engine.schedule_op_at eng ~op:op_a ~arg
+                      (Engine.now eng +. d)
+                | 1 ->
+                    (* cross-shard flat event: must clear the lookahead
+                       window, so keep it well beyond 0.1 out *)
+                    let dst = Srandom.int g shards in
+                    Engine.schedule_op_at_shard eng ~shard:dst ~op:op_b ~arg
+                      (Engine.now eng +. 0.2 +. d)
+                | 2 ->
+                    (* closure-shaped event riding the escape slab *)
+                    Engine.schedule_at eng
+                      (Engine.now eng +. d)
+                      (fun () -> commit 2 arg)
+                | _ -> Engine.delay eng d
+              done)
+        done;
+        let events = Engine.run eng in
+        (List.rev !log, events, Engine.now eng)
+      in
+      trajectory ~oracle:false = trajectory ~oracle:true)
+
 let qcheck t = QCheck_alcotest.to_alcotest t
 
 let () =
@@ -314,6 +369,7 @@ let () =
           Alcotest.test_case "nested spawn" `Quick test_engine_nested_spawn;
           Alcotest.test_case "negative delay" `Quick test_engine_negative_delay;
           qcheck engine_stress_prop;
+          qcheck flat_oracle_parity_prop;
         ] );
       ( "ivar",
         [
